@@ -1,0 +1,187 @@
+//===- bench/Common.h - Shared benchmark harness utilities -----*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared setup for the per-table benchmark binaries: corpus / model
+/// presets (scaled-down versions of the paper's networks, see DESIGN.md
+/// "Scaling"), cached training, sentence selection, and the
+/// certified-radius evaluation loop whose Min / Avg / Time columns match
+/// the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_BENCH_COMMON_H
+#define DEEPT_BENCH_COMMON_H
+
+#include "data/SyntheticCorpus.h"
+#include "nn/Serialize.h"
+#include "nn/Train.h"
+#include "nn/Transformer.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+#include "verify/RadiusSearch.h"
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace deept {
+namespace bench {
+
+using tensor::Matrix;
+
+/// The scaled-down counterpart of the paper's "standard" networks
+/// (E=128, 4 heads, H=128): same shape family, CPU-sized.
+inline nn::TransformerConfig standardConfig(size_t Layers) {
+  nn::TransformerConfig C;
+  C.MaxLen = 16;
+  C.EmbedDim = 24;
+  C.NumHeads = 4;
+  C.HiddenDim = 24;
+  C.NumLayers = Layers;
+  return C;
+}
+
+/// The "wide" networks of Table 3 (paper: 2x embedding, 4x hidden).
+inline nn::TransformerConfig wideConfig(size_t Layers) {
+  nn::TransformerConfig C = standardConfig(Layers);
+  C.EmbedDim = 48;
+  C.HiddenDim = 96;
+  return C;
+}
+
+/// The downscaled networks of Tables 4/5/12/14 (paper: E=64, H=64,
+/// used because CROWN-Backward exhausts memory on larger ones).
+inline nn::TransformerConfig smallConfig(size_t Layers) {
+  nn::TransformerConfig C;
+  C.MaxLen = 16;
+  C.EmbedDim = 16;
+  C.NumHeads = 2;
+  C.HiddenDim = 16;
+  C.NumLayers = Layers;
+  return C;
+}
+
+/// Trains (or loads from the shared cache) a model for \p Corpus.
+inline nn::TransformerModel
+getModel(const std::string &Name, const data::SyntheticCorpus &Corpus,
+         const nn::TransformerConfig &Config, size_t TrainSteps = 0) {
+  // Wider networks need more, gentler steps to train stably.
+  bool Wide = Config.EmbedDim >= 48;
+  if (TrainSteps == 0)
+    TrainSteps = std::max<size_t>(300, (Wide ? 120 : 60) * Config.NumLayers);
+  return nn::getOrTrainCached(
+      nn::defaultModelCacheDir(), Name, [&] {
+        support::Rng Rng(0x5eed0 + Config.NumLayers * 7 +
+                         Config.EmbedDim * 131 +
+                         (Config.LayerNormStdDiv ? 1 : 0));
+        nn::TransformerModel M =
+            nn::TransformerModel::init(Config, Corpus.embeddings(), Rng);
+        support::Rng DataRng(0xda7a);
+        auto Train = Corpus.sampleDataset(512, DataRng);
+        nn::TrainOptions Opts;
+        Opts.Steps = TrainSteps;
+        Opts.BatchSize = 16;
+        if (Wide)
+          Opts.LearningRate = 1e-3;
+        nn::trainTransformer(M, Corpus, Train, Opts);
+        return M;
+      });
+}
+
+/// Picks \p Count evaluation sentences classified correctly by every
+/// model (so per-model radii are comparable, as in Section 6.1).
+inline std::vector<data::Sentence>
+pickEvalSentences(const data::SyntheticCorpus &Corpus,
+                  const std::vector<const nn::TransformerModel *> &Models,
+                  size_t Count, uint64_t Seed = 0xe7a1) {
+  support::Rng Rng(Seed);
+  std::vector<data::Sentence> Out;
+  for (int Guard = 0; Guard < 4000 && Out.size() < Count; ++Guard) {
+    data::Sentence S = Corpus.sampleSentence(Rng);
+    bool Ok = true;
+    for (const nn::TransformerModel *M : Models)
+      Ok = Ok && M->classify(S.Tokens) == S.Label;
+    if (Ok)
+      Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+/// Certification callback: should return true when the lp region of the
+/// given radius around (sentence, word position) is certified.
+using CertifyFn = std::function<bool(const data::Sentence &S, size_t Word,
+                                     double P, double Radius)>;
+
+struct RadiusStats {
+  double Min = 0.0;
+  double Avg = 0.0;
+  double SecondsPerSentence = 0.0;
+  size_t Count = 0;
+};
+
+struct EvalOptions {
+  /// Word positions probed per sentence (paper: all positions; here the
+  /// first PositionsPerSentence to bound CPU time).
+  size_t PositionsPerSentence = 1;
+  verify::RadiusSearchOptions Search;
+
+  EvalOptions() {
+    Search.InitRadius = 0.05;
+    Search.BisectSteps = 5;
+    Search.MaxRadius = 8.0;
+  }
+};
+
+/// Runs the paper's Section 6.1 protocol: binary-search the maximum
+/// certified radius per (sentence, position), aggregate min/avg and
+/// wall-clock seconds per sentence.
+inline RadiusStats evaluateRadii(const CertifyFn &Certify,
+                                 const std::vector<data::Sentence> &Eval,
+                                 double P,
+                                 const EvalOptions &Opts = EvalOptions()) {
+  RadiusStats Stats;
+  Stats.Min = 1e300;
+  support::Timer Timer;
+  for (const data::Sentence &S : Eval) {
+    size_t Positions = std::min(Opts.PositionsPerSentence, S.Tokens.size());
+    for (size_t W = 0; W < Positions; ++W) {
+      double R = verify::certifiedRadius(
+          [&](double Radius) { return Certify(S, W, P, Radius); },
+          Opts.Search);
+      Stats.Min = std::min(Stats.Min, R);
+      Stats.Avg += R;
+      ++Stats.Count;
+    }
+  }
+  if (Stats.Count > 0)
+    Stats.Avg /= static_cast<double>(Stats.Count);
+  if (Stats.Min == 1e300)
+    Stats.Min = 0.0;
+  Stats.SecondsPerSentence =
+      Eval.empty() ? 0.0 : Timer.seconds() / static_cast<double>(Eval.size());
+  return Stats;
+}
+
+inline std::string normName(double P) {
+  if (P == 1.0)
+    return "l1";
+  if (P == 2.0)
+    return "l2";
+  return "linf";
+}
+
+inline void printHeader(const char *Title, const char *PaperRef) {
+  std::printf("== %s ==\n(reproduces %s; scaled-down models, see "
+              "DESIGN.md/EXPERIMENTS.md)\n\n",
+              Title, PaperRef);
+}
+
+} // namespace bench
+} // namespace deept
+
+#endif // DEEPT_BENCH_COMMON_H

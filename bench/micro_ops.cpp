@@ -1,0 +1,101 @@
+//===- bench/micro_ops.cpp - Kernel micro benchmarks -----------*- C++ -*-===//
+//
+// google-benchmark micro benchmarks of the kernels the verifiers spend
+// their time in: GEMM, zonotope bound computation, the dot-product
+// abstract transformers (Fast and Precise), the softmax transformer and
+// noise-symbol reduction. Complements the per-table harnesses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "tensor/Matrix.h"
+#include "zono/DotProduct.h"
+#include "zono/Reduction.h"
+#include "zono/Softmax.h"
+#include "zono/Zonotope.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace deept;
+using tensor::Matrix;
+using namespace deept::zono;
+
+namespace {
+
+Zonotope makeZonotope(size_t Rows, size_t Cols, size_t Phi, size_t Eps,
+                      uint64_t Seed) {
+  support::Rng Rng(Seed);
+  Zonotope Z = Zonotope::constant(Matrix::randn(Rows, Cols, Rng), 2.0);
+  Z.installCoeffs(Matrix::randn(Phi, Rows * Cols, Rng, 0.1),
+                  Matrix::randn(Eps, Rows * Cols, Rng, 0.1));
+  return Z;
+}
+
+void BM_Gemm(benchmark::State &State) {
+  size_t N = State.range(0);
+  support::Rng Rng(1);
+  Matrix A = Matrix::randn(N, N, Rng);
+  Matrix B = Matrix::randn(N, N, Rng);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(tensor::matmul(A, B));
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_ZonotopeBounds(benchmark::State &State) {
+  size_t Eps = State.range(0);
+  Zonotope Z = makeZonotope(8, 24, 24, Eps, 2);
+  Matrix Lo, Hi;
+  for (auto _ : State) {
+    Z.bounds(Lo, Hi);
+    benchmark::DoNotOptimize(Lo.data());
+  }
+}
+BENCHMARK(BM_ZonotopeBounds)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_DotProductFast(benchmark::State &State) {
+  size_t Eps = State.range(0);
+  Zonotope Parent = makeZonotope(8, 12, 12, Eps, 3);
+  Zonotope A = Parent.selectColRange(0, 6);
+  Zonotope B = Parent.selectColRange(6, 12);
+  DotOptions Opts;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(dotRows(A, B, Opts).numEps());
+}
+BENCHMARK(BM_DotProductFast)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_DotProductPrecise(benchmark::State &State) {
+  size_t Eps = State.range(0);
+  Zonotope Parent = makeZonotope(8, 12, 12, Eps, 4);
+  Zonotope A = Parent.selectColRange(0, 6);
+  Zonotope B = Parent.selectColRange(6, 12);
+  DotOptions Opts;
+  Opts.Method = DotMethod::Precise;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(dotRows(A, B, Opts).numEps());
+}
+BENCHMARK(BM_DotProductPrecise)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SoftmaxTransformer(benchmark::State &State) {
+  size_t Eps = State.range(0);
+  Zonotope Scores = makeZonotope(8, 8, 12, Eps, 5);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(applySoftmax(Scores).numEps());
+}
+BENCHMARK(BM_SoftmaxTransformer)->Arg(128)->Arg(512);
+
+void BM_NoiseReduction(benchmark::State &State) {
+  size_t Eps = State.range(0);
+  for (auto _ : State) {
+    State.PauseTiming();
+    Zonotope Z = makeZonotope(8, 24, 12, Eps, 6);
+    State.ResumeTiming();
+    reduceEpsSymbols(Z, Eps / 4);
+    benchmark::DoNotOptimize(Z.numEps());
+  }
+}
+BENCHMARK(BM_NoiseReduction)->Arg(512)->Arg(2048);
+
+} // namespace
+
+BENCHMARK_MAIN();

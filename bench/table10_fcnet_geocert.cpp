@@ -1,0 +1,76 @@
+//===- bench/table10_fcnet_geocert.cpp -------------------------*- C++ -*-===//
+//
+// Table 10 (Appendix A.2): Multi-norm Zonotope certification of a
+// fully-connected ReLU network (hidden sizes 10, 50, 10) on the two-class
+// image task against l2 perturbations, compared with the GeoCert
+// substitute: a bisected PGD attack whose minimal adversarial radius
+// upper-bounds the exact robustness radius GeoCert computes (DESIGN.md,
+// "Substitutions").
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "attack/Pgd.h"
+#include "verify/FeedForwardVerifier.h"
+
+using namespace deept;
+using namespace deept::bench;
+
+int main() {
+  printHeader("Table 10: Multi-norm Zonotope vs GeoCert-substitute "
+              "(FC net, l2)",
+              "PLDI'21 Table 10");
+
+  support::Rng Rng(0xa2);
+  nn::FeedForwardNet Net = nn::FeedForwardNet::init({64, 10, 50, 10, 2}, Rng);
+  support::Rng DataRng(0xa3);
+  auto Train = data::makeStrokeImages(512, DataRng);
+  auto Test = data::makeStrokeImages(64, DataRng);
+  nn::TrainOptions Opts;
+  Opts.Steps = 300;
+  Opts.BatchSize = 16;
+  nn::trainFeedForward(Net, Train, Opts);
+  std::printf("accuracy: %.1f%%\n\n", 100.0 * nn::accuracy(Net, Test));
+
+  double CertMin = 1e300, CertAvg = 0;
+  double ExactMin = 1e300, ExactAvg = 0;
+  double CertTime = 0, ExactTime = 0;
+  size_t Count = 0;
+  for (const auto &Ex : Test) {
+    if (Net.classify(Ex.Pixels) != Ex.Label)
+      continue;
+    if (Count >= 10)
+      break;
+    ++Count;
+    support::Timer T1;
+    double Certified = verify::certifiedRadius([&](double R) {
+      return verify::certifyFeedForwardLpBall(Net, Ex.Pixels, 2.0, R,
+                                              Ex.Label);
+    });
+    CertTime += T1.seconds();
+    support::Timer T2;
+    double Exact =
+        attack::minimalAdversarialRadiusFF(Net, Ex.Pixels, 2.0, Ex.Label);
+    ExactTime += T2.seconds();
+    CertMin = std::min(CertMin, Certified);
+    CertAvg += Certified;
+    ExactMin = std::min(ExactMin, Exact);
+    ExactAvg += Exact;
+  }
+  CertAvg /= Count;
+  ExactAvg /= Count;
+
+  support::Table T({"Method", "Min", "Avg", "t[s]"});
+  T.addRow({"GeoCert-substitute (attack upper bound)",
+            support::formatRadius(ExactMin), support::formatRadius(ExactAvg),
+            support::formatFixed(ExactTime / Count, 2)});
+  T.addRow({"DeepT (Multi-norm Zonotope)", support::formatRadius(CertMin),
+            support::formatRadius(CertAvg),
+            support::formatFixed(CertTime / Count, 2)});
+  T.print();
+  std::printf("\nPaper shape: the (near-)exact method reports radii several "
+              "times larger, while zonotope certification is an order of "
+              "magnitude faster.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- bench/table1_sst_fast_vs_baf.cpp ------------------------*- C++ -*-===//
+//
+// Table 1: certified radius (min and avg) and time of DeepT-Fast vs
+// CROWN-BaF on the SST-like corpus, for M in {3, 6, 12} layers and
+// lp in {l1, l2, linf}, plus the ratio of the average certified radii.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "crown/CrownVerifier.h"
+#include "verify/DeepT.h"
+
+using namespace deept;
+using namespace deept::bench;
+
+int main() {
+  printHeader("Table 1: DeepT-Fast vs CROWN-BaF (synth-SST)",
+              "PLDI'21 Table 1");
+
+  data::CorpusConfig CC = data::CorpusConfig::sstLike(24);
+  CC.MaxLen = 6;
+  data::SyntheticCorpus Corpus(CC);
+
+  const size_t LayerCounts[] = {3, 6, 12};
+  std::vector<nn::TransformerModel> Models;
+  for (size_t M : LayerCounts)
+    Models.push_back(getModel("sst_m" + std::to_string(M), Corpus,
+                              standardConfig(M)));
+
+  support::Rng AccRng(42);
+  auto Holdout = Corpus.sampleDataset(200, AccRng);
+  for (size_t I = 0; I < Models.size(); ++I)
+    std::printf("accuracy (M=%zu): %.1f%%\n", LayerCounts[I],
+                100.0 * nn::accuracy(Models[I], Holdout));
+  std::printf("\n");
+
+  std::vector<const nn::TransformerModel *> ModelPtrs;
+  for (const auto &M : Models)
+    ModelPtrs.push_back(&M);
+  auto Eval = pickEvalSentences(Corpus, ModelPtrs, 2);
+
+  support::Table T({"M", "lp", "DeepT Min", "DeepT Avg", "DeepT t[s]",
+                    "BaF Min", "BaF Avg", "BaF t[s]", "Ratio"});
+  EvalOptions Opts;
+
+  for (size_t MI = 0; MI < Models.size(); ++MI) {
+    const nn::TransformerModel &Model = Models[MI];
+    verify::VerifierConfig VC;
+    VC.NoiseReductionBudget = 600;
+    verify::DeepTVerifier DeepT(Model, VC);
+    crown::CrownConfig CF;
+    CF.Mode = crown::CrownMode::BaF;
+    crown::CrownVerifier BaF(Model, CF);
+
+    for (double P : {1.0, 2.0, tensor::Matrix::InfNorm}) {
+      RadiusStats SD = evaluateRadii(
+          [&](const data::Sentence &S, size_t W, double Pp, double R) {
+            return DeepT.certifyLpBall(S.Tokens, W, Pp, R, S.Label);
+          },
+          Eval, P, Opts);
+      RadiusStats SB = evaluateRadii(
+          [&](const data::Sentence &S, size_t W, double Pp, double R) {
+            return BaF.certifyLpBall(S.Tokens, W, Pp, R, S.Label);
+          },
+          Eval, P, Opts);
+      double Ratio = SB.Avg > 0 ? SD.Avg / SB.Avg : 0.0;
+      std::string RatioStr =
+          SB.Avg > 1e-12 ? support::formatFixed(Ratio, 2) : ">1e6";
+      T.addRow({std::to_string(LayerCounts[MI]), normName(P),
+                support::formatRadius(SD.Min), support::formatRadius(SD.Avg),
+                support::formatFixed(SD.SecondsPerSentence, 1),
+                support::formatRadius(SB.Min), support::formatRadius(SB.Avg),
+                support::formatFixed(SB.SecondsPerSentence, 1), RatioStr});
+    }
+  }
+  T.print();
+  std::printf("\nPaper shape (radii degrade gently with depth for DeepT, "
+              "collapse for CROWN-BaF; paper avg ratio 1.07x -> 28x for "
+              "M=3 -> 12): reproduced in direction and depth trend. Our "
+              "forward-mode BaF already trails at M=3 where the paper's "
+              "tuned implementation is at parity -- see EXPERIMENTS.md, "
+              "'Known deviations'.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- bench/table6_dual_norm_order.cpp ------------------------*- C++ -*-===//
+//
+// Table 6: ablation of the dual-norm application order in DeepT-Fast's
+// dot product transformer (Section 6.5): applying the dual norm on the
+// l-infinity noise symbols first vs the lp symbols first.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "verify/DeepT.h"
+
+using namespace deept;
+using namespace deept::bench;
+
+int main() {
+  printHeader("Table 6: dual-norm application order (DeepT-Fast)",
+              "PLDI'21 Table 6");
+
+  data::CorpusConfig CC = data::CorpusConfig::sstLike(24);
+  CC.MaxLen = 6;
+  data::SyntheticCorpus Corpus(CC);
+
+  const size_t LayerCounts[] = {3, 6, 12};
+  std::vector<nn::TransformerModel> Models;
+  for (size_t M : LayerCounts)
+    Models.push_back(getModel("sst_m" + std::to_string(M), Corpus,
+                              standardConfig(M)));
+
+  std::vector<const nn::TransformerModel *> ModelPtrs;
+  for (const auto &M : Models)
+    ModelPtrs.push_back(&M);
+  auto Eval = pickEvalSentences(Corpus, ModelPtrs, 3);
+
+  support::Table T({"M", "lp", "linf-first Min", "linf-first Avg",
+                    "lp-first Min", "lp-first Avg", "Avg change"});
+  EvalOptions Opts;
+
+  for (size_t MI = 0; MI < Models.size(); ++MI) {
+    const nn::TransformerModel &Model = Models[MI];
+    verify::VerifierConfig InfFirst;
+    InfFirst.NoiseReductionBudget = 600;
+    InfFirst.Order = zono::DualNormOrder::InfFirst;
+    verify::VerifierConfig LpFirst = InfFirst;
+    LpFirst.Order = zono::DualNormOrder::LpFirst;
+    verify::DeepTVerifier VI(Model, InfFirst);
+    verify::DeepTVerifier VL(Model, LpFirst);
+
+    for (double P : {1.0, 2.0}) {
+      RadiusStats SI = evaluateRadii(
+          [&](const data::Sentence &S, size_t W, double Pp, double R) {
+            return VI.certifyLpBall(S.Tokens, W, Pp, R, S.Label);
+          },
+          Eval, P, Opts);
+      RadiusStats SL = evaluateRadii(
+          [&](const data::Sentence &S, size_t W, double Pp, double R) {
+            return VL.certifyLpBall(S.Tokens, W, Pp, R, S.Label);
+          },
+          Eval, P, Opts);
+      double Change =
+          SL.Avg > 0 ? 100.0 * (SI.Avg - SL.Avg) / SL.Avg : 0.0;
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%+.2f %%", Change);
+      T.addRow({std::to_string(LayerCounts[MI]), normName(P),
+                support::formatRadius(SI.Min), support::formatRadius(SI.Avg),
+                support::formatRadius(SL.Min), support::formatRadius(SL.Avg),
+                Buf});
+    }
+  }
+  T.print();
+  std::printf("\nPaper shape: the two orders are close, with a small "
+              "average advantage (< ~1.5%%) for linf-first.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+//===- bench/table7_std_layernorm.cpp --------------------------*- C++ -*-===//
+//
+// Table 7: Transformers with *standard* layer normalization (division by
+// the standard deviation, Section 6.6). Exercises the sqrt / reciprocal /
+// multiplication transformers inside the normalisation; certified radii
+// drop sharply for both verifiers, confirming why the paper's default
+// omits the division.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "crown/CrownVerifier.h"
+#include "verify/DeepT.h"
+
+using namespace deept;
+using namespace deept::bench;
+
+int main() {
+  printHeader("Table 7: standard layer normalization", "PLDI'21 Table 7");
+
+  data::CorpusConfig CC = data::CorpusConfig::sstLike(24);
+  CC.MaxLen = 6;
+  data::SyntheticCorpus Corpus(CC);
+
+  const size_t LayerCounts[] = {3, 6, 12};
+  std::vector<nn::TransformerModel> Models;
+  for (size_t M : LayerCounts) {
+    nn::TransformerConfig Cfg = standardConfig(M);
+    Cfg.LayerNormStdDiv = true;
+    Models.push_back(
+        getModel("sstdiv_m" + std::to_string(M), Corpus, Cfg));
+  }
+
+  support::Rng AccRng(45);
+  auto Holdout = Corpus.sampleDataset(200, AccRng);
+  for (size_t I = 0; I < Models.size(); ++I)
+    std::printf("accuracy (M=%zu): %.1f%%\n", LayerCounts[I],
+                100.0 * nn::accuracy(Models[I], Holdout));
+  std::printf("\n");
+
+  std::vector<const nn::TransformerModel *> ModelPtrs;
+  for (const auto &M : Models)
+    ModelPtrs.push_back(&M);
+  auto Eval = pickEvalSentences(Corpus, ModelPtrs, 2);
+
+  support::Table T({"M", "lp", "DeepT Min", "DeepT Avg", "DeepT t[s]",
+                    "BaF Min", "BaF Avg", "BaF t[s]", "Ratio"});
+  EvalOptions Opts;
+  Opts.Search.InitRadius = 0.005; // radii are much smaller here
+  Opts.Search.BisectSteps = 5;
+
+  for (size_t MI = 0; MI < Models.size(); ++MI) {
+    const nn::TransformerModel &Model = Models[MI];
+    verify::VerifierConfig VC;
+    VC.NoiseReductionBudget = 600;
+    verify::DeepTVerifier DeepT(Model, VC);
+    crown::CrownConfig CF;
+    CF.Mode = crown::CrownMode::BaF;
+    crown::CrownVerifier BaF(Model, CF);
+
+    for (double P : {1.0, 2.0, tensor::Matrix::InfNorm}) {
+      RadiusStats SD = evaluateRadii(
+          [&](const data::Sentence &S, size_t W, double Pp, double R) {
+            return DeepT.certifyLpBall(S.Tokens, W, Pp, R, S.Label);
+          },
+          Eval, P, Opts);
+      RadiusStats SB = evaluateRadii(
+          [&](const data::Sentence &S, size_t W, double Pp, double R) {
+            return BaF.certifyLpBall(S.Tokens, W, Pp, R, S.Label);
+          },
+          Eval, P, Opts);
+      double Ratio = SB.Avg > 0 ? SD.Avg / SB.Avg : 0.0;
+      std::string RatioStr =
+          SB.Avg > 1e-12 ? support::formatFixed(Ratio, 2) : ">1e6";
+      T.addRow({std::to_string(LayerCounts[MI]), normName(P),
+                support::formatRadius(SD.Min), support::formatRadius(SD.Avg),
+                support::formatFixed(SD.SecondsPerSentence, 1),
+                support::formatRadius(SB.Min), support::formatRadius(SB.Avg),
+                support::formatFixed(SB.SecondsPerSentence, 1), RatioStr});
+    }
+  }
+  T.print();
+  std::printf("\nPaper shape: radii are 1-2 orders of magnitude below the "
+              "no-division networks of Table 1, and DeepT's advantage over "
+              "CROWN-BaF persists and grows with depth.\n");
+  return 0;
+}

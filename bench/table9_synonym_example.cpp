@@ -1,0 +1,94 @@
+//===- bench/table9_synonym_example.cpp ------------------------*- C++ -*-===//
+//
+// Table 9: a certifiable example sentence with its per-token synonym
+// lists and the total combination count, illustrating why enumeration is
+// hopeless where DeepT's one-shot certification succeeds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "attack/Enumeration.h"
+#include "verify/DeepT.h"
+
+using namespace deept;
+using namespace deept::bench;
+
+int main() {
+  printHeader("Table 9: example certifiable sentence with synonyms",
+              "PLDI'21 Table 9");
+
+  data::SyntheticCorpus Corpus(data::CorpusConfig::synonymRich(24));
+  nn::TransformerModel Model = nn::getOrTrainCached(
+      nn::defaultModelCacheDir(), "synonym_robust_m3", [&] {
+        support::Rng Rng(0xb0b);
+        nn::TransformerModel M = nn::TransformerModel::init(
+            standardConfig(3), Corpus.embeddings(), Rng);
+        support::Rng DataRng(0xda7a);
+        auto Train = Corpus.sampleDataset(512, DataRng);
+        nn::TrainOptions Opts;
+        Opts.Steps = 350;
+        Opts.BatchSize = 16;
+        Opts.SynonymSwapProb = 0.8;
+        Opts.EmbedNoise = 0.03;
+        nn::trainTransformer(M, Corpus, Train, Opts);
+        return M;
+      });
+
+  verify::VerifierConfig VC;
+  VC.NoiseReductionBudget = 600;
+  verify::DeepTVerifier DeepT(Model, VC);
+
+  // Find the certifiable sentence with the most synonym combinations.
+  support::Rng Rng(0x7ab9);
+  data::Sentence Best;
+  size_t BestCombos = 0;
+  double CertifyTime = 0;
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    data::Sentence S = Corpus.sampleSentence(Rng);
+    if (Model.classify(S.Tokens) != S.Label)
+      continue;
+    size_t Combos = attack::countSynonymCombinations(Corpus, S);
+    if (Combos <= BestCombos)
+      continue;
+    support::Timer T;
+    if (DeepT.certifySynonymBox(Corpus, S, S.Label)) {
+      Best = S;
+      BestCombos = Combos;
+      CertifyTime = T.seconds();
+    }
+  }
+  if (Best.Tokens.empty()) {
+    std::printf("no certifiable sentence found (unexpected)\n");
+    return 1;
+  }
+
+  support::Table T({"Token", "#Synonyms", "Synonyms"});
+  for (size_t Token : Best.Tokens) {
+    auto Syns = Corpus.synonymsOf(Token);
+    std::string List;
+    for (size_t I = 0; I < Syns.size(); ++I)
+      List += (I ? ", " : "") + Corpus.wordName(Syns[I]);
+    if (List.empty())
+      List = "(none)";
+    T.addRow({Corpus.wordName(Token), std::to_string(Syns.size()), List});
+  }
+  T.print();
+  std::printf("\nlabel: %s, combinations: %zu, certified by DeepT-Fast in "
+              "%.2f s\n",
+              Best.Label ? "positive" : "negative", BestCombos, CertifyTime);
+
+  // Time a slice of the enumeration to extrapolate its full cost.
+  support::Timer TE;
+  auto R =
+      attack::enumerateSynonymAttack(Model, Corpus, Best, Best.Label, 2000);
+  double PerCombo = TE.seconds() / static_cast<double>(R.Evaluated);
+  std::printf("enumeration estimate: %.2e s/combination x %zu = %.1f s "
+              "(%.0fx the certification time)\n",
+              PerCombo, BestCombos, PerCombo * BestCombos,
+              PerCombo * BestCombos / std::max(CertifyTime, 1e-9));
+  std::printf("\nPaper shape: a sentence with millions of combinations "
+              "certifies in seconds; enumeration is 2-3 orders of "
+              "magnitude slower.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- examples/synonym_attack.cpp -----------------------------*- C++ -*-===//
+//
+// Threat model T2 end to end (the paper's Figure 1): every word of a
+// sentence may be replaced by any of its synonyms, simultaneously. DeepT
+// certifies the whole combinatorial space with ONE abstract forward pass
+// over an l-infinity box covering the synonym embeddings, where
+// enumeration would classify each combination separately.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attack/Enumeration.h"
+#include "data/SyntheticCorpus.h"
+#include "nn/Train.h"
+#include "support/Timer.h"
+#include "verify/DeepT.h"
+
+#include <cstdio>
+
+using namespace deept;
+
+int main() {
+  std::printf("== synonym attack certification (threat model T2) ==\n\n");
+
+  data::SyntheticCorpus Corpus(data::CorpusConfig::synonymRich(24));
+
+  support::Rng Rng(31);
+  nn::TransformerConfig Cfg;
+  Cfg.EmbedDim = 24;
+  Cfg.NumHeads = 4;
+  Cfg.HiddenDim = 24;
+  Cfg.NumLayers = 3;
+  Cfg.MaxLen = 12;
+  nn::TransformerModel Model =
+      nn::TransformerModel::init(Cfg, Corpus.embeddings(), Rng);
+  support::Rng DataRng(32);
+  auto Train = Corpus.sampleDataset(384, DataRng);
+  nn::TrainOptions Opts;
+  Opts.Steps = 300;
+  Opts.SynonymSwapProb = 0.8; // robust training via augmentation
+  Opts.EmbedNoise = 0.03;
+  nn::trainTransformer(Model, Corpus, Train, Opts);
+
+  verify::VerifierConfig VC;
+  VC.NoiseReductionBudget = 600;
+  verify::DeepTVerifier Verifier(Model, VC);
+
+  // Certify a batch of sentences; show per-sentence detail for the one
+  // with the most combinations.
+  support::Rng SampleRng(33);
+  size_t Certified = 0, Total = 0;
+  data::Sentence Showcase;
+  size_t ShowcaseCombos = 0;
+  double CertifySeconds = 0;
+  while (Total < 20) {
+    data::Sentence S = Corpus.sampleSentence(SampleRng);
+    if (Model.classify(S.Tokens) != S.Label)
+      continue;
+    ++Total;
+    support::Timer T;
+    bool Ok = Verifier.certifySynonymBox(Corpus, S, S.Label);
+    CertifySeconds += T.seconds();
+    if (!Ok)
+      continue;
+    ++Certified;
+    size_t Combos = attack::countSynonymCombinations(Corpus, S);
+    if (Combos > ShowcaseCombos) {
+      ShowcaseCombos = Combos;
+      Showcase = S;
+    }
+  }
+  std::printf("certified %zu / %zu sentences, %.2f s per sentence\n\n",
+              Certified, Total, CertifySeconds / Total);
+
+  if (!Showcase.Tokens.empty()) {
+    std::printf("showcase sentence (%zu synonym combinations):\n",
+                ShowcaseCombos);
+    for (size_t T : Showcase.Tokens) {
+      auto Syns = Corpus.synonymsOf(T);
+      std::printf("  %-8s", Corpus.wordName(T).c_str());
+      if (Syns.empty()) {
+        std::printf(" (no synonyms)\n");
+        continue;
+      }
+      std::printf(" can become:");
+      for (size_t S : Syns)
+        std::printf(" %s", Corpus.wordName(S).c_str());
+      std::printf("\n");
+    }
+    // Sanity check a slice of the space by enumeration.
+    support::Timer T;
+    auto R = attack::enumerateSynonymAttack(Model, Corpus, Showcase,
+                                            Showcase.Label, 4096);
+    std::printf("\nenumeration spot check: %zu combinations classified in "
+                "%.2f s, all correct: %s\n",
+                R.Evaluated, T.seconds(), R.Robust ? "yes" : "NO -- bug!");
+    std::printf("extrapolated full enumeration: ~%.1f s vs one certified "
+                "pass.\n",
+                T.seconds() / R.Evaluated * ShowcaseCombos);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- attack/Enumeration.cpp ---------------------------------*- C++ -*-===//
+
+#include "attack/Enumeration.h"
+
+using namespace deept;
+using namespace deept::attack;
+
+size_t deept::attack::countSynonymCombinations(
+    const data::SyntheticCorpus &Corpus, const data::Sentence &S,
+    size_t Cap) {
+  size_t Count = 1;
+  for (size_t Token : S.Tokens) {
+    size_t Options = 1 + Corpus.synonymsOf(Token).size();
+    if (Count > Cap / Options)
+      return Cap;
+    Count *= Options;
+  }
+  return Count;
+}
+
+EnumerationResult deept::attack::enumerateSynonymAttack(
+    const nn::TransformerModel &Model, const data::SyntheticCorpus &Corpus,
+    const data::Sentence &S, size_t TrueClass, size_t MaxCombos) {
+  // Option lists per position: the original word plus its synonyms.
+  std::vector<std::vector<size_t>> Options;
+  for (size_t Token : S.Tokens) {
+    std::vector<size_t> Opt = {Token};
+    for (size_t Syn : Corpus.synonymsOf(Token))
+      Opt.push_back(Syn);
+    Options.push_back(std::move(Opt));
+  }
+
+  EnumerationResult Result;
+  Result.Combinations = countSynonymCombinations(Corpus, S, MaxCombos);
+
+  std::vector<size_t> Odometer(Options.size(), 0);
+  std::vector<size_t> Tokens = S.Tokens;
+  while (true) {
+    for (size_t I = 0; I < Options.size(); ++I)
+      Tokens[I] = Options[I][Odometer[I]];
+    ++Result.Evaluated;
+    if (Model.classify(Tokens) != TrueClass) {
+      Result.Robust = false;
+      return Result;
+    }
+    if (Result.Evaluated >= MaxCombos) {
+      Result.Exhausted = false;
+      Result.Robust = true; // no counterexample among evaluated combos
+      return Result;
+    }
+    // Advance the odometer.
+    size_t Pos = 0;
+    while (Pos < Odometer.size() && ++Odometer[Pos] == Options[Pos].size()) {
+      Odometer[Pos] = 0;
+      ++Pos;
+    }
+    if (Pos == Odometer.size())
+      break; // wrapped around: all combinations seen
+  }
+  Result.Robust = true;
+  return Result;
+}

@@ -1,0 +1,54 @@
+//===- attack/Enumeration.h - Exhaustive synonym enumeration ---*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The enumeration baseline for threat model T2 (Section 6.7): classify
+/// every combination of synonym substitutions. Complete but exponential
+/// in the number of substitutable words -- the paper's point is that
+/// DeepT certifies sentences whose combination counts make enumeration 2
+/// to 3 orders of magnitude slower.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_ATTACK_ENUMERATION_H
+#define DEEPT_ATTACK_ENUMERATION_H
+
+#include "data/SyntheticCorpus.h"
+#include "nn/Transformer.h"
+
+namespace deept {
+namespace attack {
+
+struct EnumerationResult {
+  /// True when every enumerated combination classified correctly.
+  bool Robust = false;
+  /// Combinations actually classified (enumeration stops early on the
+  /// first misclassification or at the cap).
+  size_t Evaluated = 0;
+  /// Total combination count (saturated at the cap).
+  size_t Combinations = 0;
+  /// False when the cap stopped the enumeration before completion.
+  bool Exhausted = true;
+};
+
+/// Total number of synonym combinations of a sentence, saturated at Cap.
+size_t countSynonymCombinations(const data::SyntheticCorpus &Corpus,
+                                const data::Sentence &S,
+                                size_t Cap = size_t(1) << 40);
+
+/// Classifies every synonym combination of \p S (each position may take
+/// the original word or any synonym). Stops at the first misclassified
+/// combination or after \p MaxCombos evaluations.
+EnumerationResult
+enumerateSynonymAttack(const nn::TransformerModel &Model,
+                       const data::SyntheticCorpus &Corpus,
+                       const data::Sentence &S, size_t TrueClass,
+                       size_t MaxCombos = size_t(1) << 22);
+
+} // namespace attack
+} // namespace deept
+
+#endif // DEEPT_ATTACK_ENUMERATION_H

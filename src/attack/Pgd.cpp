@@ -1,0 +1,200 @@
+//===- attack/Pgd.cpp -----------------------------------------*- C++ -*-===//
+
+#include "attack/Pgd.h"
+
+#include "autograd/Tape.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace deept;
+using namespace deept::attack;
+using autograd::Tape;
+using autograd::ValueId;
+
+namespace {
+
+/// Euclidean projection onto the l1 ball (Duchi et al. 2008): soft
+/// thresholding with the threshold found by sorting.
+void projectL1(Matrix &Delta, double Radius) {
+  double Norm = Delta.lpNorm(1.0);
+  if (Norm <= Radius)
+    return;
+  std::vector<double> Abs(Delta.size());
+  for (size_t I = 0; I < Delta.size(); ++I)
+    Abs[I] = std::fabs(Delta.flat(I));
+  std::sort(Abs.begin(), Abs.end(), std::greater<double>());
+  double CumSum = 0.0, Theta = 0.0;
+  for (size_t K = 0; K < Abs.size(); ++K) {
+    CumSum += Abs[K];
+    double T = (CumSum - Radius) / static_cast<double>(K + 1);
+    if (T < Abs[K])
+      Theta = T;
+    else
+      break;
+  }
+  for (size_t I = 0; I < Delta.size(); ++I) {
+    double V = std::fabs(Delta.flat(I)) - Theta;
+    Delta.flat(I) = V > 0 ? std::copysign(V, Delta.flat(I)) : 0.0;
+  }
+}
+
+/// Steepest-descent direction for the given norm constraint.
+Matrix stepDirection(const Matrix &Grad, double P) {
+  Matrix Dir = Grad;
+  if (P == Matrix::InfNorm) {
+    Dir.apply([](double G) { return G > 0 ? 1.0 : (G < 0 ? -1.0 : 0.0); });
+    return Dir;
+  }
+  double Norm = Grad.lpNorm(2.0);
+  if (Norm > 0)
+    Dir *= 1.0 / Norm;
+  return Dir;
+}
+
+/// Generic PGD minimising the margin of \p MarginAndGrad. The callback
+/// evaluates the margin at Base + Delta and fills the gradient w.r.t.
+/// Delta. Returns true when a negative margin (misclassification) is
+/// found.
+bool pgdLoop(size_t Dim, double P, double Radius, const AttackOptions &Opts,
+             const std::function<double(const Matrix &Delta, Matrix &Grad)>
+                 &MarginAndGrad) {
+  support::Rng Rng(Opts.Seed);
+  for (int Restart = 0; Restart < Opts.Restarts; ++Restart) {
+    Matrix Delta = Restart == 0
+                       ? Matrix(1, Dim, 0.0)
+                       : Matrix::uniform(1, Dim, Rng, -Radius, Radius);
+    projectLpBall(Delta, P, Radius);
+    double Step = Opts.StepScale * Radius;
+    for (int I = 0; I < Opts.Steps; ++I) {
+      Matrix Grad(1, Dim);
+      double Margin = MarginAndGrad(Delta, Grad);
+      if (Margin < 0)
+        return true;
+      Matrix Dir = stepDirection(Grad, P);
+      Delta.addScaled(Dir, -Step);
+      projectLpBall(Delta, P, Radius);
+    }
+    Matrix Grad(1, Dim);
+    if (MarginAndGrad(Delta, Grad) < 0)
+      return true;
+  }
+  return false;
+}
+
+/// Bisection for the smallest radius at which \p Attack succeeds.
+double bisectAttackRadius(const std::function<bool(double)> &Attack,
+                          double MaxRadius, int BisectSteps) {
+  double Bad = 0.0; // no adversarial known
+  double Good = 0.0;
+  double Probe = 1e-3;
+  while (Probe <= MaxRadius) {
+    if (Attack(Probe)) {
+      Good = Probe;
+      break;
+    }
+    Bad = Probe;
+    Probe *= 4.0;
+  }
+  if (Good == 0.0)
+    return MaxRadius; // the attack never succeeded; radius exceeds range
+  for (int I = 0; I < BisectSteps; ++I) {
+    double Mid = 0.5 * (Bad + Good);
+    if (Attack(Mid))
+      Good = Mid;
+    else
+      Bad = Mid;
+  }
+  return Good;
+}
+
+} // namespace
+
+void deept::attack::projectLpBall(Matrix &Delta, double P, double Radius) {
+  if (P == Matrix::InfNorm) {
+    Delta.apply([Radius](double V) {
+      return std::clamp(V, -Radius, Radius);
+    });
+    return;
+  }
+  if (P == 2.0) {
+    double Norm = Delta.lpNorm(2.0);
+    if (Norm > Radius && Norm > 0)
+      Delta *= Radius / Norm;
+    return;
+  }
+  assert(P == 1.0 && "unsupported norm");
+  projectL1(Delta, Radius);
+}
+
+bool deept::attack::attackTransformerLpBall(
+    const nn::TransformerModel &Model, const std::vector<size_t> &Tokens,
+    size_t Word, double P, double Radius, size_t TrueClass,
+    const AttackOptions &Opts) {
+  Matrix Base = Model.embed(Tokens);
+  size_t E = Model.Config.EmbedDim;
+  auto MarginAndGrad = [&](const Matrix &Delta, Matrix &Grad) {
+    Matrix X = Base;
+    for (size_t C = 0; C < E; ++C)
+      X.at(Word, C) += Delta.at(0, C);
+    Tape T;
+    auto Params = Model.pushParams(T);
+    ValueId XId = T.input(X);
+    ValueId Logits = Model.buildForward(T, XId, Params);
+    ValueId True = T.colSlice(Logits, TrueClass, TrueClass + 1);
+    ValueId False = T.colSlice(Logits, 1 - TrueClass, 2 - TrueClass);
+    ValueId Margin = T.sub(True, False);
+    T.backward(Margin);
+    for (size_t C = 0; C < E; ++C)
+      Grad.at(0, C) = T.grad(XId).at(Word, C);
+    return T.value(Margin).at(0, 0);
+  };
+  return pgdLoop(E, P, Radius, Opts, MarginAndGrad);
+}
+
+bool deept::attack::attackFeedForwardLpBall(const nn::FeedForwardNet &Net,
+                                            const Matrix &X0, double P,
+                                            double Radius, size_t TrueClass,
+                                            const AttackOptions &Opts) {
+  size_t Dim = Net.inputDim();
+  auto MarginAndGrad = [&](const Matrix &Delta, Matrix &Grad) {
+    Matrix X = X0 + Delta;
+    Tape T;
+    auto Params = Net.pushParams(T);
+    ValueId XId = T.input(X);
+    ValueId Logits = Net.buildForward(T, XId, Params);
+    ValueId True = T.colSlice(Logits, TrueClass, TrueClass + 1);
+    ValueId False = T.colSlice(Logits, 1 - TrueClass, 2 - TrueClass);
+    ValueId Margin = T.sub(True, False);
+    T.backward(Margin);
+    Grad = T.grad(XId);
+    return T.value(Margin).at(0, 0);
+  };
+  return pgdLoop(Dim, P, Radius, Opts, MarginAndGrad);
+}
+
+double deept::attack::minimalAdversarialRadiusFF(
+    const nn::FeedForwardNet &Net, const Matrix &X, double P,
+    size_t TrueClass, const AttackOptions &Opts, double MaxRadius,
+    int BisectSteps) {
+  return bisectAttackRadius(
+      [&](double R) {
+        return attackFeedForwardLpBall(Net, X, P, R, TrueClass, Opts);
+      },
+      MaxRadius, BisectSteps);
+}
+
+double deept::attack::minimalAdversarialRadiusTransformer(
+    const nn::TransformerModel &Model, const std::vector<size_t> &Tokens,
+    size_t Word, double P, size_t TrueClass, const AttackOptions &Opts,
+    double MaxRadius, int BisectSteps) {
+  return bisectAttackRadius(
+      [&](double R) {
+        return attackTransformerLpBall(Model, Tokens, Word, P, R, TrueClass,
+                                       Opts);
+      },
+      MaxRadius, BisectSteps);
+}

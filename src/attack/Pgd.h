@@ -1,0 +1,76 @@
+//===- attack/Pgd.h - Projected gradient attacks ---------------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Projected gradient descent attacks on the embedding space. Two roles:
+///
+/// * a soundness oracle for the verifiers (an adversarial example inside a
+///   certified region would disprove soundness; tests exploit this), and
+/// * the GeoCert stand-in of appendix A.2 (see DESIGN.md): bisection over
+///   the attack radius yields an *upper* bound on the exact pointwise
+///   robustness radius, the quantity GeoCert computes exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_ATTACK_PGD_H
+#define DEEPT_ATTACK_PGD_H
+
+#include "nn/FeedForwardNet.h"
+#include "nn/Transformer.h"
+
+#include <cstdint>
+
+namespace deept {
+namespace attack {
+
+using tensor::Matrix;
+
+struct AttackOptions {
+  int Steps = 60;
+  int Restarts = 3;
+  /// Step size as a fraction of the ball radius.
+  double StepScale = 0.25;
+  uint64_t Seed = 99;
+};
+
+/// Projects \p Delta onto the lp ball of radius \p Radius (in place).
+void projectLpBall(Matrix &Delta, double P, double Radius);
+
+/// PGD against a Transformer under threat model T1 (one perturbed word).
+/// Returns true when a misclassifying embedding inside the ball is found.
+bool attackTransformerLpBall(const nn::TransformerModel &Model,
+                             const std::vector<size_t> &Tokens, size_t Word,
+                             double P, double Radius, size_t TrueClass,
+                             const AttackOptions &Opts = AttackOptions());
+
+/// PGD against a feed-forward network around input \p X (1 x In).
+bool attackFeedForwardLpBall(const nn::FeedForwardNet &Net, const Matrix &X,
+                             double P, double Radius, size_t TrueClass,
+                             const AttackOptions &Opts = AttackOptions());
+
+/// Smallest radius (within bisection resolution) at which the PGD attack
+/// succeeds: an upper bound on the exact robustness radius.
+double minimalAdversarialRadiusFF(const nn::FeedForwardNet &Net,
+                                  const Matrix &X, double P,
+                                  size_t TrueClass,
+                                  const AttackOptions &Opts = AttackOptions(),
+                                  double MaxRadius = 64.0,
+                                  int BisectSteps = 10);
+
+/// Transformer analogue of minimalAdversarialRadiusFF.
+double
+minimalAdversarialRadiusTransformer(const nn::TransformerModel &Model,
+                                    const std::vector<size_t> &Tokens,
+                                    size_t Word, double P, size_t TrueClass,
+                                    const AttackOptions &Opts =
+                                        AttackOptions(),
+                                    double MaxRadius = 64.0,
+                                    int BisectSteps = 8);
+
+} // namespace attack
+} // namespace deept
+
+#endif // DEEPT_ATTACK_PGD_H

@@ -1,0 +1,51 @@
+//===- autograd/Adam.cpp --------------------------------------*- C++ -*-===//
+
+#include "autograd/Adam.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace deept;
+using namespace deept::autograd;
+
+size_t Adam::registerParam(Matrix *Param) {
+  Params.push_back(Param);
+  FirstMoment.emplace_back(Param->rows(), Param->cols(), 0.0);
+  SecondMoment.emplace_back(Param->rows(), Param->cols(), 0.0);
+  return Params.size() - 1;
+}
+
+void Adam::step(const std::vector<Matrix> &Grads) {
+  assert(Grads.size() == Params.size() && "gradient list mismatch");
+  ++StepCount;
+
+  double ClipScale = 1.0;
+  if (Opts.GradClipNorm > 0.0) {
+    double SumSq = 0.0;
+    for (const Matrix &G : Grads)
+      for (size_t I = 0; I < G.size(); ++I)
+        SumSq += G.flat(I) * G.flat(I);
+    double Norm = std::sqrt(SumSq);
+    if (Norm > Opts.GradClipNorm)
+      ClipScale = Opts.GradClipNorm / Norm;
+  }
+
+  double Bias1 = 1.0 - std::pow(Opts.Beta1, StepCount);
+  double Bias2 = 1.0 - std::pow(Opts.Beta2, StepCount);
+  for (size_t P = 0; P < Params.size(); ++P) {
+    Matrix &W = *Params[P];
+    Matrix &M = FirstMoment[P];
+    Matrix &V = SecondMoment[P];
+    const Matrix &G = Grads[P];
+    assert(G.rows() == W.rows() && G.cols() == W.cols() &&
+           "gradient shape mismatch");
+    for (size_t I = 0; I < W.size(); ++I) {
+      double Gi = G.flat(I) * ClipScale;
+      M.flat(I) = Opts.Beta1 * M.flat(I) + (1.0 - Opts.Beta1) * Gi;
+      V.flat(I) = Opts.Beta2 * V.flat(I) + (1.0 - Opts.Beta2) * Gi * Gi;
+      double MHat = M.flat(I) / Bias1;
+      double VHat = V.flat(I) / Bias2;
+      W.flat(I) -= Opts.LearningRate * MHat / (std::sqrt(VHat) + Opts.Epsilon);
+    }
+  }
+}

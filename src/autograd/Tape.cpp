@@ -1,0 +1,336 @@
+//===- autograd/Tape.cpp --------------------------------------*- C++ -*-===//
+
+#include "autograd/Tape.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace deept;
+using namespace deept::autograd;
+
+ValueId Tape::push(Matrix Val, std::function<void()> Backward) {
+  Node N;
+  N.Grad = Matrix(Val.rows(), Val.cols(), 0.0);
+  N.Val = std::move(Val);
+  N.Backward = std::move(Backward);
+  Nodes.push_back(std::move(N));
+  return static_cast<ValueId>(Nodes.size()) - 1;
+}
+
+ValueId Tape::input(Matrix Val) { return push(std::move(Val), {}); }
+
+ValueId Tape::add(ValueId A, ValueId B) {
+  ValueId Out = push(value(A) + value(B), {});
+  Nodes[Out].Backward = [this, A, B, Out] {
+    gradRef(A) += grad(Out);
+    gradRef(B) += grad(Out);
+  };
+  return Out;
+}
+
+ValueId Tape::sub(ValueId A, ValueId B) {
+  ValueId Out = push(value(A) - value(B), {});
+  Nodes[Out].Backward = [this, A, B, Out] {
+    gradRef(A) += grad(Out);
+    gradRef(B) -= grad(Out);
+  };
+  return Out;
+}
+
+ValueId Tape::scale(ValueId A, double S) {
+  ValueId Out = push(value(A) * S, {});
+  Nodes[Out].Backward = [this, A, Out, S] {
+    gradRef(A).addScaled(grad(Out), S);
+  };
+  return Out;
+}
+
+ValueId Tape::hadamard(ValueId A, ValueId B) {
+  ValueId Out = push(tensor::hadamard(value(A), value(B)), {});
+  Nodes[Out].Backward = [this, A, B, Out] {
+    gradRef(A) += tensor::hadamard(grad(Out), value(B));
+    gradRef(B) += tensor::hadamard(grad(Out), value(A));
+  };
+  return Out;
+}
+
+ValueId Tape::matmul(ValueId A, ValueId B) {
+  ValueId Out = push(tensor::matmul(value(A), value(B)), {});
+  Nodes[Out].Backward = [this, A, B, Out] {
+    gradRef(A) += tensor::matmulTransposedB(grad(Out), value(B));
+    gradRef(B) += tensor::matmulTransposedA(value(A), grad(Out));
+  };
+  return Out;
+}
+
+ValueId Tape::matmulTB(ValueId A, ValueId B) {
+  ValueId Out = push(tensor::matmulTransposedB(value(A), value(B)), {});
+  Nodes[Out].Backward = [this, A, B, Out] {
+    gradRef(A) += tensor::matmul(grad(Out), value(B));
+    gradRef(B) += tensor::matmulTransposedA(grad(Out), value(A));
+  };
+  return Out;
+}
+
+ValueId Tape::transpose(ValueId A) {
+  ValueId Out = push(value(A).transposed(), {});
+  Nodes[Out].Backward = [this, A, Out] {
+    gradRef(A) += grad(Out).transposed();
+  };
+  return Out;
+}
+
+ValueId Tape::addRowBroadcast(ValueId A, ValueId Bias) {
+  ValueId Out = push(tensor::addRowBroadcast(value(A), value(Bias)), {});
+  Nodes[Out].Backward = [this, A, Bias, Out] {
+    gradRef(A) += grad(Out);
+    Matrix &GB = gradRef(Bias);
+    const Matrix &GO = grad(Out);
+    for (size_t R = 0; R < GO.rows(); ++R)
+      for (size_t C = 0; C < GO.cols(); ++C)
+        GB.at(0, C) += GO.at(R, C);
+  };
+  return Out;
+}
+
+ValueId Tape::mulRowBroadcast(ValueId A, ValueId Gamma) {
+  const Matrix &X = value(A);
+  const Matrix &G = value(Gamma);
+  assert(G.rows() == 1 && G.cols() == X.cols() && "gamma shape mismatch");
+  Matrix Val = X;
+  for (size_t R = 0; R < X.rows(); ++R)
+    for (size_t C = 0; C < X.cols(); ++C)
+      Val.at(R, C) *= G.at(0, C);
+  ValueId Out = push(std::move(Val), {});
+  Nodes[Out].Backward = [this, A, Gamma, Out] {
+    const Matrix &GO = grad(Out);
+    const Matrix &XV = value(A);
+    const Matrix &GV = value(Gamma);
+    Matrix &GA = gradRef(A);
+    Matrix &GG = gradRef(Gamma);
+    for (size_t R = 0; R < GO.rows(); ++R)
+      for (size_t C = 0; C < GO.cols(); ++C) {
+        GA.at(R, C) += GO.at(R, C) * GV.at(0, C);
+        GG.at(0, C) += GO.at(R, C) * XV.at(R, C);
+      }
+  };
+  return Out;
+}
+
+ValueId Tape::mulColBroadcast(ValueId A, ValueId Scale) {
+  const Matrix &X = value(A);
+  const Matrix &S = value(Scale);
+  assert(S.cols() == 1 && S.rows() == X.rows() && "scale shape mismatch");
+  Matrix Val = X;
+  for (size_t R = 0; R < X.rows(); ++R)
+    for (size_t C = 0; C < X.cols(); ++C)
+      Val.at(R, C) *= S.at(R, 0);
+  ValueId Out = push(std::move(Val), {});
+  Nodes[Out].Backward = [this, A, Scale, Out] {
+    const Matrix &GO = grad(Out);
+    const Matrix &XV = value(A);
+    const Matrix &SV = value(Scale);
+    Matrix &GA = gradRef(A);
+    Matrix &GS = gradRef(Scale);
+    for (size_t R = 0; R < GO.rows(); ++R)
+      for (size_t C = 0; C < GO.cols(); ++C) {
+        GA.at(R, C) += GO.at(R, C) * SV.at(R, 0);
+        GS.at(R, 0) += GO.at(R, C) * XV.at(R, C);
+      }
+  };
+  return Out;
+}
+
+ValueId Tape::relu(ValueId A) {
+  ValueId Out = push(value(A).map([](double X) { return X > 0 ? X : 0.0; }),
+                     {});
+  Nodes[Out].Backward = [this, A, Out] {
+    const Matrix &GO = grad(Out);
+    const Matrix &XV = value(A);
+    Matrix &GA = gradRef(A);
+    for (size_t I = 0; I < GO.size(); ++I)
+      if (XV.flat(I) > 0.0)
+        GA.flat(I) += GO.flat(I);
+  };
+  return Out;
+}
+
+ValueId Tape::tanhOp(ValueId A) {
+  ValueId Out =
+      push(value(A).map([](double X) { return std::tanh(X); }), {});
+  Nodes[Out].Backward = [this, A, Out] {
+    const Matrix &GO = grad(Out);
+    const Matrix &Y = value(Out);
+    Matrix &GA = gradRef(A);
+    for (size_t I = 0; I < GO.size(); ++I)
+      GA.flat(I) += GO.flat(I) * (1.0 - Y.flat(I) * Y.flat(I));
+  };
+  return Out;
+}
+
+ValueId Tape::recip(ValueId A) {
+  ValueId Out = push(value(A).map([](double X) { return 1.0 / X; }), {});
+  Nodes[Out].Backward = [this, A, Out] {
+    const Matrix &GO = grad(Out);
+    const Matrix &Y = value(Out);
+    Matrix &GA = gradRef(A);
+    for (size_t I = 0; I < GO.size(); ++I)
+      GA.flat(I) -= GO.flat(I) * Y.flat(I) * Y.flat(I);
+  };
+  return Out;
+}
+
+ValueId Tape::sqrtOp(ValueId A) {
+  ValueId Out =
+      push(value(A).map([](double X) { return std::sqrt(X); }), {});
+  Nodes[Out].Backward = [this, A, Out] {
+    const Matrix &GO = grad(Out);
+    const Matrix &Y = value(Out);
+    Matrix &GA = gradRef(A);
+    for (size_t I = 0; I < GO.size(); ++I)
+      GA.flat(I) += GO.flat(I) * 0.5 / std::max(Y.flat(I), 1e-12);
+  };
+  return Out;
+}
+
+ValueId Tape::rowSoftmax(ValueId A) {
+  ValueId Out = push(tensor::rowSoftmax(value(A)), {});
+  Nodes[Out].Backward = [this, A, Out] {
+    const Matrix &GO = grad(Out);
+    const Matrix &Y = value(Out);
+    Matrix &GA = gradRef(A);
+    for (size_t R = 0; R < GO.rows(); ++R) {
+      double Dot = 0.0;
+      for (size_t C = 0; C < GO.cols(); ++C)
+        Dot += GO.at(R, C) * Y.at(R, C);
+      for (size_t C = 0; C < GO.cols(); ++C)
+        GA.at(R, C) += Y.at(R, C) * (GO.at(R, C) - Dot);
+    }
+  };
+  return Out;
+}
+
+ValueId Tape::subRowMean(ValueId A) {
+  const Matrix &X = value(A);
+  Matrix Means = X.rowMeans();
+  Matrix Val = X;
+  for (size_t R = 0; R < X.rows(); ++R)
+    for (size_t C = 0; C < X.cols(); ++C)
+      Val.at(R, C) -= Means.at(R, 0);
+  ValueId Out = push(std::move(Val), {});
+  Nodes[Out].Backward = [this, A, Out] {
+    const Matrix &GO = grad(Out);
+    Matrix GM = GO.rowMeans();
+    Matrix &GA = gradRef(A);
+    for (size_t R = 0; R < GO.rows(); ++R)
+      for (size_t C = 0; C < GO.cols(); ++C)
+        GA.at(R, C) += GO.at(R, C) - GM.at(R, 0);
+  };
+  return Out;
+}
+
+ValueId Tape::rowMeans(ValueId A) {
+  ValueId Out = push(value(A).rowMeans(), {});
+  Nodes[Out].Backward = [this, A, Out] {
+    const Matrix &GO = grad(Out);
+    Matrix &GA = gradRef(A);
+    double InvC = 1.0 / static_cast<double>(GA.cols());
+    for (size_t R = 0; R < GA.rows(); ++R)
+      for (size_t C = 0; C < GA.cols(); ++C)
+        GA.at(R, C) += GO.at(R, 0) * InvC;
+  };
+  return Out;
+}
+
+ValueId Tape::colSlice(ValueId A, size_t C0, size_t C1) {
+  ValueId Out = push(value(A).colSlice(C0, C1), {});
+  Nodes[Out].Backward = [this, A, Out, C0] {
+    const Matrix &GO = grad(Out);
+    Matrix &GA = gradRef(A);
+    for (size_t R = 0; R < GO.rows(); ++R)
+      for (size_t C = 0; C < GO.cols(); ++C)
+        GA.at(R, C0 + C) += GO.at(R, C);
+  };
+  return Out;
+}
+
+ValueId Tape::rowSlice(ValueId A, size_t R0, size_t R1) {
+  ValueId Out = push(value(A).rowSlice(R0, R1), {});
+  Nodes[Out].Backward = [this, A, Out, R0] {
+    const Matrix &GO = grad(Out);
+    Matrix &GA = gradRef(A);
+    for (size_t R = 0; R < GO.rows(); ++R)
+      for (size_t C = 0; C < GO.cols(); ++C)
+        GA.at(R0 + R, C) += GO.at(R, C);
+  };
+  return Out;
+}
+
+ValueId Tape::concatCols(const std::vector<ValueId> &Parts) {
+  assert(!Parts.empty() && "concatCols of nothing");
+  size_t Rows = value(Parts[0]).rows();
+  size_t Cols = 0;
+  for (ValueId P : Parts)
+    Cols += value(P).cols();
+  Matrix Val(Rows, Cols);
+  size_t C0 = 0;
+  for (ValueId P : Parts) {
+    Val.setBlock(0, C0, value(P));
+    C0 += value(P).cols();
+  }
+  ValueId Out = push(std::move(Val), {});
+  std::vector<ValueId> PartsCopy = Parts;
+  Nodes[Out].Backward = [this, PartsCopy, Out] {
+    const Matrix &GO = grad(Out);
+    size_t Off = 0;
+    for (ValueId P : PartsCopy) {
+      Matrix &GP = gradRef(P);
+      for (size_t R = 0; R < GP.rows(); ++R)
+        for (size_t C = 0; C < GP.cols(); ++C)
+          GP.at(R, C) += GO.at(R, Off + C);
+      Off += GP.cols();
+    }
+  };
+  return Out;
+}
+
+ValueId Tape::gatherRows(ValueId A, std::vector<size_t> Rows) {
+  const Matrix &X = value(A);
+  Matrix Val(Rows.size(), X.cols());
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    assert(Rows[I] < X.rows() && "gather row out of range");
+    Val.setBlock(I, 0, X.rowSlice(Rows[I], Rows[I] + 1));
+  }
+  ValueId Out = push(std::move(Val), {});
+  Nodes[Out].Backward = [this, A, Out, Rows = std::move(Rows)] {
+    const Matrix &GO = grad(Out);
+    Matrix &GA = gradRef(A);
+    for (size_t I = 0; I < Rows.size(); ++I)
+      for (size_t C = 0; C < GO.cols(); ++C)
+        GA.at(Rows[I], C) += GO.at(I, C);
+  };
+  return Out;
+}
+
+ValueId Tape::crossEntropyLogits(ValueId Logits, size_t Label) {
+  const Matrix &L = value(Logits);
+  assert(L.rows() == 1 && Label < L.cols() && "bad logits/label");
+  Matrix P = tensor::rowSoftmax(L);
+  Matrix Val(1, 1, -std::log(std::max(P.at(0, Label), 1e-300)));
+  ValueId Out = push(std::move(Val), {});
+  Nodes[Out].Backward = [this, Logits, Out, Label, P = std::move(P)] {
+    double G = grad(Out).at(0, 0);
+    Matrix &GL = gradRef(Logits);
+    for (size_t C = 0; C < GL.cols(); ++C)
+      GL.at(0, C) += G * (P.at(0, C) - (C == Label ? 1.0 : 0.0));
+  };
+  return Out;
+}
+
+void Tape::backward(ValueId Loss) {
+  assert(value(Loss).size() == 1 && "backward needs a scalar loss");
+  gradRef(Loss).flat(0) = 1.0;
+  for (size_t I = Nodes.size(); I-- > 0;)
+    if (Nodes[I].Backward)
+      Nodes[I].Backward();
+}

@@ -1,0 +1,103 @@
+//===- autograd/Tape.h - Reverse-mode autodiff tape ------------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small tape-based reverse-mode automatic differentiation engine over
+/// tensor::Matrix. It provides exactly the operations the Transformer
+/// (and the feed-forward baseline) needs for training; the paper's
+/// evaluation trains its networks with PyTorch, which this module stands
+/// in for.
+///
+/// Usage: create a Tape per training step, feed parameters and inputs with
+/// input(), build the forward computation with the op methods, call
+/// backward() on the (scalar) loss, and read grad() of each parameter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_AUTOGRAD_TAPE_H
+#define DEEPT_AUTOGRAD_TAPE_H
+
+#include "tensor/Matrix.h"
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace deept {
+namespace autograd {
+
+using tensor::Matrix;
+
+/// Index of a value on the tape.
+using ValueId = int;
+
+/// Reverse-mode autodiff tape. All op methods record a node whose backward
+/// closure scatters the output gradient to its inputs.
+class Tape {
+public:
+  /// Adds a leaf value. Gradients are accumulated for every node; leaves
+  /// are simply nodes without a backward closure.
+  ValueId input(Matrix Val);
+
+  const Matrix &value(ValueId Id) const { return Nodes[Id].Val; }
+  const Matrix &grad(ValueId Id) const { return Nodes[Id].Grad; }
+
+  // Arithmetic.
+  ValueId add(ValueId A, ValueId B);
+  ValueId sub(ValueId A, ValueId B);
+  ValueId scale(ValueId A, double S);
+  ValueId hadamard(ValueId A, ValueId B);
+  ValueId matmul(ValueId A, ValueId B);
+  /// C = A * B^T.
+  ValueId matmulTB(ValueId A, ValueId B);
+  ValueId transpose(ValueId A);
+
+  // Broadcasting (Bias/Gamma are 1 x C, Scale is N x 1).
+  ValueId addRowBroadcast(ValueId A, ValueId Bias);
+  ValueId mulRowBroadcast(ValueId A, ValueId Gamma);
+  ValueId mulColBroadcast(ValueId A, ValueId Scale);
+
+  // Nonlinearities.
+  ValueId relu(ValueId A);
+  ValueId tanhOp(ValueId A);
+  ValueId recip(ValueId A);
+  ValueId sqrtOp(ValueId A);
+  ValueId rowSoftmax(ValueId A);
+
+  // Structure.
+  ValueId subRowMean(ValueId A);
+  ValueId rowMeans(ValueId A);
+  ValueId colSlice(ValueId A, size_t C0, size_t C1);
+  ValueId rowSlice(ValueId A, size_t R0, size_t R1);
+  ValueId concatCols(const std::vector<ValueId> &Parts);
+  /// Gathers rows of A by index (embedding lookup); backward scatter-adds.
+  ValueId gatherRows(ValueId A, std::vector<size_t> Rows);
+
+  /// Scalar loss: -log softmax(Logits)[Label] for a 1 x K logits row.
+  ValueId crossEntropyLogits(ValueId Logits, size_t Label);
+
+  /// Runs the backward sweep from the scalar node \p Loss (seeds its
+  /// gradient with 1 and accumulates into all ancestors).
+  void backward(ValueId Loss);
+
+  size_t size() const { return Nodes.size(); }
+
+private:
+  struct Node {
+    Matrix Val;
+    Matrix Grad;
+    std::function<void()> Backward; // empty for leaves
+  };
+  std::vector<Node> Nodes;
+
+  ValueId push(Matrix Val, std::function<void()> Backward);
+  Matrix &gradRef(ValueId Id) { return Nodes[Id].Grad; }
+};
+
+} // namespace autograd
+} // namespace deept
+
+#endif // DEEPT_AUTOGRAD_TAPE_H

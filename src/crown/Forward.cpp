@@ -1,0 +1,221 @@
+//===- crown/Forward.cpp --------------------------------------*- C++ -*-===//
+
+#include "crown/Forward.h"
+
+#include "crown/Relaxations.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+using namespace deept;
+using namespace deept::crown;
+using tensor::dualExponent;
+
+namespace {
+
+/// Linear lower/upper bounds of a node in terms of [input; 1]: each is
+/// Dim x (InDim + 1), the last column being the constant offset.
+struct NodeBounds {
+  Matrix FL, FU;
+};
+
+size_t nodeBoundsBytes(const NodeBounds &B) {
+  return (B.FL.size() + B.FU.size()) * sizeof(double);
+}
+
+/// Concretizes one coefficient row against the input perturbation
+/// (Lemma 1). Lower when IsLower, upper otherwise.
+double concretizeRow(const double *Row, size_t InDim, const InputSpec &Spec,
+                     bool IsLower) {
+  double Value = Row[InDim]; // constant offset
+  for (size_t J = 0; J < InDim; ++J)
+    Value += Row[J] * Spec.Center.flat(J);
+  double Dual = 0.0;
+  if (Spec.P == Matrix::InfNorm) {
+    for (size_t J = 0; J < InDim; ++J)
+      Dual += std::fabs(Row[J]) * Spec.Radius.flat(J);
+  } else {
+    double Q = dualExponent(Spec.P);
+    double Eps = 0.0, Acc = 0.0;
+    for (size_t J = 0; J < InDim; ++J) {
+      double Rad = Spec.Radius.flat(J);
+      if (Rad == 0.0)
+        continue;
+      Eps = Rad;
+      double V = std::fabs(Row[J]);
+      if (Q == 1.0)
+        Acc += V;
+      else if (Q == 2.0)
+        Acc += V * V;
+      else
+        Acc = std::max(Acc, V);
+    }
+    if (Q == 2.0)
+      Acc = std::sqrt(Acc);
+    Dual = Eps * Acc;
+  }
+  return IsLower ? Value - Dual : Value + Dual;
+}
+
+/// Adds Scale * (Scale > 0 ? Src chosen by polarity) into Dst.
+/// For a lower-bound row: positive coefficients take the source's lower
+/// row, negative ones its upper row (and mirrored for upper bounds).
+void accumulateSigned(double *Dst, double Scale, const double *SrcPreferred,
+                      const double *SrcOther, size_t Width) {
+  const double *Src = Scale >= 0 ? SrcPreferred : SrcOther;
+  if (Scale == 0.0)
+    return;
+  for (size_t J = 0; J < Width; ++J)
+    Dst[J] += Scale * Src[J];
+}
+
+} // namespace
+
+bool deept::crown::computeForwardBounds(Graph &G, const ForwardOptions &Opts,
+                                        size_t *PeakBytes,
+                                        size_t *TotalBytes) {
+  const InputSpec &Spec = G.inputSpec();
+  size_t InDim = Spec.Center.cols();
+  size_t Width = InDim + 1;
+
+  // Last consumer of each node, so coefficient matrices are freed as
+  // early as possible (forward memory is then depth-independent).
+  std::vector<int> LastUse(G.size(), -1);
+  for (size_t I = 0; I < G.size(); ++I) {
+    const Node &N = G.node(static_cast<int>(I));
+    if (N.In0 >= 0)
+      LastUse[N.In0] = static_cast<int>(I);
+    if (N.In1 >= 0)
+      LastUse[N.In1] = static_cast<int>(I);
+  }
+
+  std::map<int, NodeBounds> Live;
+  size_t LiveBytes = 0, Peak = 0, Total = 0;
+  bool Exceeded = false;
+  auto Track = [&](const NodeBounds &B) {
+    LiveBytes += nodeBoundsBytes(B);
+    Total += nodeBoundsBytes(B);
+    Peak = std::max(Peak, LiveBytes);
+    if (Opts.MemoryBudgetBytes > 0 &&
+        std::max(Peak, Total) > Opts.MemoryBudgetBytes)
+      Exceeded = true;
+  };
+  auto Release = [&](int Id) {
+    auto It = Live.find(Id);
+    if (It == Live.end())
+      return;
+    LiveBytes -= nodeBoundsBytes(It->second);
+    Live.erase(It);
+  };
+
+  for (size_t I = 0; I < G.size() && !Exceeded; ++I) {
+    Node &N = G.node(static_cast<int>(I));
+    NodeBounds B;
+    B.FL = Matrix(N.Dim, Width);
+    B.FU = Matrix(N.Dim, Width);
+
+    switch (N.Kind) {
+    case NodeKind::Input:
+      for (size_t J = 0; J < N.Dim; ++J) {
+        B.FL.at(J, J) = 1.0;
+        B.FU.at(J, J) = 1.0;
+      }
+      break;
+
+    case NodeKind::Affine: {
+      const NodeBounds &In = Live.at(N.In0);
+      for (const Triplet &T : N.W) {
+        accumulateSigned(B.FL.rowPtr(T.Out), T.V, In.FL.rowPtr(T.In),
+                         In.FU.rowPtr(T.In), Width);
+        accumulateSigned(B.FU.rowPtr(T.Out), T.V, In.FU.rowPtr(T.In),
+                         In.FL.rowPtr(T.In), Width);
+      }
+      for (size_t J = 0; J < N.Dim; ++J) {
+        B.FL.at(J, InDim) += N.B.flat(J);
+        B.FU.at(J, InDim) += N.B.flat(J);
+      }
+      break;
+    }
+
+    case NodeKind::AddTwo: {
+      const NodeBounds &A = Live.at(N.In0);
+      const NodeBounds &C = Live.at(N.In1);
+      B.FL = A.FL + C.FL;
+      B.FU = A.FU + C.FU;
+      break;
+    }
+
+    case NodeKind::Unary: {
+      const Node &InNode = G.node(N.In0);
+      const NodeBounds &In = Live.at(N.In0);
+      assert(InNode.HasBounds && "forward order violated");
+      for (size_t J = 0; J < N.Dim; ++J) {
+        TwoLines T = unaryLines(N.Fn, InNode.Lo.flat(J), InNode.Hi.flat(J));
+        accumulateSigned(B.FL.rowPtr(J), T.LowerSlope, In.FL.rowPtr(J),
+                         In.FU.rowPtr(J), Width);
+        B.FL.at(J, InDim) += T.LowerOffset;
+        accumulateSigned(B.FU.rowPtr(J), T.UpperSlope, In.FU.rowPtr(J),
+                         In.FL.rowPtr(J), Width);
+        B.FU.at(J, InDim) += T.UpperOffset;
+      }
+      break;
+    }
+
+    case NodeKind::Mul: {
+      const Node &XN = G.node(N.In0);
+      const Node &YN = G.node(N.In1);
+      const NodeBounds &X = Live.at(N.In0);
+      const NodeBounds &Y = Live.at(N.In1);
+      assert(XN.HasBounds && YN.HasBounds && "forward order violated");
+      for (size_t J = 0; J < N.Dim; ++J) {
+        MulLines M = mulLines(XN.Lo.flat(J), XN.Hi.flat(J), YN.Lo.flat(J),
+                              YN.Hi.flat(J));
+        accumulateSigned(B.FL.rowPtr(J), M.ALo, X.FL.rowPtr(J),
+                         X.FU.rowPtr(J), Width);
+        accumulateSigned(B.FL.rowPtr(J), M.BLo, Y.FL.rowPtr(J),
+                         Y.FU.rowPtr(J), Width);
+        B.FL.at(J, InDim) += M.CLo;
+        accumulateSigned(B.FU.rowPtr(J), M.AUp, X.FU.rowPtr(J),
+                         X.FL.rowPtr(J), Width);
+        accumulateSigned(B.FU.rowPtr(J), M.BUp, Y.FU.rowPtr(J),
+                         Y.FL.rowPtr(J), Width);
+        B.FU.at(J, InDim) += M.CUp;
+      }
+      break;
+    }
+    }
+
+    // Concretize interval bounds (needed by downstream relaxations).
+    if (!N.HasBounds) {
+      N.Lo = Matrix(1, N.Dim);
+      N.Hi = Matrix(1, N.Dim);
+      constexpr double HugeBound = 1e100;
+      for (size_t J = 0; J < N.Dim; ++J) {
+        double L = concretizeRow(B.FL.rowPtr(J), InDim, Spec, true);
+        double U = concretizeRow(B.FU.rowPtr(J), InDim, Spec, false);
+        if (!(L <= U) || std::isnan(L) || std::isnan(U)) {
+          L = -HugeBound;
+          U = HugeBound;
+        }
+        N.Lo.flat(J) = std::clamp(L, -HugeBound, HugeBound);
+        N.Hi.flat(J) = std::clamp(U, -HugeBound, HugeBound);
+      }
+      N.HasBounds = true;
+    }
+
+    Track(B);
+    Live.emplace(static_cast<int>(I), std::move(B));
+    // Free operands whose last consumer this node was.
+    if (N.In0 >= 0 && LastUse[N.In0] == static_cast<int>(I))
+      Release(N.In0);
+    if (N.In1 >= 0 && N.In1 != N.In0 && LastUse[N.In1] == static_cast<int>(I))
+      Release(N.In1);
+  }
+  if (PeakBytes)
+    *PeakBytes = Peak;
+  if (TotalBytes)
+    *TotalBytes = Total;
+  return !Exceeded;
+}

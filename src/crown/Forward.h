@@ -1,0 +1,47 @@
+//===- crown/Forward.h - Forward linear bound propagation ------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "forward" half of CROWN-BaF (Shi et al. 2020): every node carries
+/// two linear functions of the *input*,
+///
+///   FL [x; 1] <= node <= FU [x; 1],
+///
+/// propagated forward through the graph in one pass (sign-splitting at
+/// relaxations), and concretized against the input perturbation with the
+/// dual norm whenever interval bounds are needed. This keeps relational
+/// information about the input (much tighter than interval frontiers) at
+/// a cost linear in depth; precision still decays with depth because each
+/// relaxation compounds, which is exactly the BaF behaviour the paper
+/// exploits (Tables 1-2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_CROWN_FORWARD_H
+#define DEEPT_CROWN_FORWARD_H
+
+#include "crown/Graph.h"
+
+namespace deept {
+namespace crown {
+
+struct ForwardOptions {
+  /// Abort when the live forward coefficient matrices (peak) or the
+  /// cumulative allocation volume exceed this many bytes (0 = unlimited);
+  /// models GPU memory exhaustion.
+  size_t MemoryBudgetBytes = 0;
+};
+
+/// Fills Node::Lo / Node::Hi for every node with forward-propagated
+/// linear bounds. Returns false when the memory budget is exceeded.
+bool computeForwardBounds(Graph &G, const ForwardOptions &Opts,
+                          size_t *PeakBytes = nullptr,
+                          size_t *TotalBytes = nullptr);
+
+} // namespace crown
+} // namespace deept
+
+#endif // DEEPT_CROWN_FORWARD_H

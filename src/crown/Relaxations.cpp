@@ -1,0 +1,173 @@
+//===- crown/Relaxations.cpp ----------------------------------*- C++ -*-===//
+
+#include "crown/Relaxations.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace deept;
+using namespace deept::crown;
+
+namespace {
+
+constexpr double DegenerateWidth = 1e-9;
+constexpr double ExpClampExponent = 100.0;
+
+double clampedExp(double X) { return std::exp(std::min(X, ExpClampExponent)); }
+
+TwoLines constantLines(double FLo, double FHi) {
+  TwoLines T;
+  T.LowerOffset = FLo;
+  T.UpperOffset = FHi;
+  return T;
+}
+
+TwoLines reluLines(double L, double U) {
+  TwoLines T;
+  if (U <= 0)
+    return T; // y = 0 on both sides
+  if (L >= 0) {
+    T.LowerSlope = T.UpperSlope = 1.0;
+    return T;
+  }
+  // Upper: the chord through (l, 0) and (u, u). Lower: the adaptive CROWN
+  // choice y >= x if u >= -l else y >= 0.
+  T.UpperSlope = U / (U - L);
+  T.UpperOffset = -T.UpperSlope * L;
+  T.LowerSlope = (U >= -L) ? 1.0 : 0.0;
+  return T;
+}
+
+TwoLines tanhLines(double L, double U) {
+  if (U - L < DegenerateWidth)
+    return constantLines(std::tanh(L), std::tanh(U));
+  double TL = std::tanh(L), TU = std::tanh(U);
+  double Chord = (TU - TL) / (U - L);
+  TwoLines T;
+  if (L >= 0) {
+    // Concave region: chord below, tangent at the midpoint above.
+    T.LowerSlope = Chord;
+    T.LowerOffset = TL - Chord * L;
+    double M = 0.5 * (L + U), TM = std::tanh(M);
+    T.UpperSlope = 1.0 - TM * TM;
+    T.UpperOffset = TM - T.UpperSlope * M;
+  } else if (U <= 0) {
+    // Convex region: tangent below, chord above.
+    double M = 0.5 * (L + U), TM = std::tanh(M);
+    T.LowerSlope = 1.0 - TM * TM;
+    T.LowerOffset = TM - T.LowerSlope * M;
+    T.UpperSlope = Chord;
+    T.UpperOffset = TL - Chord * L;
+  } else {
+    // Mixed: endpoint-anchored lines with the smaller endpoint derivative
+    // (DeepPoly's S-shape rule).
+    double Slope = std::min(1.0 - TL * TL, 1.0 - TU * TU);
+    T.LowerSlope = Slope;
+    T.LowerOffset = TL - Slope * L;
+    T.UpperSlope = Slope;
+    T.UpperOffset = TU - Slope * U;
+  }
+  return T;
+}
+
+TwoLines expLines(double L, double U) {
+  double EL = clampedExp(L), EU = clampedExp(U);
+  if (U - L < DegenerateWidth)
+    return constantLines(EL, EU);
+  TwoLines T;
+  // Convex: tangent below (at the chord-matching point, clamped into the
+  // range), chord above.
+  double Chord = (EU - EL) / (U - L);
+  double D = std::log(std::max(Chord, 1e-300));
+  D = std::clamp(D, L, U);
+  double ED = clampedExp(D);
+  T.LowerSlope = ED;
+  T.LowerOffset = ED - ED * D;
+  T.UpperSlope = Chord;
+  T.UpperOffset = EL - Chord * L;
+  return T;
+}
+
+TwoLines recipLines(double L, double U) {
+  L = std::max(L, 1e-12);
+  U = std::max(U, L);
+  if (U - L < DegenerateWidth)
+    return constantLines(1.0 / U, 1.0 / L);
+  TwoLines T;
+  // Convex decreasing: tangent below at sqrt(lu), chord above.
+  double D = std::sqrt(L * U);
+  T.LowerSlope = -1.0 / (D * D);
+  T.LowerOffset = 2.0 / D;
+  double Chord = (1.0 / U - 1.0 / L) / (U - L);
+  T.UpperSlope = Chord;
+  T.UpperOffset = 1.0 / L - Chord * L;
+  return T;
+}
+
+TwoLines sqrtLines(double L, double U) {
+  L = std::max(L, 0.0);
+  U = std::max(U, L);
+  if (U - L < DegenerateWidth)
+    return constantLines(std::sqrt(L), std::sqrt(U));
+  double SL = std::sqrt(L), SU = std::sqrt(U);
+  double Chord = 1.0 / (SL + SU);
+  TwoLines T;
+  // Concave: chord below, tangent above at the chord-matching point.
+  T.LowerSlope = Chord;
+  T.LowerOffset = SL - Chord * L;
+  double SD = 0.5 * (SL + SU); // sqrt of the tangent point
+  T.UpperSlope = Chord;
+  T.UpperOffset = SD - Chord * SD * SD;
+  return T;
+}
+
+} // namespace
+
+TwoLines deept::crown::unaryLines(UnaryFn Fn, double L, double U) {
+  if (L > U)
+    L = U; // tolerate numerically inverted inputs from saturated regimes
+  switch (Fn) {
+  case UnaryFn::Relu:
+    return reluLines(L, U);
+  case UnaryFn::Tanh:
+    return tanhLines(L, U);
+  case UnaryFn::Exp:
+    return expLines(L, U);
+  case UnaryFn::Recip:
+    return recipLines(L, U);
+  case UnaryFn::Sqrt:
+    return sqrtLines(L, U);
+  }
+  return TwoLines();
+}
+
+MulLines deept::crown::mulLines(double LX, double UX, double LY, double UY) {
+  MulLines M;
+  double MX = 0.5 * (LX + UX), MY = 0.5 * (LY + UY);
+  // Lower envelopes: z >= ly x + lx y - lx ly and z >= uy x + ux y - ux uy.
+  double Lo1 = LY * MX + LX * MY - LX * LY;
+  double Lo2 = UY * MX + UX * MY - UX * UY;
+  if (Lo1 >= Lo2) {
+    M.ALo = LY;
+    M.BLo = LX;
+    M.CLo = -LX * LY;
+  } else {
+    M.ALo = UY;
+    M.BLo = UX;
+    M.CLo = -UX * UY;
+  }
+  // Upper envelopes: z <= uy x + lx y - lx uy and z <= ly x + ux y - ux ly.
+  double Up1 = UY * MX + LX * MY - LX * UY;
+  double Up2 = LY * MX + UX * MY - UX * LY;
+  if (Up1 <= Up2) {
+    M.AUp = UY;
+    M.BUp = LX;
+    M.CUp = -LX * UY;
+  } else {
+    M.AUp = LY;
+    M.BUp = UX;
+    M.CUp = -UX * LY;
+  }
+  return M;
+}

@@ -1,0 +1,50 @@
+//===- crown/Relaxations.h - CROWN linear relaxations ----------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-element linear relaxations used by the CROWN backsubstitution:
+/// each nonlinearity y = f(x) on [l, u] is bracketed by two lines
+///
+///   LowerSlope * x + LowerOffset <= f(x) <= UpperSlope * x + UpperOffset,
+///
+/// with *independent* slopes per side (unlike the zonotope transformers,
+/// whose single shared slope is what makes them cheaper but looser --
+/// exactly the trade-off between CROWN-Backward and DeepT the paper
+/// discusses in Section 5.4). Multiplication uses the McCormick
+/// envelopes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_CROWN_RELAXATIONS_H
+#define DEEPT_CROWN_RELAXATIONS_H
+
+#include "crown/Graph.h"
+
+namespace deept {
+namespace crown {
+
+struct TwoLines {
+  double LowerSlope = 0.0, LowerOffset = 0.0;
+  double UpperSlope = 0.0, UpperOffset = 0.0;
+};
+
+/// Relaxation of a unary function on [L, U].
+TwoLines unaryLines(UnaryFn Fn, double L, double U);
+
+/// McCormick relaxation of z = x * y over the box [LX, UX] x [LY, UY]:
+///   z >= Alo * x + Blo * y + Clo,   z <= Aup * x + Bup * y + Cup.
+/// Of the two valid envelopes per side, the one tighter at the box center
+/// is chosen.
+struct MulLines {
+  double ALo, BLo, CLo;
+  double AUp, BUp, CUp;
+};
+MulLines mulLines(double LX, double UX, double LY, double UY);
+
+} // namespace crown
+} // namespace deept
+
+#endif // DEEPT_CROWN_RELAXATIONS_H

@@ -1,0 +1,49 @@
+//===- crown/TransformerGraph.h - Transformer -> bound graph ---*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a TransformerModel applied to a concrete sentence into the
+/// crown::Graph representation. The whole sequence activation is one node
+/// of dimension N*E (row-major); self-attention's bilinear pieces are
+/// expressed with broadcast Affine nodes feeding Mul nodes; softmax is the
+/// naive exp / sum / reciprocal / multiplication composition the CROWN
+/// baselines use (Section 5.4 -- the stable rewrite is DeepT's edge).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_CROWN_TRANSFORMERGRAPH_H
+#define DEEPT_CROWN_TRANSFORMERGRAPH_H
+
+#include "crown/Graph.h"
+#include "nn/Transformer.h"
+
+namespace deept {
+namespace crown {
+
+struct BuiltGraph {
+  Graph G;
+  int Logits = -1; // 1 x 2 node
+  int Margin = -1; // 1 x 1 node: logits[True] - logits[1 - True]
+};
+
+/// Builds the graph for a sentence whose input embedding is perturbed per
+/// \p Spec (center must be the flattened N x E embedding matrix).
+BuiltGraph buildTransformerGraph(const nn::TransformerModel &Model,
+                                 size_t SeqLen, InputSpec Spec,
+                                 size_t TrueClass);
+
+/// T1 input spec: lp ball of radius \p Radius on word \p Word.
+InputSpec lpBallSpec(const nn::TransformerModel &Model,
+                     const std::vector<size_t> &Tokens, size_t Word,
+                     double P, double Radius);
+
+/// T2 input spec: per-dimension box over synonym embeddings.
+InputSpec boxSpec(const tensor::Matrix &Lo, const tensor::Matrix &Hi);
+
+} // namespace crown
+} // namespace deept
+
+#endif // DEEPT_CROWN_TRANSFORMERGRAPH_H

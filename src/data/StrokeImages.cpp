@@ -1,0 +1,34 @@
+//===- data/StrokeImages.cpp ----------------------------------*- C++ -*-===//
+
+#include "data/StrokeImages.h"
+
+#include <algorithm>
+
+using namespace deept;
+using namespace deept::data;
+
+std::vector<ImageExample> deept::data::makeStrokeImages(size_t N,
+                                                        support::Rng &Rng,
+                                                        size_t Side) {
+  std::vector<ImageExample> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    ImageExample Ex;
+    Ex.Label = Rng.uniformInt(2);
+    Matrix Img(Side, Side);
+    // Background noise.
+    for (size_t V = 0; V < Img.size(); ++V)
+      Img.flat(V) = Rng.uniform(0.0, 0.15);
+    size_t Pos = 1 + Rng.uniformInt(Side - 2);
+    double Bright = Rng.uniform(0.75, 1.0);
+    for (size_t K = 0; K < Side; ++K) {
+      if (Ex.Label == 0)
+        Img.at(K, Pos) = std::min(1.0, Bright + Rng.uniform(-0.1, 0.1));
+      else
+        Img.at(Pos, K) = std::min(1.0, Bright + Rng.uniform(-0.1, 0.1));
+    }
+    Ex.Pixels = Img.reshaped(1, Side * Side);
+    Out.push_back(std::move(Ex));
+  }
+  return Out;
+}

@@ -1,0 +1,43 @@
+//===- data/StrokeImages.h - Synthetic two-class images --------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic synthetic stand-in for the binary MNIST subsets of the
+/// paper's appendices (A.2: digits 1 vs 7 for the feed-forward network;
+/// A.3: image classification with a Vision Transformer). Images contain a
+/// bright vertical stroke (class 0) or horizontal stroke (class 1) at a
+/// random position, with background noise -- the same "thin oriented
+/// structure" discrimination that distinguishes 1 from 7, at a scale the
+/// CPU substrate handles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_DATA_STROKEIMAGES_H
+#define DEEPT_DATA_STROKEIMAGES_H
+
+#include "support/Rng.h"
+#include "tensor/Matrix.h"
+
+#include <vector>
+
+namespace deept {
+namespace data {
+
+using tensor::Matrix;
+
+struct ImageExample {
+  Matrix Pixels; // 1 x Side^2, values in [0, 1]
+  size_t Label = 0;
+};
+
+/// Samples \p N stroke images of size Side x Side.
+std::vector<ImageExample> makeStrokeImages(size_t N, support::Rng &Rng,
+                                           size_t Side = 8);
+
+} // namespace data
+} // namespace deept
+
+#endif // DEEPT_DATA_STROKEIMAGES_H

@@ -1,0 +1,132 @@
+//===- data/SyntheticCorpus.cpp -------------------------------*- C++ -*-===//
+
+#include "data/SyntheticCorpus.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace deept;
+using namespace deept::data;
+
+CorpusConfig CorpusConfig::sstLike(size_t EmbedDim) {
+  CorpusConfig C;
+  C.EmbedDim = EmbedDim;
+  C.NumConcepts = 48;
+  C.MinLen = 4;
+  C.MaxLen = 10;
+  C.Seed = 1001;
+  return C;
+}
+
+CorpusConfig CorpusConfig::yelpLike(size_t EmbedDim) {
+  CorpusConfig C;
+  C.EmbedDim = EmbedDim;
+  C.NumConcepts = 96;
+  C.MinLen = 8;
+  C.MaxLen = 14;
+  C.Seed = 2002;
+  return C;
+}
+
+CorpusConfig CorpusConfig::synonymRich(size_t EmbedDim) {
+  CorpusConfig C;
+  C.EmbedDim = EmbedDim;
+  C.NumConcepts = 48;
+  C.MinSynonyms = 2;
+  C.MaxSynonyms = 5;
+  C.ClusterRadius = 0.02;
+  C.MinLen = 6;
+  C.MaxLen = 10;
+  C.Seed = 6006;
+  return C;
+}
+
+SyntheticCorpus::SyntheticCorpus(const CorpusConfig &Config) : Cfg(Config) {
+  support::Rng Rng(Cfg.Seed);
+  size_t E = Cfg.EmbedDim;
+  // A fixed unit direction carries the sentiment signal; the rest of the
+  // embedding is concept-specific content.
+  Matrix Direction = Matrix::randn(1, E, Rng);
+  Direction *= 1.0 / Direction.lpNorm(2.0);
+
+  std::vector<std::vector<double>> Rows;
+  for (size_t C = 0; C < Cfg.NumConcepts; ++C) {
+    double Pol = (C % 2 == 0) ? 1.0 : -1.0;
+    Polarity.push_back(Pol);
+    Matrix Base = Matrix::randn(1, E, Rng, 0.5);
+    Base.addScaled(Direction, Pol * Cfg.PolarityStrength);
+    assert(Cfg.MinSynonyms >= 1 && Cfg.MaxSynonyms >= Cfg.MinSynonyms &&
+           "invalid synonym count range");
+    size_t NumSyn =
+        Cfg.MinSynonyms + Rng.uniformInt(Cfg.MaxSynonyms - Cfg.MinSynonyms + 1);
+    ConceptWords.emplace_back();
+    for (size_t S = 0; S < NumSyn; ++S) {
+      std::vector<double> Row(E);
+      for (size_t I = 0; I < E; ++I)
+        Row[I] = Base.at(0, I) + Rng.uniform(-Cfg.ClusterRadius,
+                                             Cfg.ClusterRadius);
+      ConceptWords.back().push_back(Rows.size());
+      Concept.push_back(C);
+      Rows.push_back(std::move(Row));
+    }
+  }
+  Embeddings = Matrix::fromRows(Rows);
+}
+
+std::vector<size_t> SyntheticCorpus::synonymsOf(size_t Word) const {
+  std::vector<size_t> Out;
+  for (size_t W : ConceptWords[Concept[Word]])
+    if (W != Word)
+      Out.push_back(W);
+  return Out;
+}
+
+std::string SyntheticCorpus::wordName(size_t Word) const {
+  size_t C = Concept[Word];
+  size_t Index = 0;
+  for (size_t W : ConceptWords[C]) {
+    if (W == Word)
+      break;
+    ++Index;
+  }
+  return "c" + std::to_string(C) + "_s" + std::to_string(Index);
+}
+
+Sentence SyntheticCorpus::sampleSentence(support::Rng &Rng) const {
+  for (int Attempt = 0; Attempt < 1000; ++Attempt) {
+    size_t Len = Cfg.MinLen + Rng.uniformInt(Cfg.MaxLen - Cfg.MinLen + 1);
+    Sentence S;
+    double Sum = 0.0;
+    for (size_t I = 0; I < Len; ++I) {
+      size_t C = Rng.uniformInt(Cfg.NumConcepts);
+      const auto &Words = ConceptWords[C];
+      S.Tokens.push_back(Words[Rng.uniformInt(Words.size())]);
+      Sum += Polarity[C];
+    }
+    if (std::fabs(Sum) < Cfg.MinMargin)
+      continue; // ambiguous sentence; resample
+    S.Label = Sum > 0 ? 1 : 0;
+    return S;
+  }
+  assert(false && "could not sample an unambiguous sentence");
+  return Sentence();
+}
+
+std::vector<Sentence> SyntheticCorpus::sampleDataset(size_t N,
+                                                     support::Rng &Rng) const {
+  std::vector<Sentence> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Out.push_back(sampleSentence(Rng));
+  return Out;
+}
+
+void SyntheticCorpus::swapSynonyms(Sentence &S, double Prob,
+                                   support::Rng &Rng) const {
+  for (size_t &Token : S.Tokens) {
+    if (Rng.uniform() >= Prob)
+      continue;
+    const auto &Words = ConceptWords[Concept[Token]];
+    Token = Words[Rng.uniformInt(Words.size())];
+  }
+}

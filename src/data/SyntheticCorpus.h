@@ -1,0 +1,113 @@
+//===- data/SyntheticCorpus.h - Synthetic sentiment corpus -----*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic synthetic stand-in for the paper's SST / Yelp sentiment
+/// datasets (see DESIGN.md, "Substitutions"). The corpus generates:
+///
+/// * a vocabulary of "concept" clusters: each concept has a signed
+///   sentiment polarity and several synonym words whose frozen embeddings
+///   sit within a small ball around the concept embedding (so threat model
+///   T2's premise -- synonyms are close in embedding space -- holds by
+///   construction, as it would with counter-fitted vectors),
+/// * sentences sampled as concept sequences, labelled by the sign of the
+///   summed polarities (resampled when the margin is too small to keep the
+///   task cleanly learnable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_DATA_SYNTHETICCORPUS_H
+#define DEEPT_DATA_SYNTHETICCORPUS_H
+
+#include "support/Rng.h"
+#include "tensor/Matrix.h"
+
+#include <string>
+#include <vector>
+
+namespace deept {
+namespace data {
+
+using tensor::Matrix;
+
+/// A labelled token sequence.
+struct Sentence {
+  std::vector<size_t> Tokens;
+  size_t Label = 0; // 0 = negative, 1 = positive
+};
+
+struct CorpusConfig {
+  size_t NumConcepts = 48;
+  /// Synonyms per concept are uniform in [MinSynonyms, MaxSynonyms]
+  /// (counting the word itself; 1 means "no synonyms").
+  size_t MinSynonyms = 1;
+  size_t MaxSynonyms = 4;
+  size_t EmbedDim = 32;
+  size_t MinLen = 4;
+  size_t MaxLen = 10;
+  /// Synonym embeddings lie within this l-infinity radius of the concept.
+  double ClusterRadius = 0.06;
+  /// Scale of the sentiment-carrying embedding component.
+  double PolarityStrength = 0.8;
+  /// Minimum |sum of polarities| for a sentence to be kept.
+  double MinMargin = 1.0;
+  uint64_t Seed = 1234;
+
+  /// The paper's SST-like preset: short sentences.
+  static CorpusConfig sstLike(size_t EmbedDim);
+  /// The paper's Yelp-like preset: longer sentences, larger vocabulary.
+  static CorpusConfig yelpLike(size_t EmbedDim);
+  /// The Section 6.7 synonym-attack preset: every word has several
+  /// synonyms in a tight cluster, so sentences have large combination
+  /// counts yet remain certifiable.
+  static CorpusConfig synonymRich(size_t EmbedDim);
+};
+
+/// Deterministic synthetic sentiment corpus with synonym structure.
+class SyntheticCorpus {
+public:
+  explicit SyntheticCorpus(const CorpusConfig &Config);
+
+  const CorpusConfig &config() const { return Cfg; }
+  size_t vocabSize() const { return Embeddings.rows(); }
+
+  /// Frozen word embedding matrix (Vocab x E).
+  const Matrix &embeddings() const { return Embeddings; }
+
+  /// Concept id of a word.
+  size_t conceptOf(size_t Word) const { return Concept[Word]; }
+
+  /// Sentiment polarity (+1 / -1) of a word's concept.
+  double polarityOf(size_t Word) const { return Polarity[Concept[Word]]; }
+
+  /// The other words of the same concept (the word's synonyms).
+  std::vector<size_t> synonymsOf(size_t Word) const;
+
+  /// Printable name, e.g. "c12_s0".
+  std::string wordName(size_t Word) const;
+
+  /// Samples one labelled sentence.
+  Sentence sampleSentence(support::Rng &Rng) const;
+
+  /// Samples a dataset of \p N sentences.
+  std::vector<Sentence> sampleDataset(size_t N, support::Rng &Rng) const;
+
+  /// Replaces each token with a uniformly random synonym with probability
+  /// \p Prob (data augmentation for robust training).
+  void swapSynonyms(Sentence &S, double Prob, support::Rng &Rng) const;
+
+private:
+  CorpusConfig Cfg;
+  Matrix Embeddings;             // Vocab x E
+  std::vector<size_t> Concept;   // word -> concept
+  std::vector<double> Polarity;  // concept -> +-1
+  std::vector<std::vector<size_t>> ConceptWords; // concept -> word ids
+};
+
+} // namespace data
+} // namespace deept
+
+#endif // DEEPT_DATA_SYNTHETICCORPUS_H

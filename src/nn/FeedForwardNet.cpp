@@ -1,0 +1,69 @@
+//===- nn/FeedForwardNet.cpp ----------------------------------*- C++ -*-===//
+
+#include "nn/FeedForwardNet.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace deept;
+using namespace deept::nn;
+
+FeedForwardNet FeedForwardNet::init(const std::vector<size_t> &Sizes,
+                                    support::Rng &Rng) {
+  assert(Sizes.size() >= 2 && "need at least input and output sizes");
+  FeedForwardNet N;
+  for (size_t L = 0; L + 1 < Sizes.size(); ++L) {
+    N.Weights.push_back(Matrix::randn(Sizes[L], Sizes[L + 1], Rng,
+                                      std::sqrt(2.0 / Sizes[L])));
+    N.Biases.push_back(Matrix(1, Sizes[L + 1]));
+  }
+  return N;
+}
+
+Matrix FeedForwardNet::forward(const Matrix &X) const {
+  Matrix H = X;
+  for (size_t L = 0; L < Weights.size(); ++L) {
+    H = tensor::addRowBroadcast(tensor::matmul(H, Weights[L]), Biases[L]);
+    if (L + 1 != Weights.size())
+      H.apply([](double V) { return V > 0 ? V : 0.0; });
+  }
+  return H;
+}
+
+size_t FeedForwardNet::classify(const Matrix &X) const {
+  return forward(X).argmax();
+}
+
+std::vector<Matrix *> FeedForwardNet::parameters() {
+  std::vector<Matrix *> P;
+  for (size_t L = 0; L < Weights.size(); ++L) {
+    P.push_back(&Weights[L]);
+    P.push_back(&Biases[L]);
+  }
+  return P;
+}
+
+std::vector<autograd::ValueId>
+FeedForwardNet::pushParams(autograd::Tape &T) const {
+  std::vector<autograd::ValueId> Ids;
+  for (size_t L = 0; L < Weights.size(); ++L) {
+    Ids.push_back(T.input(Weights[L]));
+    Ids.push_back(T.input(Biases[L]));
+  }
+  return Ids;
+}
+
+autograd::ValueId FeedForwardNet::buildForward(
+    autograd::Tape &T, autograd::ValueId X,
+    const std::vector<autograd::ValueId> &Params) const {
+  assert(Params.size() == 2 * Weights.size() && "parameter list mismatch");
+  autograd::ValueId H = X;
+  for (size_t L = 0; L < Weights.size(); ++L) {
+    H = T.addRowBroadcast(T.matmul(H, Params[2 * L]), Params[2 * L + 1]);
+    if (L + 1 != Weights.size())
+      H = T.relu(H);
+  }
+  return H;
+}

@@ -1,0 +1,119 @@
+//===- nn/Serialize.cpp ---------------------------------------*- C++ -*-===//
+
+#include "nn/Serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
+
+using namespace deept;
+using namespace deept::nn;
+using tensor::Matrix;
+
+namespace {
+
+constexpr uint64_t Magic = 0x4450544d30303031ULL; // "DPTM0001"
+
+bool writeU64(FILE *F, uint64_t V) { return std::fwrite(&V, 8, 1, F) == 1; }
+bool readU64(FILE *F, uint64_t &V) { return std::fread(&V, 8, 1, F) == 1; }
+
+bool writeMatrix(FILE *F, const Matrix &M) {
+  if (!writeU64(F, M.rows()) || !writeU64(F, M.cols()))
+    return false;
+  return std::fwrite(M.data(), sizeof(double), M.size(), F) == M.size();
+}
+
+bool readMatrix(FILE *F, Matrix &M) {
+  uint64_t Rows, Cols;
+  if (!readU64(F, Rows) || !readU64(F, Cols))
+    return false;
+  if (Rows > (1u << 24) || Cols > (1u << 24))
+    return false; // implausible header; refuse
+  M = Matrix(Rows, Cols);
+  return std::fread(M.data(), sizeof(double), M.size(), F) == M.size();
+}
+
+/// Matrices of a model in a fixed serialization order.
+std::vector<Matrix *> allMatrices(TransformerModel &M) {
+  std::vector<Matrix *> Out = {&M.Embedding, &M.Positional};
+  for (Matrix *P : M.parameters())
+    Out.push_back(P);
+  return Out;
+}
+
+} // namespace
+
+bool deept::nn::saveModel(const std::string &Path,
+                          const TransformerModel &Model) {
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = writeU64(F, Magic);
+  const TransformerConfig &C = Model.Config;
+  uint64_t Fields[] = {C.VocabSize, C.MaxLen,    C.EmbedDim,
+                       C.NumHeads,  C.HiddenDim, C.NumLayers,
+                       C.LayerNormStdDiv ? 1u : 0u};
+  for (uint64_t V : Fields)
+    Ok = Ok && writeU64(F, V);
+  Ok = Ok && std::fwrite(&C.LnEps, sizeof(double), 1, F) == 1;
+  TransformerModel &Mutable = const_cast<TransformerModel &>(Model);
+  for (Matrix *M : allMatrices(Mutable))
+    Ok = Ok && writeMatrix(F, *M);
+  std::fclose(F);
+  return Ok;
+}
+
+bool deept::nn::loadModel(const std::string &Path, TransformerModel &Model) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  uint64_t M0;
+  if (!readU64(F, M0) || M0 != Magic) {
+    std::fclose(F);
+    return false;
+  }
+  uint64_t Fields[7];
+  bool Ok = true;
+  for (uint64_t &V : Fields)
+    Ok = Ok && readU64(F, V);
+  TransformerConfig C;
+  C.VocabSize = Fields[0];
+  C.MaxLen = Fields[1];
+  C.EmbedDim = Fields[2];
+  C.NumHeads = Fields[3];
+  C.HiddenDim = Fields[4];
+  C.NumLayers = Fields[5];
+  C.LayerNormStdDiv = Fields[6] != 0;
+  Ok = Ok && std::fread(&C.LnEps, sizeof(double), 1, F) == 1;
+  if (!Ok) {
+    std::fclose(F);
+    return false;
+  }
+  Model = TransformerModel();
+  Model.Config = C;
+  Model.Layers.resize(C.NumLayers);
+  for (Matrix *M : allMatrices(Model))
+    Ok = Ok && readMatrix(F, *M);
+  std::fclose(F);
+  return Ok;
+}
+
+std::string deept::nn::defaultModelCacheDir() {
+  if (const char *Env = std::getenv("DEEPT_MODEL_CACHE"))
+    return Env;
+  return "deept-model-cache";
+}
+
+TransformerModel deept::nn::getOrTrainCached(
+    const std::string &CacheDir, const std::string &Name,
+    const std::function<TransformerModel()> &TrainFn) {
+  ::mkdir(CacheDir.c_str(), 0755);
+  std::string Path = CacheDir + "/" + Name + ".dptm";
+  TransformerModel Model;
+  if (loadModel(Path, Model))
+    return Model;
+  Model = TrainFn();
+  saveModel(Path, Model);
+  return Model;
+}

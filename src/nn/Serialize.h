@@ -1,0 +1,43 @@
+//===- nn/Serialize.h - Model (de)serialization ----------------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary save/load for TransformerModel plus a tiny disk cache used by
+/// the benchmark binaries so a model trained for one table is reused by
+/// the others (the paper similarly trains each network once).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_NN_SERIALIZE_H
+#define DEEPT_NN_SERIALIZE_H
+
+#include "nn/Transformer.h"
+
+#include <functional>
+#include <string>
+
+namespace deept {
+namespace nn {
+
+/// Writes \p Model to \p Path. Returns false on I/O failure.
+bool saveModel(const std::string &Path, const TransformerModel &Model);
+
+/// Reads a model from \p Path. Returns false on I/O or format failure.
+bool loadModel(const std::string &Path, TransformerModel &Model);
+
+/// Loads "CacheDir/Name.dptm" if present, otherwise invokes \p TrainFn and
+/// stores the result. CacheDir is created if missing.
+TransformerModel
+getOrTrainCached(const std::string &CacheDir, const std::string &Name,
+                 const std::function<TransformerModel()> &TrainFn);
+
+/// The cache directory the benchmark binaries share (next to the build).
+std::string defaultModelCacheDir();
+
+} // namespace nn
+} // namespace deept
+
+#endif // DEEPT_NN_SERIALIZE_H

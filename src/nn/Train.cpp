@@ -1,0 +1,133 @@
+//===- nn/Train.cpp -------------------------------------------*- C++ -*-===//
+
+#include "nn/Train.h"
+
+#include "autograd/Adam.h"
+#include "autograd/Tape.h"
+
+#include <cassert>
+
+using namespace deept;
+using namespace deept::nn;
+using autograd::Adam;
+using autograd::AdamOptions;
+using autograd::Tape;
+using autograd::ValueId;
+
+namespace {
+
+/// Shared mini-batch Adam driver. \p LossFn builds the forward pass for
+/// one example on a fresh tape (with parameters already pushed) and
+/// returns the scalar loss node.
+template <typename Model, typename Example>
+void trainGeneric(Model &M, const std::vector<Example> &Train,
+                  const TrainOptions &Opts,
+                  const std::function<ValueId(Tape &, const Example &,
+                                              const std::vector<ValueId> &)>
+                      &LossFn) {
+  assert(!Train.empty() && "empty training set");
+  support::Rng Rng(Opts.Seed);
+  AdamOptions AO;
+  AO.LearningRate = Opts.LearningRate;
+  Adam Optimizer(AO);
+  std::vector<tensor::Matrix *> Params = M.parameters();
+  for (tensor::Matrix *P : Params)
+    Optimizer.registerParam(P);
+
+  for (size_t Step = 0; Step < Opts.Steps; ++Step) {
+    std::vector<tensor::Matrix> Grads;
+    for (tensor::Matrix *P : Params)
+      Grads.emplace_back(P->rows(), P->cols(), 0.0);
+    for (size_t B = 0; B < Opts.BatchSize; ++B) {
+      const Example &Ex = Train[Rng.uniformInt(Train.size())];
+      Tape T;
+      std::vector<ValueId> ParamIds = M.pushParams(T);
+      ValueId Loss = LossFn(T, Ex, ParamIds);
+      T.backward(Loss);
+      for (size_t P = 0; P < ParamIds.size(); ++P)
+        Grads[P].addScaled(T.grad(ParamIds[P]),
+                           1.0 / static_cast<double>(Opts.BatchSize));
+    }
+    Optimizer.step(Grads);
+  }
+}
+
+} // namespace
+
+void deept::nn::trainTransformer(TransformerModel &Model,
+                                 const data::SyntheticCorpus &Corpus,
+                                 const std::vector<data::Sentence> &Train,
+                                 const TrainOptions &Opts) {
+  support::Rng AugRng(Opts.Seed ^ 0xabcdef);
+  trainGeneric<TransformerModel, data::Sentence>(
+      Model, Train, Opts,
+      [&](Tape &T, const data::Sentence &Ex,
+          const std::vector<ValueId> &Params) {
+        data::Sentence S = Ex;
+        if (Opts.SynonymSwapProb > 0.0)
+          Corpus.swapSynonyms(S, Opts.SynonymSwapProb, AugRng);
+        tensor::Matrix X = Model.embed(S.Tokens);
+        if (Opts.EmbedNoise > 0.0)
+          X += tensor::Matrix::randn(X.rows(), X.cols(), AugRng,
+                                     Opts.EmbedNoise);
+        ValueId XId = T.input(std::move(X));
+        ValueId Logits = Model.buildForward(T, XId, Params);
+        return T.crossEntropyLogits(Logits, S.Label);
+      });
+}
+
+double deept::nn::accuracy(const TransformerModel &Model,
+                           const std::vector<data::Sentence> &Eval) {
+  if (Eval.empty())
+    return 0.0;
+  size_t Correct = 0;
+  for (const data::Sentence &S : Eval)
+    Correct += Model.classify(S.Tokens) == S.Label;
+  return static_cast<double>(Correct) / Eval.size();
+}
+
+void deept::nn::trainVisionTransformer(
+    VisionTransformer &Model, const std::vector<data::ImageExample> &Train,
+    const TrainOptions &Opts) {
+  trainGeneric<VisionTransformer, data::ImageExample>(
+      Model, Train, Opts,
+      [&](Tape &T, const data::ImageExample &Ex,
+          const std::vector<ValueId> &Params) {
+        ValueId Pixels = T.input(Ex.Pixels);
+        ValueId Logits = Model.buildForward(T, Pixels, Params);
+        return T.crossEntropyLogits(Logits, Ex.Label);
+      });
+}
+
+double deept::nn::accuracy(const VisionTransformer &Model,
+                           const std::vector<data::ImageExample> &Eval) {
+  if (Eval.empty())
+    return 0.0;
+  size_t Correct = 0;
+  for (const data::ImageExample &Ex : Eval)
+    Correct += Model.classify(Ex.Pixels) == Ex.Label;
+  return static_cast<double>(Correct) / Eval.size();
+}
+
+void deept::nn::trainFeedForward(FeedForwardNet &Model,
+                                 const std::vector<data::ImageExample> &Train,
+                                 const TrainOptions &Opts) {
+  trainGeneric<FeedForwardNet, data::ImageExample>(
+      Model, Train, Opts,
+      [&](Tape &T, const data::ImageExample &Ex,
+          const std::vector<ValueId> &Params) {
+        ValueId X = T.input(Ex.Pixels);
+        ValueId Logits = Model.buildForward(T, X, Params);
+        return T.crossEntropyLogits(Logits, Ex.Label);
+      });
+}
+
+double deept::nn::accuracy(const FeedForwardNet &Model,
+                           const std::vector<data::ImageExample> &Eval) {
+  if (Eval.empty())
+    return 0.0;
+  size_t Correct = 0;
+  for (const data::ImageExample &Ex : Eval)
+    Correct += Model.classify(Ex.Pixels) == Ex.Label;
+  return static_cast<double>(Correct) / Eval.size();
+}

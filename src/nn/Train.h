@@ -1,0 +1,64 @@
+//===- nn/Train.h - Training loops -----------------------------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adam training loops for the Transformer, Vision Transformer and
+/// feed-forward models over the synthetic datasets. "Robust" training for
+/// the synonym-attack experiment (paper Section 6.7, which uses certified
+/// training we substitute per DESIGN.md) is implemented as synonym-swap
+/// plus embedding-noise data augmentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_NN_TRAIN_H
+#define DEEPT_NN_TRAIN_H
+
+#include "data/StrokeImages.h"
+#include "data/SyntheticCorpus.h"
+#include "nn/FeedForwardNet.h"
+#include "nn/Transformer.h"
+
+namespace deept {
+namespace nn {
+
+struct TrainOptions {
+  size_t Steps = 250;
+  size_t BatchSize = 16;
+  double LearningRate = 2e-3;
+  uint64_t Seed = 7;
+  /// Stddev of Gaussian noise added to input embeddings (robust training).
+  double EmbedNoise = 0.0;
+  /// Probability of replacing each token by a random synonym per step
+  /// (robust training).
+  double SynonymSwapProb = 0.0;
+};
+
+/// Trains \p Model in place on \p Train sentences.
+void trainTransformer(TransformerModel &Model,
+                      const data::SyntheticCorpus &Corpus,
+                      const std::vector<data::Sentence> &Train,
+                      const TrainOptions &Opts);
+
+/// Fraction of correctly classified sentences.
+double accuracy(const TransformerModel &Model,
+                const std::vector<data::Sentence> &Eval);
+
+void trainVisionTransformer(VisionTransformer &Model,
+                            const std::vector<data::ImageExample> &Train,
+                            const TrainOptions &Opts);
+double accuracy(const VisionTransformer &Model,
+                const std::vector<data::ImageExample> &Eval);
+
+void trainFeedForward(FeedForwardNet &Model,
+                      const std::vector<data::ImageExample> &Train,
+                      const TrainOptions &Opts);
+double accuracy(const FeedForwardNet &Model,
+                const std::vector<data::ImageExample> &Eval);
+
+} // namespace nn
+} // namespace deept
+
+#endif // DEEPT_NN_TRAIN_H

@@ -1,0 +1,66 @@
+//===- support/ArgParse.cpp -----------------------------------*- C++ -*-===//
+
+#include "support/ArgParse.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace deept::support;
+
+ArgParse::ArgParse(int Argc, const char *const *Argv,
+                   const std::vector<std::string> &Switches) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      Positional.push_back(std::move(Arg));
+      continue;
+    }
+    std::string Name = Arg.substr(2);
+    // --key=value form.
+    auto Eq = Name.find('=');
+    if (Eq != std::string::npos) {
+      Values[Name.substr(0, Eq)] = Name.substr(Eq + 1);
+      continue;
+    }
+    bool IsSwitch =
+        std::find(Switches.begin(), Switches.end(), Name) != Switches.end();
+    if (IsSwitch || I + 1 >= Argc || std::string(Argv[I + 1]).rfind("--", 0) == 0) {
+      Values[Name] = "";
+      continue;
+    }
+    Values[Name] = Argv[++I];
+  }
+}
+
+bool ArgParse::has(const std::string &Name) const {
+  return Values.count(Name) > 0;
+}
+
+std::string ArgParse::get(const std::string &Name,
+                          const std::string &Default) const {
+  auto It = Values.find(Name);
+  return It == Values.end() ? Default : It->second;
+}
+
+long ArgParse::getInt(const std::string &Name, long Default) const {
+  auto It = Values.find(Name);
+  if (It == Values.end() || It->second.empty())
+    return Default;
+  return std::strtol(It->second.c_str(), nullptr, 10);
+}
+
+double ArgParse::getDouble(const std::string &Name, double Default) const {
+  auto It = Values.find(Name);
+  if (It == Values.end() || It->second.empty())
+    return Default;
+  return std::strtod(It->second.c_str(), nullptr);
+}
+
+std::vector<std::string>
+ArgParse::unknownFlags(const std::vector<std::string> &Known) const {
+  std::vector<std::string> Out;
+  for (const auto &[Name, Value] : Values)
+    if (std::find(Known.begin(), Known.end(), Name) == Known.end())
+      Out.push_back(Name);
+  return Out;
+}

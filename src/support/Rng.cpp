@@ -1,0 +1,61 @@
+//===- support/Rng.cpp ----------------------------------------*- C++ -*-===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace deept::support;
+
+uint64_t Rng::next() {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "empty uniform range");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+uint64_t Rng::uniformInt(uint64_t N) {
+  assert(N > 0 && "uniformInt requires a non-empty range");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Limit = UINT64_MAX - UINT64_MAX % N;
+  uint64_t V = next();
+  while (V >= Limit)
+    V = next();
+  return V % N;
+}
+
+double Rng::gaussian() {
+  if (HasSpareGaussian) {
+    HasSpareGaussian = false;
+    return SpareGaussian;
+  }
+  // Box-Muller transform; U1 is kept away from zero for the logarithm.
+  double U1 = uniform();
+  if (U1 < 1e-300)
+    U1 = 1e-300;
+  double U2 = uniform();
+  double R = std::sqrt(-2.0 * std::log(U1));
+  double Theta = 2.0 * M_PI * U2;
+  SpareGaussian = R * std::sin(Theta);
+  HasSpareGaussian = true;
+  return R * std::cos(Theta);
+}
+
+double Rng::gaussian(double Mean, double Stddev) {
+  return Mean + Stddev * gaussian();
+}
+
+double Rng::sign() { return (next() & 1) ? 1.0 : -1.0; }
+
+Rng Rng::fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }

@@ -1,0 +1,78 @@
+//===- support/Rng.h - Deterministic pseudo random numbers -----*- C++ -*-===//
+//
+// Part of deept-cpp, a reproduction of "Fast and Precise Certification of
+// Transformers" (PLDI 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64) used everywhere in the library so
+/// experiments are exactly reproducible across runs and platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_SUPPORT_RNG_H
+#define DEEPT_SUPPORT_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace deept {
+namespace support {
+
+/// Deterministic pseudo random number generator based on SplitMix64.
+///
+/// We intentionally avoid std::mt19937 + std::*_distribution because their
+/// outputs are not guaranteed to be identical across standard library
+/// implementations; this generator is fully specified here.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniform double in [0, 1).
+  double uniform();
+
+  /// Returns a uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Returns a uniform integer in [0, N). Requires N > 0.
+  uint64_t uniformInt(uint64_t N);
+
+  /// Returns a standard normal sample (Box-Muller, one value per call).
+  double gaussian();
+
+  /// Returns a normal sample with the given mean and standard deviation.
+  double gaussian(double Mean, double Stddev);
+
+  /// Returns +1 or -1 with equal probability.
+  double sign();
+
+  /// Forks an independent generator; the child stream is decorrelated from
+  /// the parent by mixing the parent's next output.
+  Rng fork();
+
+  /// Fisher-Yates shuffles \p Values in place.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    if (Values.empty())
+      return;
+    for (std::size_t I = Values.size() - 1; I > 0; --I) {
+      std::size_t J = uniformInt(I + 1);
+      std::swap(Values[I], Values[J]);
+    }
+  }
+
+private:
+  uint64_t State;
+  bool HasSpareGaussian = false;
+  double SpareGaussian = 0.0;
+};
+
+} // namespace support
+} // namespace deept
+
+#endif // DEEPT_SUPPORT_RNG_H

@@ -1,0 +1,68 @@
+//===- support/Table.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace deept::support;
+
+std::string deept::support::formatRadius(double Value) {
+  char Buf[64];
+  if (Value == 0.0) {
+    std::snprintf(Buf, sizeof(Buf), "0.000");
+  } else if (std::fabs(Value) < 1e-2) {
+    std::snprintf(Buf, sizeof(Buf), "%.1e", Value);
+  } else {
+    std::snprintf(Buf, sizeof(Buf), "%.3f", Value);
+  }
+  return Buf;
+}
+
+std::string deept::support::formatFixed(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+Table::Table(std::vector<std::string> Header) {
+  Rows.push_back(std::move(Header));
+}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Rows.front().size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Rows.front().size(), 0);
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  std::string Out;
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    for (size_t C = 0; C < Rows[R].size(); ++C) {
+      const std::string &Cell = Rows[R][C];
+      Out += Cell;
+      if (C + 1 != Rows[R].size())
+        Out += std::string(Widths[C] - Cell.size() + 2, ' ');
+    }
+    Out += '\n';
+    if (R == 0) {
+      size_t Total = 0;
+      for (size_t C = 0; C < Widths.size(); ++C)
+        Total += Widths[C] + (C + 1 != Widths.size() ? 2 : 0);
+      Out += std::string(Total, '-');
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+void Table::print() const {
+  std::string S = render();
+  std::fwrite(S.data(), 1, S.size(), stdout);
+  std::fflush(stdout);
+}

@@ -1,0 +1,51 @@
+//===- support/Table.h - Plain-text table rendering ------------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny column-aligned plain-text table printer used by the benchmark
+/// binaries to emit rows in the same layout as the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_SUPPORT_TABLE_H
+#define DEEPT_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace deept {
+namespace support {
+
+/// Formats a double the way the paper's tables do: small magnitudes are
+/// rendered in scientific notation ("6.4e-3"), everything else with three
+/// decimals.
+std::string formatRadius(double Value);
+
+/// Formats a double with a fixed number of decimals.
+std::string formatFixed(double Value, int Decimals);
+
+/// Column-aligned text table builder.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string render() const;
+
+  /// Renders and writes the table to stdout.
+  void print() const;
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace support
+} // namespace deept
+
+#endif // DEEPT_SUPPORT_TABLE_H

@@ -1,0 +1,41 @@
+//===- support/Timer.h - Wall clock timing ---------------------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock timer used by the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_SUPPORT_TIMER_H
+#define DEEPT_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace deept {
+namespace support {
+
+/// Wall-clock stopwatch. Starts on construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace support
+} // namespace deept
+
+#endif // DEEPT_SUPPORT_TIMER_H

@@ -1,0 +1,363 @@
+//===- tensor/Matrix.cpp --------------------------------------*- C++ -*-===//
+
+#include "tensor/Matrix.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+using namespace deept;
+using namespace deept::tensor;
+
+Matrix::Matrix(size_t Rows, size_t Cols, double Fill)
+    : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Fill) {}
+
+Matrix Matrix::fromRows(const std::vector<std::vector<double>> &RowData) {
+  if (RowData.empty())
+    return Matrix();
+  Matrix M(RowData.size(), RowData.front().size());
+  for (size_t R = 0; R < RowData.size(); ++R) {
+    assert(RowData[R].size() == M.NumCols && "ragged row data");
+    std::copy(RowData[R].begin(), RowData[R].end(), M.rowPtr(R));
+  }
+  return M;
+}
+
+Matrix Matrix::rowVector(const std::vector<double> &Values) {
+  Matrix M(1, Values.size());
+  std::copy(Values.begin(), Values.end(), M.data());
+  return M;
+}
+
+Matrix Matrix::identity(size_t N) {
+  Matrix M(N, N);
+  for (size_t I = 0; I < N; ++I)
+    M.at(I, I) = 1.0;
+  return M;
+}
+
+Matrix Matrix::randn(size_t Rows, size_t Cols, support::Rng &Rng,
+                     double Stddev) {
+  Matrix M(Rows, Cols);
+  for (size_t I = 0; I < M.size(); ++I)
+    M.Data[I] = Rng.gaussian(0.0, Stddev);
+  return M;
+}
+
+Matrix Matrix::uniform(size_t Rows, size_t Cols, support::Rng &Rng, double Lo,
+                       double Hi) {
+  Matrix M(Rows, Cols);
+  for (size_t I = 0; I < M.size(); ++I)
+    M.Data[I] = Rng.uniform(Lo, Hi);
+  return M;
+}
+
+Matrix Matrix::reshaped(size_t Rows, size_t Cols) const {
+  assert(Rows * Cols == size() && "reshape must preserve element count");
+  Matrix M = *this;
+  M.NumRows = Rows;
+  M.NumCols = Cols;
+  return M;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix T(NumCols, NumRows);
+  for (size_t R = 0; R < NumRows; ++R)
+    for (size_t C = 0; C < NumCols; ++C)
+      T.at(C, R) = at(R, C);
+  return T;
+}
+
+Matrix Matrix::rowSlice(size_t R0, size_t R1) const {
+  assert(R0 <= R1 && R1 <= NumRows && "row slice out of range");
+  Matrix M(R1 - R0, NumCols);
+  std::memcpy(M.data(), rowPtr(R0), (R1 - R0) * NumCols * sizeof(double));
+  return M;
+}
+
+Matrix Matrix::colSlice(size_t C0, size_t C1) const {
+  assert(C0 <= C1 && C1 <= NumCols && "col slice out of range");
+  Matrix M(NumRows, C1 - C0);
+  for (size_t R = 0; R < NumRows; ++R)
+    std::memcpy(M.rowPtr(R), rowPtr(R) + C0, (C1 - C0) * sizeof(double));
+  return M;
+}
+
+void Matrix::setBlock(size_t R0, size_t C0, const Matrix &Src) {
+  assert(R0 + Src.NumRows <= NumRows && C0 + Src.NumCols <= NumCols &&
+         "block does not fit");
+  for (size_t R = 0; R < Src.NumRows; ++R)
+    std::memcpy(rowPtr(R0 + R) + C0, Src.rowPtr(R),
+                Src.NumCols * sizeof(double));
+}
+
+void Matrix::appendRows(const Matrix &Src) {
+  if (Src.empty() && Src.NumRows == 0)
+    return;
+  if (empty() && NumRows == 0 && NumCols == 0)
+    NumCols = Src.NumCols;
+  assert(Src.NumCols == NumCols && "appendRows column mismatch");
+  Data.insert(Data.end(), Src.Data.begin(), Src.Data.end());
+  NumRows += Src.NumRows;
+}
+
+void Matrix::appendZeroRows(size_t Count) {
+  Data.insert(Data.end(), Count * NumCols, 0.0);
+  NumRows += Count;
+}
+
+Matrix &Matrix::operator+=(const Matrix &O) {
+  assert(NumRows == O.NumRows && NumCols == O.NumCols && "shape mismatch");
+  for (size_t I = 0; I < Data.size(); ++I)
+    Data[I] += O.Data[I];
+  return *this;
+}
+
+Matrix &Matrix::operator-=(const Matrix &O) {
+  assert(NumRows == O.NumRows && NumCols == O.NumCols && "shape mismatch");
+  for (size_t I = 0; I < Data.size(); ++I)
+    Data[I] -= O.Data[I];
+  return *this;
+}
+
+Matrix &Matrix::operator*=(double S) {
+  for (double &V : Data)
+    V *= S;
+  return *this;
+}
+
+Matrix &Matrix::hadamardInPlace(const Matrix &O) {
+  assert(NumRows == O.NumRows && NumCols == O.NumCols && "shape mismatch");
+  for (size_t I = 0; I < Data.size(); ++I)
+    Data[I] *= O.Data[I];
+  return *this;
+}
+
+void Matrix::addScaled(const Matrix &O, double S) {
+  assert(NumRows == O.NumRows && NumCols == O.NumCols && "shape mismatch");
+  for (size_t I = 0; I < Data.size(); ++I)
+    Data[I] += S * O.Data[I];
+}
+
+void Matrix::apply(const std::function<double(double)> &Fn) {
+  for (double &V : Data)
+    V = Fn(V);
+}
+
+Matrix Matrix::map(const std::function<double(double)> &Fn) const {
+  Matrix M = *this;
+  M.apply(Fn);
+  return M;
+}
+
+double Matrix::sum() const {
+  double S = 0.0;
+  for (double V : Data)
+    S += V;
+  return S;
+}
+
+double Matrix::maxAbs() const {
+  double M = 0.0;
+  for (double V : Data)
+    M = std::max(M, std::fabs(V));
+  return M;
+}
+
+double Matrix::lpNorm(double P) const {
+  if (P == InfNorm)
+    return maxAbs();
+  assert(P >= 1.0 && "lp norms need p >= 1");
+  if (P == 1.0) {
+    double S = 0.0;
+    for (double V : Data)
+      S += std::fabs(V);
+    return S;
+  }
+  if (P == 2.0) {
+    double S = 0.0;
+    for (double V : Data)
+      S += V * V;
+    return std::sqrt(S);
+  }
+  double S = 0.0;
+  for (double V : Data)
+    S += std::pow(std::fabs(V), P);
+  return std::pow(S, 1.0 / P);
+}
+
+Matrix Matrix::rowLpNorms(double P) const {
+  Matrix Out(NumRows, 1);
+  for (size_t R = 0; R < NumRows; ++R) {
+    const double *Row = rowPtr(R);
+    double S = 0.0;
+    if (P == InfNorm) {
+      for (size_t C = 0; C < NumCols; ++C)
+        S = std::max(S, std::fabs(Row[C]));
+    } else if (P == 1.0) {
+      for (size_t C = 0; C < NumCols; ++C)
+        S += std::fabs(Row[C]);
+    } else if (P == 2.0) {
+      for (size_t C = 0; C < NumCols; ++C)
+        S += Row[C] * Row[C];
+      S = std::sqrt(S);
+    } else {
+      assert(P >= 1.0 && "lp norms need p >= 1");
+      for (size_t C = 0; C < NumCols; ++C)
+        S += std::pow(std::fabs(Row[C]), P);
+      S = std::pow(S, 1.0 / P);
+    }
+    Out.at(R, 0) = S;
+  }
+  return Out;
+}
+
+Matrix Matrix::rowMeans() const {
+  assert(NumCols > 0 && "rowMeans of empty rows");
+  Matrix Out(NumRows, 1);
+  for (size_t R = 0; R < NumRows; ++R) {
+    const double *Row = rowPtr(R);
+    double S = 0.0;
+    for (size_t C = 0; C < NumCols; ++C)
+      S += Row[C];
+    Out.at(R, 0) = S / static_cast<double>(NumCols);
+  }
+  return Out;
+}
+
+size_t Matrix::argmax() const {
+  assert(!empty() && "argmax of empty matrix");
+  size_t Best = 0;
+  for (size_t I = 1; I < size(); ++I)
+    if (Data[I] > Data[Best])
+      Best = I;
+  return Best;
+}
+
+Matrix deept::tensor::matmul(const Matrix &A, const Matrix &B) {
+  assert(A.cols() == B.rows() && "matmul shape mismatch");
+  Matrix C(A.rows(), B.cols());
+  // ikj order keeps the inner loop streaming over contiguous rows of B.
+  for (size_t I = 0; I < A.rows(); ++I) {
+    double *CRow = C.rowPtr(I);
+    const double *ARow = A.rowPtr(I);
+    for (size_t K = 0; K < A.cols(); ++K) {
+      double AV = ARow[K];
+      if (AV == 0.0)
+        continue;
+      const double *BRow = B.rowPtr(K);
+      for (size_t J = 0; J < B.cols(); ++J)
+        CRow[J] += AV * BRow[J];
+    }
+  }
+  return C;
+}
+
+Matrix deept::tensor::matmulTransposedB(const Matrix &A, const Matrix &B) {
+  assert(A.cols() == B.cols() && "matmulTransposedB shape mismatch");
+  Matrix C(A.rows(), B.rows());
+  for (size_t I = 0; I < A.rows(); ++I) {
+    const double *ARow = A.rowPtr(I);
+    double *CRow = C.rowPtr(I);
+    for (size_t J = 0; J < B.rows(); ++J) {
+      const double *BRow = B.rowPtr(J);
+      double S = 0.0;
+      for (size_t K = 0; K < A.cols(); ++K)
+        S += ARow[K] * BRow[K];
+      CRow[J] = S;
+    }
+  }
+  return C;
+}
+
+Matrix deept::tensor::matmulTransposedA(const Matrix &A, const Matrix &B) {
+  assert(A.rows() == B.rows() && "matmulTransposedA shape mismatch");
+  Matrix C(A.cols(), B.cols());
+  for (size_t K = 0; K < A.rows(); ++K) {
+    const double *ARow = A.rowPtr(K);
+    const double *BRow = B.rowPtr(K);
+    for (size_t I = 0; I < A.cols(); ++I) {
+      double AV = ARow[I];
+      if (AV == 0.0)
+        continue;
+      double *CRow = C.rowPtr(I);
+      for (size_t J = 0; J < B.cols(); ++J)
+        CRow[J] += AV * BRow[J];
+    }
+  }
+  return C;
+}
+
+Matrix deept::tensor::operator+(Matrix A, const Matrix &B) {
+  A += B;
+  return A;
+}
+
+Matrix deept::tensor::operator-(Matrix A, const Matrix &B) {
+  A -= B;
+  return A;
+}
+
+Matrix deept::tensor::operator*(Matrix A, double S) {
+  A *= S;
+  return A;
+}
+
+Matrix deept::tensor::operator*(double S, Matrix A) {
+  A *= S;
+  return A;
+}
+
+Matrix deept::tensor::hadamard(Matrix A, const Matrix &B) {
+  A.hadamardInPlace(B);
+  return A;
+}
+
+Matrix deept::tensor::rowSoftmax(const Matrix &A) {
+  Matrix Out(A.rows(), A.cols());
+  for (size_t R = 0; R < A.rows(); ++R) {
+    const double *Row = A.rowPtr(R);
+    double *ORow = Out.rowPtr(R);
+    double Max = Row[0];
+    for (size_t C = 1; C < A.cols(); ++C)
+      Max = std::max(Max, Row[C]);
+    double Sum = 0.0;
+    for (size_t C = 0; C < A.cols(); ++C) {
+      ORow[C] = std::exp(Row[C] - Max);
+      Sum += ORow[C];
+    }
+    for (size_t C = 0; C < A.cols(); ++C)
+      ORow[C] /= Sum;
+  }
+  return Out;
+}
+
+Matrix deept::tensor::addRowBroadcast(Matrix A, const Matrix &Row) {
+  assert(Row.rows() == 1 && Row.cols() == A.cols() && "broadcast mismatch");
+  for (size_t R = 0; R < A.rows(); ++R) {
+    double *ARow = A.rowPtr(R);
+    for (size_t C = 0; C < A.cols(); ++C)
+      ARow[C] += Row.at(0, C);
+  }
+  return A;
+}
+
+double deept::tensor::dualExponent(double P) {
+  if (P == Matrix::InfNorm)
+    return 1.0;
+  assert(P >= 1.0 && "invalid norm exponent");
+  if (P == 1.0)
+    return Matrix::InfNorm;
+  return P / (P - 1.0);
+}
+
+bool deept::tensor::allClose(const Matrix &A, const Matrix &B, double Tol) {
+  if (A.rows() != B.rows() || A.cols() != B.cols())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (std::fabs(A.flat(I) - B.flat(I)) > Tol)
+      return false;
+  return true;
+}

@@ -1,0 +1,187 @@
+//===- tensor/Matrix.h - Dense row-major matrix ----------------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, row-major, double-precision matrix with the linear algebra the
+/// rest of the library needs: GEMM variants, transposition, row reductions,
+/// elementwise maps and lp norms. Vectors are represented as 1xN or Nx1
+/// matrices. This is the tensor substrate standing in for the paper's
+/// PyTorch backend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_TENSOR_MATRIX_H
+#define DEEPT_TENSOR_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace deept {
+namespace support {
+class Rng;
+} // namespace support
+
+namespace tensor {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+public:
+  /// Creates an empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Creates a RowsxCols matrix filled with \p Fill.
+  Matrix(size_t Rows, size_t Cols, double Fill = 0.0);
+
+  /// Creates a matrix from a nested initializer-style vector. All inner
+  /// vectors must have the same length.
+  static Matrix fromRows(const std::vector<std::vector<double>> &RowData);
+
+  /// Creates a 1xN row vector.
+  static Matrix rowVector(const std::vector<double> &Values);
+
+  /// Creates an NxN identity matrix.
+  static Matrix identity(size_t N);
+
+  /// Creates a matrix with i.i.d. Gaussian entries N(0, Stddev^2).
+  static Matrix randn(size_t Rows, size_t Cols, support::Rng &Rng,
+                      double Stddev = 1.0);
+
+  /// Creates a matrix with i.i.d. uniform entries in [Lo, Hi).
+  static Matrix uniform(size_t Rows, size_t Cols, support::Rng &Rng,
+                        double Lo, double Hi);
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+  size_t size() const { return NumRows * NumCols; }
+  bool empty() const { return size() == 0; }
+
+  double &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  double at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  /// Flat access in row-major order.
+  double &flat(size_t I) {
+    assert(I < size() && "flat index out of range");
+    return Data[I];
+  }
+  double flat(size_t I) const {
+    assert(I < size() && "flat index out of range");
+    return Data[I];
+  }
+
+  double *data() { return Data.data(); }
+  const double *data() const { return Data.data(); }
+
+  double *rowPtr(size_t R) { return Data.data() + R * NumCols; }
+  const double *rowPtr(size_t R) const { return Data.data() + R * NumCols; }
+
+  /// Reinterprets the storage with a new shape; element count must match.
+  Matrix reshaped(size_t Rows, size_t Cols) const;
+
+  /// Returns the transpose.
+  Matrix transposed() const;
+
+  /// Returns rows [R0, R1) as a new matrix.
+  Matrix rowSlice(size_t R0, size_t R1) const;
+
+  /// Returns columns [C0, C1) as a new matrix.
+  Matrix colSlice(size_t C0, size_t C1) const;
+
+  /// Copies \p Src into this matrix starting at (R0, C0).
+  void setBlock(size_t R0, size_t C0, const Matrix &Src);
+
+  /// Appends the rows of \p Src; column counts must match (or this empty).
+  void appendRows(const Matrix &Src);
+
+  /// Appends \p Count zero rows.
+  void appendZeroRows(size_t Count);
+
+  // In-place arithmetic.
+  Matrix &operator+=(const Matrix &O);
+  Matrix &operator-=(const Matrix &O);
+  Matrix &operator*=(double S);
+
+  /// In-place elementwise (Hadamard) product.
+  Matrix &hadamardInPlace(const Matrix &O);
+
+  /// Adds S * O to this matrix.
+  void addScaled(const Matrix &O, double S);
+
+  /// Applies \p Fn to every element in place.
+  void apply(const std::function<double(double)> &Fn);
+
+  /// Returns a copy with \p Fn applied to every element.
+  Matrix map(const std::function<double(double)> &Fn) const;
+
+  /// Sum of all elements.
+  double sum() const;
+
+  /// Maximum absolute element (0 for empty matrices).
+  double maxAbs() const;
+
+  /// lp norm of the whole matrix viewed as a flat vector. P must be >= 1 or
+  /// the infinity norm via Matrix::InfNorm.
+  double lpNorm(double P) const;
+
+  /// Sentinel value selecting the infinity norm in lpNorm / rowLpNorms.
+  static constexpr double InfNorm = -1.0;
+
+  /// lp norm of each row; returns an Nx1 column of norms.
+  Matrix rowLpNorms(double P) const;
+
+  /// Mean of each row; returns an Nx1 column.
+  Matrix rowMeans() const;
+
+  /// Index of the largest element of a vector-shaped matrix.
+  size_t argmax() const;
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+/// C = A * B.
+Matrix matmul(const Matrix &A, const Matrix &B);
+
+/// C = A * B^T (B is used transposed without materialising it).
+Matrix matmulTransposedB(const Matrix &A, const Matrix &B);
+
+/// C = A^T * B.
+Matrix matmulTransposedA(const Matrix &A, const Matrix &B);
+
+Matrix operator+(Matrix A, const Matrix &B);
+Matrix operator-(Matrix A, const Matrix &B);
+Matrix operator*(Matrix A, double S);
+Matrix operator*(double S, Matrix A);
+
+/// Elementwise product.
+Matrix hadamard(Matrix A, const Matrix &B);
+
+/// Row-wise numerically stable softmax.
+Matrix rowSoftmax(const Matrix &A);
+
+/// Broadcast-adds row vector \p Row (1xC) to every row of \p A.
+Matrix addRowBroadcast(Matrix A, const Matrix &Row);
+
+/// Returns the dual exponent q of lp: 1/p + 1/q = 1. P may be
+/// Matrix::InfNorm (meaning p = infinity, so q = 1); p = 1 yields q = inf.
+double dualExponent(double P);
+
+/// True when every element of A and B differs by at most Tol.
+bool allClose(const Matrix &A, const Matrix &B, double Tol);
+
+} // namespace tensor
+} // namespace deept
+
+#endif // DEEPT_TENSOR_MATRIX_H

@@ -1,0 +1,196 @@
+//===- verify/DeepT.cpp ---------------------------------------*- C++ -*-===//
+
+#include "verify/DeepT.h"
+
+#include "zono/Elementwise.h"
+#include "zono/Reduction.h"
+#include "zono/Refinement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace deept;
+using namespace deept::verify;
+using namespace deept::zono;
+using tensor::Matrix;
+
+namespace {
+
+/// Replicates an N x 1 zonotope across \p Cols columns (linear, exact).
+Zonotope broadcastCol(const Zonotope &Z, size_t Cols) {
+  return Z.mapLinearPublic(Z.rows(), Cols, [Cols](const Matrix &X) {
+    Matrix Out(X.rows(), Cols);
+    for (size_t R = 0; R < X.rows(); ++R)
+      for (size_t C = 0; C < Cols; ++C)
+        Out.at(R, C) = X.at(R, 0);
+    return Out;
+  });
+}
+
+/// The abstract layer normalisation. The paper's default (Section 3.1)
+/// subtracts the row mean, scales and shifts -- all exact affine steps.
+/// The standard variant (Section 6.6) additionally divides by the
+/// standard deviation, which needs the multiplication, sqrt and
+/// reciprocal transformers.
+Zonotope abstractLayerNorm(const Zonotope &V, const Matrix &Gamma,
+                           const Matrix &Beta, bool StdDiv, double LnEps,
+                           const DotOptions &Mul, double ElementwiseEps) {
+  Zonotope Centered = V.subRowMean();
+  if (StdDiv) {
+    Zonotope Sq = mulElementwise(Centered, Centered, Mul);
+    Zonotope Var = Sq.rowMeans().addConst(Matrix(V.rows(), 1, LnEps));
+    Zonotope InvStd = applyRecip(applySqrt(Var), ElementwiseEps);
+    Centered = mulElementwise(Centered, broadcastCol(InvStd, V.cols()), Mul);
+  }
+  return Centered.scaleColumns(Gamma).addRowBroadcast(Beta);
+}
+
+} // namespace
+
+Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
+                                  PropagationStats *Stats) const {
+  const nn::TransformerConfig &C = Model.Config;
+  assert(InputEmb.cols() == C.EmbedDim && "embedding width mismatch");
+  size_t A = C.NumHeads;
+  size_t Dk = C.headDim();
+  double Scale = 1.0 / std::sqrt(static_cast<double>(Dk));
+
+  PropagationStats Local;
+  auto Track = [&](const Zonotope &Z) {
+    Local.PeakEpsSymbols = std::max(Local.PeakEpsSymbols, Z.numEps());
+    Local.PeakCoeffBytes = std::max(Local.PeakCoeffBytes, Z.coeffBytes());
+  };
+
+  SoftmaxOptions SoftOpts;
+  SoftOpts.ElementwiseEps = Config.ElementwiseEps;
+  SoftOpts.StableRewrite = Config.StableSoftmax;
+
+  Zonotope X = InputEmb;
+  for (size_t L = 0; L < Model.Layers.size(); ++L) {
+    const nn::TransformerLayer &Layer = Model.Layers[L];
+    bool LastLayer = L + 1 == Model.Layers.size();
+
+    DotOptions Dot;
+    Dot.Order = Config.Order;
+    Dot.Method = Config.Method;
+    if (Config.PreciseLastLayerOnly)
+      Dot.Method = LastLayer ? DotMethod::Precise : DotMethod::Fast;
+    SoftOpts.Mul = Dot;
+
+    // Noise symbol reduction at the layer input (Section 5.1), where a
+    // single tensor is live, so re-indexing the eps space is safe.
+    size_t Budget = Config.NoiseReductionBudget;
+    if (LastLayer && Config.NoiseReductionBudgetLastLayer > 0)
+      Budget = Config.NoiseReductionBudgetLastLayer;
+    if (Budget > 0)
+      reduceEpsSymbols(X, Budget);
+    Track(X);
+
+    // Multi-head self-attention (Eq. 1).
+    Zonotope Q = X.matmulRightConst(Layer.Wq).addRowBroadcast(Layer.Bq);
+    Zonotope K = X.matmulRightConst(Layer.Wk).addRowBroadcast(Layer.Bk);
+    Zonotope V = X.matmulRightConst(Layer.Wv).addRowBroadcast(Layer.Bv);
+
+    std::vector<Zonotope> Heads;
+    for (size_t H = 0; H < A; ++H) {
+      Zonotope Qh = Q.selectColRange(H * Dk, (H + 1) * Dk);
+      Zonotope Kh = K.selectColRange(H * Dk, (H + 1) * Dk);
+      Zonotope Vh = V.selectColRange(H * Dk, (H + 1) * Dk);
+      Zonotope Scores = dotRows(Qh, Kh, Dot).scale(Scale);
+      Track(Scores);
+      Zonotope Probs = applySoftmax(Scores, SoftOpts);
+      if (Config.SoftmaxSumRefinement) {
+        // Symbol-range rewrites must reach every tensor still in use --
+        // including the already-sliced value tensor Vh that the
+        // attention output multiplies Probs with.
+        std::vector<Zonotope *> CoLive = {&X, &Q, &K, &V, &Vh};
+        for (Zonotope &Prev : Heads)
+          CoLive.push_back(&Prev);
+        RefinementStats RS = refineSoftmaxSum(Probs, CoLive);
+        Local.SymbolsTightened += RS.SymbolsTightened;
+      }
+      // Attention output: Probs (N x N) times Vh (N x dk); rows of Probs
+      // dotted with columns of Vh, i.e. rows of Vh transposed.
+      Heads.push_back(dotRows(Probs, Vh.transposedView(), Dot));
+      Track(Heads.back());
+    }
+    Zonotope Concat = Zonotope::concatCols(Heads);
+    Zonotope Z =
+        Concat.matmulRightConst(Layer.Wo).addRowBroadcast(Layer.Bo);
+    Zonotope V1 = X.add(Z); // residual connection
+    Zonotope X1 =
+        abstractLayerNorm(V1, Layer.Ln1Gamma, Layer.Ln1Beta,
+                          C.LayerNormStdDiv, C.LnEps, Dot,
+                          Config.ElementwiseEps);
+
+    // Feed-forward block with its residual connection.
+    Zonotope Hid = applyRelu(
+        X1.matmulRightConst(Layer.W1).addRowBroadcast(Layer.B1));
+    Zonotope F = Hid.matmulRightConst(Layer.W2).addRowBroadcast(Layer.B2);
+    Zonotope V2 = X1.add(F);
+    X = abstractLayerNorm(V2, Layer.Ln2Gamma, Layer.Ln2Beta,
+                          C.LayerNormStdDiv, C.LnEps, Dot,
+                          Config.ElementwiseEps);
+    Track(X);
+  }
+
+  // Pooling (first output embedding), tanh layer, binary classifier.
+  Zonotope Pooled = X.selectRow(0);
+  Zonotope T = applyTanh(
+      Pooled.matmulRightConst(Model.PoolW).addRowBroadcast(Model.PoolB));
+  Zonotope Logits =
+      T.matmulRightConst(Model.ClsW).addRowBroadcast(Model.ClsB);
+  Track(Logits);
+  if (Stats)
+    *Stats = Local;
+  return Logits;
+}
+
+double DeepTVerifier::certifyMargin(const Zonotope &InputEmb,
+                                    size_t TrueClass) const {
+  assert(TrueClass < 2 && "binary classification");
+  Zonotope Logits = propagate(InputEmb);
+  // The margin is an affine combination of the logit variables; computing
+  // it inside the domain keeps the shared-noise cancellation (an interval
+  // subtraction would be much looser).
+  Zonotope Margin =
+      Logits.mapLinearPublic(1, 1, [TrueClass](const Matrix &M) {
+        Matrix Out(1, 1);
+        Out.at(0, 0) = M.at(0, TrueClass) - M.at(0, 1 - TrueClass);
+        return Out;
+      });
+  Matrix Lo, Hi;
+  Margin.bounds(Lo, Hi);
+  return Lo.at(0, 0);
+}
+
+bool DeepTVerifier::certifyLpBall(const std::vector<size_t> &Tokens,
+                                  size_t Word, double P, double Radius,
+                                  size_t TrueClass) const {
+  Matrix X = Model.embed(Tokens);
+  Zonotope In = Zonotope::lpBallOnRow(X, Word, P, Radius);
+  return certifyMargin(In, TrueClass) > 0.0;
+}
+
+Zonotope DeepTVerifier::synonymBox(const data::SyntheticCorpus &Corpus,
+                                   const data::Sentence &S) const {
+  Matrix X = Model.embed(S.Tokens);
+  Matrix Lo = X, Hi = X;
+  for (size_t I = 0; I < S.Tokens.size(); ++I) {
+    for (size_t Syn : Corpus.synonymsOf(S.Tokens[I])) {
+      for (size_t C = 0; C < X.cols(); ++C) {
+        double V = Corpus.embeddings().at(Syn, C) + Model.Positional.at(I, C);
+        Lo.at(I, C) = std::min(Lo.at(I, C), V);
+        Hi.at(I, C) = std::max(Hi.at(I, C), V);
+      }
+    }
+  }
+  return Zonotope::box(Lo, Hi);
+}
+
+bool DeepTVerifier::certifySynonymBox(const data::SyntheticCorpus &Corpus,
+                                      const data::Sentence &S,
+                                      size_t TrueClass) const {
+  return certifyMargin(synonymBox(Corpus, S), TrueClass) > 0.0;
+}

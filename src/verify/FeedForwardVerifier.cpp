@@ -1,0 +1,47 @@
+//===- verify/FeedForwardVerifier.cpp -------------------------*- C++ -*-===//
+
+#include "verify/FeedForwardVerifier.h"
+
+#include "zono/Elementwise.h"
+
+#include <cassert>
+
+using namespace deept;
+using namespace deept::verify;
+using namespace deept::zono;
+using tensor::Matrix;
+
+Zonotope deept::verify::propagateFeedForward(const nn::FeedForwardNet &Net,
+                                             const Zonotope &Input) {
+  assert(Input.cols() == Net.inputDim() && "input width mismatch");
+  Zonotope H = Input;
+  for (size_t L = 0; L < Net.numLayers(); ++L) {
+    H = H.matmulRightConst(Net.Weights[L]).addRowBroadcast(Net.Biases[L]);
+    if (L + 1 != Net.numLayers())
+      H = applyRelu(H);
+  }
+  return H;
+}
+
+double deept::verify::feedForwardMargin(const nn::FeedForwardNet &Net,
+                                        const Zonotope &Input,
+                                        size_t TrueClass) {
+  Zonotope Logits = propagateFeedForward(Net, Input);
+  Zonotope Margin =
+      Logits.mapLinearPublic(1, 1, [TrueClass](const Matrix &M) {
+        Matrix Out(1, 1);
+        Out.at(0, 0) = M.at(0, TrueClass) - M.at(0, 1 - TrueClass);
+        return Out;
+      });
+  Matrix Lo, Hi;
+  Margin.bounds(Lo, Hi);
+  return Lo.at(0, 0);
+}
+
+bool deept::verify::certifyFeedForwardLpBall(const nn::FeedForwardNet &Net,
+                                             const Matrix &X, double P,
+                                             double Radius,
+                                             size_t TrueClass) {
+  Zonotope In = Zonotope::lpBall(X, P, Radius);
+  return feedForwardMargin(Net, In, TrueClass) > 0.0;
+}

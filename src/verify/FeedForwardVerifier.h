@@ -1,0 +1,39 @@
+//===- verify/FeedForwardVerifier.h - MLP zonotope verifier ----*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-norm Zonotope certification of plain ReLU networks (the paper's
+/// appendix A.2 experiment): the domain is general, so the verifier is a
+/// direct composition of the affine and ReLU transformers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_VERIFY_FEEDFORWARDVERIFIER_H
+#define DEEPT_VERIFY_FEEDFORWARDVERIFIER_H
+
+#include "nn/FeedForwardNet.h"
+#include "zono/Zonotope.h"
+
+namespace deept {
+namespace verify {
+
+/// Propagates an input zonotope (1 x In) to the logits zonotope.
+zono::Zonotope propagateFeedForward(const nn::FeedForwardNet &Net,
+                                    const zono::Zonotope &Input);
+
+/// Lower bound of logits[TrueClass] - logits[1 - TrueClass].
+double feedForwardMargin(const nn::FeedForwardNet &Net,
+                         const zono::Zonotope &Input, size_t TrueClass);
+
+/// Certifies an lp ball of radius \p Radius around \p X (1 x In).
+bool certifyFeedForwardLpBall(const nn::FeedForwardNet &Net,
+                              const tensor::Matrix &X, double P,
+                              double Radius, size_t TrueClass);
+
+} // namespace verify
+} // namespace deept
+
+#endif // DEEPT_VERIFY_FEEDFORWARDVERIFIER_H

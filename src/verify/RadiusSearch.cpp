@@ -1,0 +1,50 @@
+//===- verify/RadiusSearch.cpp --------------------------------*- C++ -*-===//
+
+#include "verify/RadiusSearch.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace deept;
+using namespace deept::verify;
+
+double deept::verify::certifiedRadius(
+    const std::function<bool(double)> &Certify,
+    const RadiusSearchOptions &Opts) {
+  assert(Opts.MinRadius > 0 && Opts.InitRadius >= Opts.MinRadius &&
+         Opts.MaxRadius >= Opts.InitRadius && "inconsistent search range");
+  double Probe = Opts.InitRadius;
+
+  // Shrink until something certifies (or give up at MinRadius).
+  while (!Certify(Probe)) {
+    Probe *= 0.25;
+    if (Probe < Opts.MinRadius)
+      return 0.0;
+  }
+  double Good = Probe;
+
+  // Grow until failure (or the range cap).
+  double Bad = 0.0;
+  while (Bad == 0.0) {
+    double Next = std::min(Good * 2.0, Opts.MaxRadius);
+    if (Next <= Good)
+      return Good; // already at the cap
+    if (Certify(Next)) {
+      Good = Next;
+      if (Good >= Opts.MaxRadius)
+        return Good;
+    } else {
+      Bad = Next;
+    }
+  }
+
+  // Bisect the bracket [Good, Bad].
+  for (int I = 0; I < Opts.BisectSteps; ++I) {
+    double Mid = 0.5 * (Good + Bad);
+    if (Certify(Mid))
+      Good = Mid;
+    else
+      Bad = Mid;
+  }
+  return Good;
+}

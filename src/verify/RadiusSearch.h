@@ -1,0 +1,43 @@
+//===- verify/RadiusSearch.h - Certified radius binary search --*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binary search used throughout the evaluation: the certified radius
+/// is the largest eps such that the region of radius eps around the input
+/// can be verified (Section 6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_VERIFY_RADIUSSEARCH_H
+#define DEEPT_VERIFY_RADIUSSEARCH_H
+
+#include <functional>
+
+namespace deept {
+namespace verify {
+
+struct RadiusSearchOptions {
+  /// First radius probed.
+  double InitRadius = 0.01;
+  /// Search range clamps.
+  double MinRadius = 1e-9;
+  double MaxRadius = 64.0;
+  /// Bisection iterations after bracketing.
+  int BisectSteps = 10;
+};
+
+/// Returns the largest radius (within the options' resolution) for which
+/// \p Certify returns true, or 0 when even MinRadius fails. Certify must
+/// be monotone (certifiable at r implies certifiable below r), which
+/// holds for all verifiers here since regions are nested.
+double certifiedRadius(const std::function<bool(double)> &Certify,
+                       const RadiusSearchOptions &Opts =
+                           RadiusSearchOptions());
+
+} // namespace verify
+} // namespace deept
+
+#endif // DEEPT_VERIFY_RADIUSSEARCH_H

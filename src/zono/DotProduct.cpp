@@ -1,0 +1,339 @@
+//===- zono/DotProduct.cpp ------------------------------------*- C++ -*-===//
+
+#include "zono/DotProduct.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace deept;
+using namespace deept::zono;
+using tensor::dualExponent;
+
+namespace {
+
+/// Per-variable q-norms over the symbol axis of a coefficient matrix whose
+/// rows are flattened M x D views: returns an M x D matrix of norms.
+Matrix perVarSymbolNorms(const Matrix &Coeffs, double Q, size_t M, size_t D) {
+  Matrix Out(M, D, 0.0);
+  double *O = Out.data();
+  size_t NumVars = M * D;
+  for (size_t S = 0; S < Coeffs.rows(); ++S) {
+    const double *Row = Coeffs.rowPtr(S);
+    if (Q == 1.0) {
+      for (size_t V = 0; V < NumVars; ++V)
+        O[V] += std::fabs(Row[V]);
+    } else if (Q == 2.0) {
+      for (size_t V = 0; V < NumVars; ++V)
+        O[V] += Row[V] * Row[V];
+    } else {
+      for (size_t V = 0; V < NumVars; ++V)
+        O[V] = std::max(O[V], std::fabs(Row[V]));
+    }
+  }
+  if (Q == 2.0)
+    for (size_t V = 0; V < NumVars; ++V)
+      O[V] = std::sqrt(O[V]);
+  return Out;
+}
+
+/// The Eq. 5 cascade: bounds |(V xi1) . (W xi2)| for all (outer row, inner
+/// row) pairs. \p Outer holds the xi1 coefficients of an N x D view with
+/// norm POuter; \p Inner the xi2 coefficients of an M x D view with norm
+/// PInner. The dual norm is applied to the Inner side first (row norms),
+/// then the outer q-norm accumulates over Outer's symbols. Returns an
+/// N x M matrix U with |quad| <= U.
+Matrix fastAbsBound(const Matrix &Outer, double POuter, size_t N,
+                    const Matrix &Inner, double PInner, size_t M, size_t D) {
+  double QInner = dualExponent(PInner);
+  double QOuter = dualExponent(POuter);
+  Matrix InnerNorms = perVarSymbolNorms(Inner, QInner, M, D);
+  Matrix Acc(N, M, 0.0);
+  Matrix AbsRow(N, D);
+  for (size_t S = 0; S < Outer.rows(); ++S) {
+    const double *Row = Outer.rowPtr(S);
+    for (size_t V = 0; V < N * D; ++V)
+      AbsRow.flat(V) = std::fabs(Row[V]);
+    Matrix T = tensor::matmulTransposedB(AbsRow, InnerNorms);
+    if (QOuter == 1.0) {
+      Acc += T;
+    } else if (QOuter == 2.0) {
+      for (size_t V = 0; V < N * M; ++V)
+        Acc.flat(V) += T.flat(V) * T.flat(V);
+    } else {
+      for (size_t V = 0; V < N * M; ++V)
+        Acc.flat(V) = std::max(Acc.flat(V), T.flat(V));
+    }
+  }
+  if (QOuter == 2.0)
+    for (size_t V = 0; V < N * M; ++V)
+      Acc.flat(V) = std::sqrt(Acc.flat(V));
+  return Acc;
+}
+
+/// Lists, for each row of an N x D view, the symbols whose coefficient
+/// slice on that row is not identically zero. Fresh (diagonal) symbols
+/// touch a single variable, so these lists are short in practice.
+std::vector<std::vector<size_t>> activeSymbolsPerRow(const Matrix &Coeffs,
+                                                     size_t N, size_t D) {
+  std::vector<std::vector<size_t>> Active(N);
+  for (size_t S = 0; S < Coeffs.rows(); ++S) {
+    const double *Row = Coeffs.rowPtr(S);
+    for (size_t I = 0; I < N; ++I) {
+      const double *Slice = Row + I * D;
+      for (size_t K = 0; K < D; ++K) {
+        if (Slice[K] != 0.0) {
+          Active[I].push_back(S);
+          break;
+        }
+      }
+    }
+  }
+  return Active;
+}
+
+/// The Eq. 6 eps-eps interval bound: accumulates, for every output pair,
+///   sum_s (v_s . w_s) * [0, 1]  +  sum_{s != t} (v_s . w_t) * [-1, 1]
+/// into (Lo, Hi).
+void preciseEpsBound(const Matrix &EA, size_t N, const Matrix &EB, size_t M,
+                     size_t D, Matrix &Lo, Matrix &Hi) {
+  Lo = Matrix(N, M, 0.0);
+  Hi = Matrix(N, M, 0.0);
+  assert(EA.rows() == EB.rows() && "eps spaces must be aligned");
+  auto ActiveA = activeSymbolsPerRow(EA, N, D);
+  auto ActiveB = activeSymbolsPerRow(EB, M, D);
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = 0; J < M; ++J) {
+      double L = 0.0, H = 0.0;
+      for (size_t S : ActiveA[I]) {
+        const double *AS = EA.rowPtr(S) + I * D;
+        for (size_t T : ActiveB[J]) {
+          const double *BT = EB.rowPtr(T) + J * D;
+          double G = 0.0;
+          for (size_t K = 0; K < D; ++K)
+            G += AS[K] * BT[K];
+          if (S == T) {
+            // eps^2 in [0, 1].
+            if (G > 0.0)
+              H += G;
+            else
+              L += G;
+          } else {
+            // eps_s eps_t in [-1, 1].
+            H += std::fabs(G);
+            L -= std::fabs(G);
+          }
+        }
+      }
+      Lo.at(I, J) = L;
+      Hi.at(I, J) = H;
+    }
+  }
+}
+
+/// Accumulates the four quadratic interaction blocks of dotRows into
+/// (QLo, QHi) according to \p Opts.
+void quadraticBounds(const Zonotope &A, const Zonotope &B, size_t N,
+                     size_t M, size_t D, const DotOptions &Opts, Matrix &QLo,
+                     Matrix &QHi) {
+  QLo = Matrix(N, M, 0.0);
+  QHi = Matrix(N, M, 0.0);
+  double P = A.phiP();
+  bool InfFirst = Opts.Order == DualNormOrder::InfFirst;
+
+  auto AccumulateSym = [&](const Matrix &U) {
+    QLo -= U;
+    QHi += U;
+  };
+
+  bool HavePhi = A.numPhi() > 0;
+  bool HaveEps = A.numEps() > 0;
+
+  if (HavePhi) {
+    // phi-phi block; the order flag picks which operand is inner.
+    if (InfFirst)
+      AccumulateSym(fastAbsBound(A.phiCoeffs(), P, N, B.phiCoeffs(), P, M, D));
+    else
+      AccumulateSym(fastAbsBound(B.phiCoeffs(), P, M, A.phiCoeffs(), P, N, D)
+                        .transposed());
+  }
+  if (HavePhi && HaveEps) {
+    // phi-eps and eps-phi mixed blocks. "InfFirst" makes the eps side the
+    // inner one (its dual norm is applied first).
+    if (InfFirst) {
+      AccumulateSym(fastAbsBound(A.phiCoeffs(), P, N, B.epsCoeffs(),
+                                 Matrix::InfNorm, M, D));
+      AccumulateSym(fastAbsBound(B.phiCoeffs(), P, M, A.epsCoeffs(),
+                                 Matrix::InfNorm, N, D)
+                        .transposed());
+    } else {
+      AccumulateSym(fastAbsBound(B.epsCoeffs(), Matrix::InfNorm, M,
+                                 A.phiCoeffs(), P, N, D)
+                        .transposed());
+      AccumulateSym(fastAbsBound(A.epsCoeffs(), Matrix::InfNorm, N,
+                                 B.phiCoeffs(), P, M, D));
+    }
+  }
+  if (HaveEps) {
+    if (Opts.Method == DotMethod::Precise) {
+      Matrix Lo, Hi;
+      preciseEpsBound(A.epsCoeffs(), N, B.epsCoeffs(), M, D, Lo, Hi);
+      QLo += Lo;
+      QHi += Hi;
+    } else if (InfFirst) {
+      AccumulateSym(fastAbsBound(A.epsCoeffs(), Matrix::InfNorm, N,
+                                 B.epsCoeffs(), Matrix::InfNorm, M, D));
+    } else {
+      AccumulateSym(fastAbsBound(B.epsCoeffs(), Matrix::InfNorm, M,
+                                 A.epsCoeffs(), Matrix::InfNorm, N, D)
+                        .transposed());
+    }
+  }
+}
+
+} // namespace
+
+Zonotope deept::zono::dotRows(const Zonotope &AIn, const Zonotope &BIn,
+                              const DotOptions &Opts) {
+  assert(AIn.cols() == BIn.cols() && "dotRows dimension mismatch");
+  Zonotope A = AIn, B = BIn;
+  Zonotope::alignSpaces(A, B);
+  size_t N = A.rows(), M = B.rows(), D = A.cols();
+
+  const Matrix &CA = A.center();
+  const Matrix &CB = B.center();
+
+  // Exact affine part.
+  Matrix Center = tensor::matmulTransposedB(CA, CB);
+
+  Matrix PhiOut(A.numPhi(), N * M);
+  for (size_t S = 0; S < A.numPhi(); ++S) {
+    Matrix AS = A.phiCoeffs().rowSlice(S, S + 1).reshaped(N, D);
+    Matrix BS = B.phiCoeffs().rowSlice(S, S + 1).reshaped(M, D);
+    Matrix Coef = tensor::matmulTransposedB(CA, BS) +
+                  tensor::matmulTransposedB(AS, CB);
+    std::copy(Coef.data(), Coef.data() + Coef.size(), PhiOut.rowPtr(S));
+  }
+  Matrix EpsOut(A.numEps(), N * M);
+  for (size_t S = 0; S < A.numEps(); ++S) {
+    Matrix AS = A.epsCoeffs().rowSlice(S, S + 1).reshaped(N, D);
+    Matrix BS = B.epsCoeffs().rowSlice(S, S + 1).reshaped(M, D);
+    Matrix Coef = tensor::matmulTransposedB(CA, BS) +
+                  tensor::matmulTransposedB(AS, CB);
+    std::copy(Coef.data(), Coef.data() + Coef.size(), EpsOut.rowPtr(S));
+  }
+
+  // Install the affine coefficients, then absorb the quadratic remainder
+  // into fresh symbols.
+  Zonotope Out = Zonotope::constant(Center, A.phiP());
+  Out.installCoeffs(std::move(PhiOut), std::move(EpsOut));
+
+  Matrix QLo, QHi;
+  quadraticBounds(A, B, N, M, D, Opts, QLo, QHi);
+  std::vector<std::pair<size_t, double>> Fresh;
+  Matrix Shift(N, M, 0.0);
+  for (size_t V = 0; V < N * M; ++V) {
+    double Mid = 0.5 * (QHi.flat(V) + QLo.flat(V));
+    double Rad = 0.5 * (QHi.flat(V) - QLo.flat(V));
+    Shift.flat(V) = Mid;
+    if (Rad > 0.0)
+      Fresh.emplace_back(V, Rad);
+  }
+  Out.shiftCenterInPlace(Shift);
+  Out.appendFreshEps(Fresh);
+  return Out;
+}
+
+Zonotope deept::zono::mulElementwise(const Zonotope &AIn, const Zonotope &BIn,
+                                     const DotOptions &Opts) {
+  assert(AIn.rows() == BIn.rows() && AIn.cols() == BIn.cols() &&
+         "mulElementwise shape mismatch");
+  Zonotope A = AIn, B = BIn;
+  Zonotope::alignSpaces(A, B);
+  size_t NumVars = A.numVars();
+
+  Matrix Center = hadamard(A.center(), B.center());
+  Zonotope Out = Zonotope::constant(Center.reshaped(A.rows(), A.cols()),
+                                    A.phiP());
+
+  Matrix PhiOut(A.numPhi(), NumVars);
+  for (size_t S = 0; S < A.numPhi(); ++S) {
+    const double *AS = A.phiCoeffs().rowPtr(S);
+    const double *BS = B.phiCoeffs().rowPtr(S);
+    double *O = PhiOut.rowPtr(S);
+    for (size_t V = 0; V < NumVars; ++V)
+      O[V] = A.center().flat(V) * BS[V] + B.center().flat(V) * AS[V];
+  }
+  Matrix EpsOut(A.numEps(), NumVars);
+  for (size_t S = 0; S < A.numEps(); ++S) {
+    const double *AS = A.epsCoeffs().rowPtr(S);
+    const double *BS = B.epsCoeffs().rowPtr(S);
+    double *O = EpsOut.rowPtr(S);
+    for (size_t V = 0; V < NumVars; ++V)
+      O[V] = A.center().flat(V) * BS[V] + B.center().flat(V) * AS[V];
+  }
+  Out.installCoeffs(PhiOut, EpsOut);
+
+  // Quadratic remainder per variable: the D = 1 specialisation of the
+  // dot-product bounds, where Eq. 5 factorises into a product of column
+  // dual norms.
+  double P = A.phiP();
+  double QP = dualExponent(P);
+  auto ColNorm = [&](const Matrix &Coeffs, double Q, size_t V) {
+    double Acc = 0.0;
+    for (size_t S = 0; S < Coeffs.rows(); ++S) {
+      double X = std::fabs(Coeffs.at(S, V));
+      if (Q == 1.0)
+        Acc += X;
+      else if (Q == 2.0)
+        Acc += X * X;
+      else
+        Acc = std::max(Acc, X);
+    }
+    return Q == 2.0 ? std::sqrt(Acc) : Acc;
+  };
+
+  std::vector<std::pair<size_t, double>> Fresh;
+  Matrix Shift(A.rows(), A.cols(), 0.0);
+  for (size_t V = 0; V < NumVars; ++V) {
+    double Lo = 0.0, Hi = 0.0;
+    double PhiA = ColNorm(A.phiCoeffs(), QP, V);
+    double PhiB = ColNorm(B.phiCoeffs(), QP, V);
+    double EpsA1 = ColNorm(A.epsCoeffs(), 1.0, V);
+    double EpsB1 = ColNorm(B.epsCoeffs(), 1.0, V);
+    double Sym = PhiA * PhiB + PhiA * EpsB1 + EpsA1 * PhiB;
+    if (Opts.Method == DotMethod::Precise && A.numEps() > 0) {
+      for (size_t S = 0; S < A.numEps(); ++S) {
+        double AS = A.epsCoeffs().at(S, V);
+        if (AS == 0.0)
+          continue;
+        for (size_t T = 0; T < B.numEps(); ++T) {
+          double G = AS * B.epsCoeffs().at(T, V);
+          if (G == 0.0)
+            continue;
+          if (S == T) {
+            if (G > 0.0)
+              Hi += G;
+            else
+              Lo += G;
+          } else {
+            Hi += std::fabs(G);
+            Lo -= std::fabs(G);
+          }
+        }
+      }
+    } else {
+      Sym += EpsA1 * EpsB1;
+    }
+    Lo -= Sym;
+    Hi += Sym;
+    double Mid = 0.5 * (Hi + Lo);
+    double Rad = 0.5 * (Hi - Lo);
+    Shift.flat(V) = Mid;
+    if (Rad > 0.0)
+      Fresh.emplace_back(V, Rad);
+  }
+  Out.shiftCenterInPlace(Shift);
+  Out.appendFreshEps(Fresh);
+  return Out;
+}

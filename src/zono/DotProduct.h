@@ -1,0 +1,67 @@
+//===- zono/DotProduct.h - Dot product abstract transformers ---*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dot product abstract transformers of Section 4.8: the exact affine
+/// part of the product of two zonotope vectors plus an interval bound on
+/// the quadratic noise-interaction remainder.
+///
+/// * DeepT-Fast bounds each of the four (phi/eps x phi/eps) interaction
+///   blocks with the dual-norm cascade of Eq. 5, costing
+///   O(N (E_p + E_inf)) per output variable.
+/// * DeepT-Precise refines the eps-eps block with the eps_i * eps_j
+///   interval analysis of Eq. 6 (eps^2 in [0,1], eps_i eps_j in [-1,1]),
+///   costing O(N E_inf^2).
+///
+/// The cascade of Eq. 5 is not symmetric in its two operands; DualNormOrder
+/// selects which operand's symbols the dual norm is applied to first
+/// (Section 6.5 finds "l-infinity terms first" slightly better on average).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_ZONO_DOTPRODUCT_H
+#define DEEPT_ZONO_DOTPRODUCT_H
+
+#include "zono/Zonotope.h"
+
+namespace deept {
+namespace zono {
+
+/// Which bound is used for the eps-eps quadratic block.
+enum class DotMethod {
+  Fast,    ///< Eq. 5 dual-norm cascade for all four blocks.
+  Precise, ///< Eq. 6 interval analysis for the eps-eps block.
+};
+
+/// Which operand the Eq. 5 dual norm is applied to first (the "inner"
+/// row-norm side).
+enum class DualNormOrder {
+  InfFirst, ///< apply the dual norm on l-infinity symbols first (default)
+  LpFirst,  ///< apply it on the lp symbols first
+};
+
+struct DotOptions {
+  DotMethod Method = DotMethod::Fast;
+  DualNormOrder Order = DualNormOrder::InfFirst;
+};
+
+/// Dot products between all row pairs: Z[i][j] = A.row(i) . B.row(j).
+/// A is N x D, B is M x D, the result is N x M. A and B must share their
+/// noise-symbol spaces (same input ancestry); eps spaces are aligned by
+/// padding. Each output variable receives one fresh eps symbol absorbing
+/// the quadratic remainder.
+Zonotope dotRows(const Zonotope &A, const Zonotope &B,
+                 const DotOptions &Opts = DotOptions());
+
+/// Elementwise multiplication z_v = a_v * b_v of two equally shaped
+/// zonotopes (the Section 4.9 multiplication transformer).
+Zonotope mulElementwise(const Zonotope &A, const Zonotope &B,
+                        const DotOptions &Opts = DotOptions());
+
+} // namespace zono
+} // namespace deept
+
+#endif // DEEPT_ZONO_DOTPRODUCT_H

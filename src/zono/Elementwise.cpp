@@ -1,0 +1,207 @@
+//===- zono/Elementwise.cpp -----------------------------------*- C++ -*-===//
+
+#include "zono/Elementwise.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace deept;
+using namespace deept::zono;
+
+namespace {
+
+/// exp() saturates at this exponent. Inputs beyond it only occur when the
+/// abstraction has already exploded (the certification attempt fails
+/// regardless); saturating keeps the arithmetic finite and NaN-free.
+constexpr double ExpClampExponent = 100.0;
+
+double clampedExp(double X) { return std::exp(std::min(X, ExpClampExponent)); }
+
+/// Builds the zonotope piece for a convex function from a tangent point T:
+/// the lower support line is the tangent at T, the upper support line is
+/// the tightest line of the same slope anchored at the worse endpoint.
+/// Sound for any T > 0 domain point of the function.
+LinearPiece convexPiece(double Lambda, double FT, double T, double FL,
+                        double L, double FU, double U) {
+  double LowerOffset = FT - Lambda * T;
+  double UpperOffset = std::max(FL - Lambda * L, FU - Lambda * U);
+  LinearPiece P;
+  P.Lambda = Lambda;
+  P.Mu = 0.5 * (UpperOffset + LowerOffset);
+  P.BetaNew = 0.5 * (UpperOffset - LowerOffset);
+  // In the exp-saturated regime (see ExpClampExponent) the clamped
+  // function is no longer convex and the construction can invert or
+  // overflow; fall back to a huge interval -- certification at such
+  // ranges fails regardless.
+  if (!(P.BetaNew >= -1e-12) || !std::isfinite(P.BetaNew) ||
+      !std::isfinite(P.Mu) || !std::isfinite(P.Lambda)) {
+    P.Lambda = 0.0;
+    P.Mu = 0.0;
+    P.BetaNew = 1e100;
+    return P;
+  }
+  P.BetaNew = std::max(P.BetaNew, 0.0);
+  return P;
+}
+
+/// Interval (slope-free) relaxation used as a degenerate-range fallback.
+LinearPiece intervalPiece(double FLo, double FHi) {
+  LinearPiece P;
+  P.Lambda = 0.0;
+  P.Mu = 0.5 * (FHi + FLo);
+  P.BetaNew = 0.5 * (FHi - FLo);
+  return P;
+}
+
+constexpr double DegenerateWidth = 1e-9;
+
+} // namespace
+
+LinearPiece deept::zono::reluPiece(double L, double U) {
+  assert(L <= U && "invalid bounds");
+  LinearPiece P;
+  if (U <= 0.0)
+    return P; // y = 0.
+  if (L >= 0.0) {
+    P.Lambda = 1.0;
+    return P; // y = x.
+  }
+  // Minimal-area crossing case (paper Eq. 2).
+  double Lambda = U / (U - L);
+  double Mu = 0.5 * std::max(-Lambda * L, (1.0 - Lambda) * U);
+  P.Lambda = Lambda;
+  P.Mu = Mu;
+  P.BetaNew = Mu;
+  return P;
+}
+
+LinearPiece deept::zono::tanhPiece(double L, double U) {
+  assert(L <= U && "invalid bounds");
+  if (U - L < DegenerateWidth)
+    return intervalPiece(std::tanh(L), std::tanh(U));
+  double TL = std::tanh(L), TU = std::tanh(U);
+  double Lambda = std::min(1.0 - TL * TL, 1.0 - TU * TU);
+  LinearPiece P;
+  P.Lambda = Lambda;
+  P.Mu = 0.5 * (TU + TL - Lambda * (U + L));
+  P.BetaNew = 0.5 * (TU - TL - Lambda * (U - L));
+  assert(P.BetaNew >= -1e-12 && "tanh piece produced negative radius");
+  P.BetaNew = std::max(P.BetaNew, 0.0);
+  return P;
+}
+
+LinearPiece deept::zono::expPiece(double L, double U, double Eps) {
+  assert(L <= U && "invalid bounds");
+  double EL = clampedExp(L), EU = clampedExp(U);
+  if (U - L < DegenerateWidth)
+    return intervalPiece(EL, EU);
+  // t_crit matches the chord slope; t_crit2 keeps the tangent's lower
+  // support line strictly positive on [L, U] (paper Section 4.5).
+  double ChordSlope = (EU - EL) / (U - L);
+  double TCrit = std::log(std::max(ChordSlope, 1e-300));
+  double TCrit2 = L + 1.0 - Eps;
+  double TOpt = std::min(TCrit, TCrit2);
+  double Lambda = clampedExp(TOpt);
+  return convexPiece(Lambda, clampedExp(TOpt), TOpt, EL, L, EU, U);
+}
+
+LinearPiece deept::zono::recipPiece(double L, double U, double Eps) {
+  assert(L <= U && "invalid bounds");
+  // The transformer is only defined for positive inputs (the softmax
+  // denominator is >= 1 by construction); clamp defensively.
+  L = std::max(L, 1e-12);
+  U = std::max(U, L);
+  if (U - L < DegenerateWidth)
+    return intervalPiece(1.0 / U, 1.0 / L);
+  double TCrit = std::sqrt(U * L);
+  double TCrit2 = 0.5 * U + Eps;
+  // t_crit minimises the area; t_crit2 keeps the tangent's lower support
+  // line positive at u (it is (2t - u) / t^2 there). Taking the max keeps
+  // the tangent point inside-or-right-of the area-optimal point, which is
+  // both sound (any tangent point works with the endpoint-anchored upper
+  // line) and positive. Note: the paper's Section 4.6 prints min(., .),
+  // but with min the tangent for narrow ranges [l, u] with l > u/2 lands
+  // near u/2, far outside the range, and the relaxation degenerates; max
+  // matches the construction's stated properties.
+  double TOpt = std::max(TCrit, TCrit2);
+  double Lambda = -1.0 / (TOpt * TOpt);
+  return convexPiece(Lambda, 1.0 / TOpt, TOpt, 1.0 / L, L, 1.0 / U, U);
+}
+
+LinearPiece deept::zono::sqrtPiece(double L, double U) {
+  assert(L <= U && "invalid bounds");
+  L = std::max(L, 0.0);
+  U = std::max(U, L);
+  if (U - L < DegenerateWidth)
+    return intervalPiece(std::sqrt(L), std::sqrt(U));
+  double SL = std::sqrt(L), SU = std::sqrt(U);
+  // Concave: chord below, tangent of equal slope above. The chord slope is
+  // matched by the tangent at sqrt(t) = (sqrt(l) + sqrt(u)) / 2.
+  double Lambda = 1.0 / (SL + SU);
+  double ST = 0.5 * (SL + SU);
+  double UpperOffset = ST - Lambda * ST * ST;
+  double LowerOffset = SL - Lambda * L; // == SU - Lambda * U on the chord.
+  LinearPiece P;
+  P.Lambda = Lambda;
+  P.Mu = 0.5 * (UpperOffset + LowerOffset);
+  P.BetaNew = 0.5 * (UpperOffset - LowerOffset);
+  assert(P.BetaNew >= -1e-12 && "sqrt piece produced negative radius");
+  P.BetaNew = std::max(P.BetaNew, 0.0);
+  return P;
+}
+
+Zonotope deept::zono::applyElementwise(
+    const Zonotope &Z,
+    const std::function<LinearPiece(double, double)> &PieceFn) {
+  Matrix Lo, Hi;
+  Z.bounds(Lo, Hi);
+  Matrix Lambda(Z.rows(), Z.cols());
+  Matrix Mu(Z.rows(), Z.cols());
+  std::vector<std::pair<size_t, double>> Fresh;
+  // When the abstraction has exploded (overflowed coefficients during a
+  // hopeless certification probe), bounds can be non-finite or inverted;
+  // sanitize them to a huge sound interval so the pieces stay finite.
+  constexpr double HugeBound = 1e100;
+  for (size_t V = 0; V < Z.numVars(); ++V) {
+    double L = Lo.flat(V), U = Hi.flat(V);
+    if (std::isnan(L) || std::isnan(U) || L > U) {
+      L = -HugeBound;
+      U = HugeBound;
+    }
+    L = std::clamp(L, -HugeBound, HugeBound);
+    U = std::clamp(U, L, HugeBound);
+    LinearPiece P = PieceFn(L, U);
+    Lambda.flat(V) = P.Lambda;
+    Mu.flat(V) = P.Mu;
+    if (P.BetaNew != 0.0)
+      Fresh.emplace_back(V, P.BetaNew);
+  }
+  Zonotope Out = Z;
+  Out.scalePerVarInPlace(Lambda);
+  Out.shiftCenterInPlace(Mu);
+  Out.appendFreshEps(Fresh);
+  return Out;
+}
+
+Zonotope deept::zono::applyRelu(const Zonotope &Z) {
+  return applyElementwise(Z, [](double L, double U) { return reluPiece(L, U); });
+}
+
+Zonotope deept::zono::applyTanh(const Zonotope &Z) {
+  return applyElementwise(Z, [](double L, double U) { return tanhPiece(L, U); });
+}
+
+Zonotope deept::zono::applyExp(const Zonotope &Z, double Eps) {
+  return applyElementwise(
+      Z, [Eps](double L, double U) { return expPiece(L, U, Eps); });
+}
+
+Zonotope deept::zono::applyRecip(const Zonotope &Z, double Eps) {
+  return applyElementwise(
+      Z, [Eps](double L, double U) { return recipPiece(L, U, Eps); });
+}
+
+Zonotope deept::zono::applySqrt(const Zonotope &Z) {
+  return applyElementwise(Z, [](double L, double U) { return sqrtPiece(L, U); });
+}

@@ -1,0 +1,75 @@
+//===- zono/Elementwise.h - Elementwise abstract transformers --*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal-area elementwise abstract transformers of the Multi-norm
+/// Zonotope domain (paper Sections 4.3-4.6 and Theorem 3). Each maps a
+/// zonotope variable x with concrete bounds [l, u] to
+///
+///   y = Lambda * x + Mu + BetaNew * eps_new,   eps_new in [-1, 1],
+///
+/// where (Lambda, Mu, BetaNew) depend only on [l, u] and the function.
+/// ReLU and tanh follow Singh et al. 2018; exponential and reciprocal
+/// follow the minimal-area construction of Mueller et al. 2021 with the
+/// positivity-preserving t_opt choice; sqrt (needed for standard layer
+/// normalization, Section 6.6) uses the analogous concave construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_ZONO_ELEMENTWISE_H
+#define DEEPT_ZONO_ELEMENTWISE_H
+
+#include "zono/Zonotope.h"
+
+namespace deept {
+namespace zono {
+
+/// Coefficients of one variable's linear relaxation y = Lambda x + Mu +
+/// BetaNew eps_new. BetaNew is always >= 0.
+struct LinearPiece {
+  double Lambda = 0.0;
+  double Mu = 0.0;
+  double BetaNew = 0.0;
+};
+
+/// Small positive constant keeping exp/reciprocal outputs strictly
+/// positive (the paper's epsilon, Section 4.5/4.6).
+inline constexpr double ElementwiseEpsilonDefault = 0.01;
+
+/// Relaxation pieces for a single variable on [L, U].
+LinearPiece reluPiece(double L, double U);
+LinearPiece tanhPiece(double L, double U);
+LinearPiece expPiece(double L, double U,
+                     double Eps = ElementwiseEpsilonDefault);
+/// Requires L > 0 (callers of reciprocal see softmax denominators >= 1).
+LinearPiece recipPiece(double L, double U,
+                       double Eps = ElementwiseEpsilonDefault);
+/// Requires L > 0.
+LinearPiece sqrtPiece(double L, double U);
+
+/// Applies a per-variable relaxation to a whole zonotope. \p PieceFn maps
+/// (L, U) of each variable to its LinearPiece; variables with
+/// BetaNew != 0 each get one fresh eps symbol.
+Zonotope
+applyElementwise(const Zonotope &Z,
+                 const std::function<LinearPiece(double, double)> &PieceFn);
+
+/// ReLU / tanh abstract transformers (paper 4.3, 4.4).
+Zonotope applyRelu(const Zonotope &Z);
+Zonotope applyTanh(const Zonotope &Z);
+
+/// Exponential / reciprocal / sqrt abstract transformers (paper 4.5, 4.6).
+/// These take the positivity epsilon explicitly.
+Zonotope applyExp(const Zonotope &Z,
+                  double Eps = ElementwiseEpsilonDefault);
+Zonotope applyRecip(const Zonotope &Z,
+                    double Eps = ElementwiseEpsilonDefault);
+Zonotope applySqrt(const Zonotope &Z);
+
+} // namespace zono
+} // namespace deept
+
+#endif // DEEPT_ZONO_ELEMENTWISE_H

@@ -1,0 +1,59 @@
+//===- zono/Reduction.cpp -------------------------------------*- C++ -*-===//
+
+#include "zono/Reduction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace deept;
+using namespace deept::zono;
+
+size_t deept::zono::reduceEpsSymbols(Zonotope &Z, size_t Keep) {
+  size_t NumEps = Z.numEps();
+  if (NumEps <= Keep)
+    return 0;
+  size_t NumVars = Z.numVars();
+  const Matrix &Eps = Z.epsCoeffs();
+
+  // Heuristic score m_j = sum_i |B_ij| per symbol.
+  std::vector<double> Score(NumEps, 0.0);
+  for (size_t S = 0; S < NumEps; ++S) {
+    const double *Row = Eps.rowPtr(S);
+    double Acc = 0.0;
+    for (size_t V = 0; V < NumVars; ++V)
+      Acc += std::fabs(Row[V]);
+    Score[S] = Acc;
+  }
+  std::vector<size_t> Order(NumEps);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::nth_element(Order.begin(), Order.begin() + Keep, Order.end(),
+                   [&](size_t A, size_t B) { return Score[A] > Score[B]; });
+  std::vector<bool> Kept(NumEps, false);
+  for (size_t I = 0; I < Keep; ++I)
+    Kept[Order[I]] = true;
+
+  // Kept symbols are copied in their original order (their identity within
+  // this tensor is all that matters after reduction); dropped symbols fold
+  // into a per-variable interval radius.
+  Matrix NewEps(Keep, NumVars);
+  std::vector<double> FoldRadius(NumVars, 0.0);
+  size_t Out = 0;
+  for (size_t S = 0; S < NumEps; ++S) {
+    const double *Row = Eps.rowPtr(S);
+    if (Kept[S]) {
+      std::copy(Row, Row + NumVars, NewEps.rowPtr(Out++));
+      continue;
+    }
+    for (size_t V = 0; V < NumVars; ++V)
+      FoldRadius[V] += std::fabs(Row[V]);
+  }
+
+  Z.installCoeffs(Matrix(Z.phiCoeffs()), std::move(NewEps));
+  std::vector<std::pair<size_t, double>> Fresh;
+  for (size_t V = 0; V < NumVars; ++V)
+    if (FoldRadius[V] > 0.0)
+      Fresh.emplace_back(V, FoldRadius[V]);
+  Z.appendFreshEps(Fresh);
+  return NumEps - Keep;
+}

@@ -1,0 +1,37 @@
+//===- zono/Reduction.h - Noise symbol reduction ---------------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DecorrelateMin_k noise symbol reduction (Section 5.1, after Mirman et
+/// al. 2019): every abstract transformer except the affine ones introduces
+/// fresh eps symbols, so their number grows with depth. To bound memory
+/// and time independently of depth, the verifier periodically keeps only
+/// the k eps symbols with the largest total coefficient mass
+/// m_j = sum_i |B_ij| and folds all others into one fresh per-variable
+/// interval symbol.
+///
+/// Reduction re-indexes the eps space, so it must only be applied at
+/// points where a single zonotope is live (the DeepT verifier applies it
+/// to the input embeddings of each Transformer layer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_ZONO_REDUCTION_H
+#define DEEPT_ZONO_REDUCTION_H
+
+#include "zono/Zonotope.h"
+
+namespace deept {
+namespace zono {
+
+/// Reduces Z's eps symbols to at most \p Keep kept symbols plus at most
+/// one fresh symbol per variable. Returns the number of symbols dropped.
+size_t reduceEpsSymbols(Zonotope &Z, size_t Keep);
+
+} // namespace zono
+} // namespace deept
+
+#endif // DEEPT_ZONO_REDUCTION_H

@@ -1,0 +1,234 @@
+//===- zono/Refinement.cpp ------------------------------------*- C++ -*-===//
+
+#include "zono/Refinement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace deept;
+using namespace deept::zono;
+using tensor::dualExponent;
+
+namespace {
+
+/// The affine form of the constraint residual D = 1 - sum_j y_{r,j}.
+struct ConstraintForm {
+  double C = 0.0;
+  std::vector<double> Alpha; // phi coefficients
+  std::vector<double> Beta;  // eps coefficients
+};
+
+ConstraintForm buildConstraint(const Zonotope &P, size_t Row) {
+  ConstraintForm D;
+  size_t C = P.cols();
+  D.C = 1.0;
+  for (size_t J = 0; J < C; ++J)
+    D.C -= P.center().at(Row, J);
+  D.Alpha.assign(P.numPhi(), 0.0);
+  for (size_t S = 0; S < P.numPhi(); ++S) {
+    const double *CoefRow = P.phiCoeffs().rowPtr(S);
+    for (size_t J = 0; J < C; ++J)
+      D.Alpha[S] -= CoefRow[Row * C + J];
+  }
+  D.Beta.assign(P.numEps(), 0.0);
+  for (size_t S = 0; S < P.numEps(); ++S) {
+    const double *CoefRow = P.epsCoeffs().rowPtr(S);
+    for (size_t J = 0; J < C; ++J)
+      D.Beta[S] -= CoefRow[Row * C + J];
+  }
+  return D;
+}
+
+/// Adds T * D to variable \p Var of \p P (an exact rewrite on the
+/// constraint set, since D = 0 there).
+void addConstraintMultiple(Zonotope &P, size_t Var, double T,
+                           const ConstraintForm &D) {
+  if (T == 0.0)
+    return;
+  P.center().flat(Var) += T * D.C;
+  for (size_t S = 0; S < P.numPhi(); ++S)
+    P.phiCoeffs().at(S, Var) += T * D.Alpha[S];
+  for (size_t S = 0; S < P.numEps(); ++S)
+    P.epsCoeffs().at(S, Var) += T * D.Beta[S];
+}
+
+/// One breakpoint of the piecewise-linear objective sum_s w_s |t - p_s|.
+struct Breakpoint {
+  double Pos;
+  double Weight;
+  bool FromPhi;
+};
+
+double objectiveAt(const std::vector<Breakpoint> &Points, double T) {
+  double Acc = 0.0;
+  for (const Breakpoint &B : Points)
+    Acc += B.Weight * std::fabs(T - B.Pos);
+  return Acc;
+}
+
+/// Minimises sum_s |coef_s + t * d_s| over t (Appendix A.1). Terms with
+/// d_s = 0 are constant; the rest contribute weight |d_s| at breakpoint
+/// -coef_s / d_s, so the optimum is a weighted median attained at a
+/// breakpoint. Candidates that would eliminate an lp (phi) noise symbol
+/// are skipped by moving to the best non-phi neighbour.
+double minimiseCoefficientMass(const Zonotope &P, size_t Var,
+                               const ConstraintForm &D,
+                               const RefinementOptions &Opts) {
+  std::vector<Breakpoint> Points;
+  Points.reserve(D.Alpha.size() + D.Beta.size());
+  for (size_t S = 0; S < D.Alpha.size(); ++S) {
+    if (std::fabs(D.Alpha[S]) <= Opts.Tol)
+      continue;
+    Points.push_back({-P.phiCoeffs().at(S, Var) / D.Alpha[S],
+                      std::fabs(D.Alpha[S]), /*FromPhi=*/true});
+  }
+  for (size_t S = 0; S < D.Beta.size(); ++S) {
+    if (std::fabs(D.Beta[S]) <= Opts.Tol)
+      continue;
+    Points.push_back({-P.epsCoeffs().at(S, Var) / D.Beta[S],
+                      std::fabs(D.Beta[S]), /*FromPhi=*/false});
+  }
+  if (Points.empty())
+    return 0.0;
+  std::sort(Points.begin(), Points.end(),
+            [](const Breakpoint &A, const Breakpoint &B) {
+              return A.Pos < B.Pos;
+            });
+  double Total = 0.0;
+  for (const Breakpoint &B : Points)
+    Total += B.Weight;
+  double Cum = 0.0;
+  size_t Median = Points.size() - 1;
+  for (size_t I = 0; I < Points.size(); ++I) {
+    Cum += Points[I].Weight;
+    if (Cum >= 0.5 * Total) {
+      Median = I;
+      break;
+    }
+  }
+  if (!Points[Median].FromPhi)
+    return Points[Median].Pos;
+  // Skip phi-eliminating candidates: inspect the nearest non-phi
+  // breakpoints in either direction and keep the better one.
+  double Best = 0.0;
+  double BestVal = objectiveAt(Points, 0.0);
+  for (size_t I = Median;; --I) {
+    if (!Points[I].FromPhi) {
+      double Val = objectiveAt(Points, Points[I].Pos);
+      if (Val < BestVal) {
+        BestVal = Val;
+        Best = Points[I].Pos;
+      }
+      break;
+    }
+    if (I == 0)
+      break;
+  }
+  for (size_t I = Median + 1; I < Points.size(); ++I) {
+    if (!Points[I].FromPhi) {
+      double Val = objectiveAt(Points, Points[I].Pos);
+      if (Val < BestVal) {
+        BestVal = Val;
+        Best = Points[I].Pos;
+      }
+      break;
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+RefinementStats
+deept::zono::refineSoftmaxSum(Zonotope &P,
+                              const std::vector<Zonotope *> &CoLive,
+                              const RefinementOptions &Opts) {
+  RefinementStats Stats;
+  size_t C = P.cols();
+  if (C < 2)
+    return Stats;
+  double Q = dualExponent(P.phiP());
+
+  // Collected symbol tightenings Sym -> [Lo, Hi], applied after all rows
+  // are processed. Each range is derived against the symbol's original
+  // [-1, 1] meaning, so ranges from different rows for the same symbol are
+  // intersected and the symbol is rewritten exactly once.
+  std::vector<std::pair<double, double>> Ranges(P.numEps(),
+                                                {-1.0, 1.0});
+  std::vector<bool> Tightened(P.numEps(), false);
+
+  for (size_t Row = 0; Row < P.rows(); ++Row) {
+    ConstraintForm D = buildConstraint(P, Row);
+
+    // Steps 1-2: refine every variable of the row with its own
+    // mass-minimising multiple of the constraint residual. The paper
+    // minimises only for y_1 (step 1) and pivot-substitutes an eps symbol
+    // for the others (step 2); since y_j + t * D equals y_j on the
+    // constraint set for *any* t, minimising per variable is equally sound
+    // and never increases a variable's coefficient mass (t = 0 is always a
+    // candidate the optimum dominates).
+    for (size_t J = 0; J < C; ++J) {
+      size_t Var = Row * C + J;
+      double TStar = minimiseCoefficientMass(P, Var, D, Opts);
+      if (std::fabs(TStar) <= Opts.MaxFactor)
+        addConstraintMultiple(P, Var, TStar, D);
+    }
+    Stats.RowsRefined++;
+
+    // Step 3: solve the refined constraint for each eps symbol to tighten
+    // its range.
+    ConstraintForm DR = buildConstraint(P, Row);
+    double AlphaNorm = 0.0;
+    {
+      Matrix A(1, DR.Alpha.size());
+      for (size_t S = 0; S < DR.Alpha.size(); ++S)
+        A.at(0, S) = DR.Alpha[S];
+      AlphaNorm = DR.Alpha.empty() ? 0.0 : A.lpNorm(Q);
+    }
+    double BetaAbsSum = 0.0;
+    for (double B : DR.Beta)
+      BetaAbsSum += std::fabs(B);
+    for (size_t M = 0; M < DR.Beta.size(); ++M) {
+      double BM = DR.Beta[M];
+      if (std::fabs(BM) <= Opts.Tol)
+        continue;
+      double Rest = AlphaNorm + (BetaAbsSum - std::fabs(BM));
+      // Constraint: DR.C + alpha.phi + sum beta_j eps_j = 0, so
+      // eps_m = (-DR.C - alpha.phi - sum_{j != m} beta_j eps_j) / BM.
+      double Mid = -DR.C / BM;
+      double Rad = Rest / std::fabs(BM);
+      if (!std::isfinite(Mid) || !std::isfinite(Rad))
+        continue; // overflowed abstraction; no sound tightening available
+      double Lo = std::max(Mid - Rad, -1.0);
+      double Hi = std::min(Mid + Rad, 1.0);
+      if (Lo > Hi)
+        continue; // numerically infeasible; leave the symbol alone
+      if (Hi - Lo >= 2.0 - 1e-12)
+        continue; // no tightening
+      if (M >= Ranges.size())
+        continue; // symbol introduced mid-refinement; skip
+      Ranges[M].first = std::max(Ranges[M].first, Lo);
+      Ranges[M].second = std::min(Ranges[M].second, Hi);
+      if (Ranges[M].first > Ranges[M].second) {
+        // Intersection emptied by floating point slack; collapse to the
+        // midpoint rather than producing an inverted range.
+        double Mid2 = 0.5 * (Ranges[M].first + Ranges[M].second);
+        Ranges[M] = {Mid2, Mid2};
+      }
+      Tightened[M] = true;
+    }
+  }
+
+  for (size_t Sym = 0; Sym < Tightened.size(); ++Sym) {
+    if (!Tightened[Sym])
+      continue;
+    double Mid = 0.5 * (Ranges[Sym].first + Ranges[Sym].second);
+    double Rad = 0.5 * (Ranges[Sym].second - Ranges[Sym].first);
+    P.rewriteEpsSymbol(Sym, Mid, Rad);
+    for (Zonotope *Other : CoLive)
+      Other->rewriteEpsSymbol(Sym, Mid, Rad);
+    Stats.SymbolsTightened++;
+  }
+  return Stats;
+}

@@ -1,0 +1,61 @@
+//===- zono/Refinement.h - Softmax sum zonotope refinement -----*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The softmax sum zonotope refinement of Section 5.3: softmax outputs
+/// form a probability distribution, sum_j y_j = 1, but the abstract
+/// softmax output admits instantiations violating it. Using the Zonotope
+/// equality-constraint machinery of Ghorbal et al. 2010:
+///
+///  1. the first variable of each softmax row is refined by adding the
+///     optimal multiple of the constraint residual D = 1 - sum_j y_j
+///     (the multiple minimises the total coefficient mass, solved by the
+///     O(E log E) weighted-median method of Appendix A.1, skipping
+///     candidates that would eliminate an lp noise symbol),
+///  2. the remaining variables are refined by substituting the eps symbol
+///     with the largest constraint coefficient,
+///  3. the constraint is solved for each eps symbol to tighten its range
+///     inside [-1, 1]; tightened symbols are immediately rewritten as
+///     mid + rad * eps_new in the refined zonotope *and* in all co-live
+///     zonotopes sharing the symbol space (the paper's pre-processing
+///     before noise reduction), so the global eps in [-1, 1] invariant is
+///     restored.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_ZONO_REFINEMENT_H
+#define DEEPT_ZONO_REFINEMENT_H
+
+#include "zono/Zonotope.h"
+
+namespace deept {
+namespace zono {
+
+struct RefinementOptions {
+  /// Coefficients below this threshold are treated as zero.
+  double Tol = 1e-9;
+  /// Substitution factors larger than this are skipped to avoid blowing
+  /// up coefficients when the pivot symbol is nearly absent.
+  double MaxFactor = 1e6;
+};
+
+struct RefinementStats {
+  size_t RowsRefined = 0;
+  size_t SymbolsTightened = 0;
+};
+
+/// Refines every row of the softmax output \p P (R x C, each row summing
+/// to 1) in place. \p CoLive lists other zonotopes sharing P's eps space;
+/// symbol-range rewrites from step 3 are applied to them as well. P itself
+/// must not appear in CoLive.
+RefinementStats
+refineSoftmaxSum(Zonotope &P, const std::vector<Zonotope *> &CoLive,
+                 const RefinementOptions &Opts = RefinementOptions());
+
+} // namespace zono
+} // namespace deept
+
+#endif // DEEPT_ZONO_REFINEMENT_H

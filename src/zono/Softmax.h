@@ -1,0 +1,47 @@
+//===- zono/Softmax.h - Softmax abstract transformer -----------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The row-wise softmax abstract transformer of Section 5.2. Instead of
+/// composing exp / sum / reciprocal / multiplication on sigma_i =
+/// e^{v_i} / sum_j e^{v_j}, DeepT overapproximates the equivalent
+///
+///   sigma_i = 1 / sum_j e^{v_j - v_i},
+///
+/// whose differences let shared noise symbols cancel, avoid the
+/// multiplication transformer entirely, and keep outputs in (0, 1].
+/// The naive composition is also provided for the ablation test that
+/// demonstrates why the rewrite matters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_ZONO_SOFTMAX_H
+#define DEEPT_ZONO_SOFTMAX_H
+
+#include "zono/DotProduct.h"
+#include "zono/Zonotope.h"
+
+namespace deept {
+namespace zono {
+
+struct SoftmaxOptions {
+  /// Positivity epsilon for the exp / reciprocal transformers.
+  double ElementwiseEps = 0.01;
+  /// Use the stable 1 / sum(e^{v_j - v_i}) rewrite (Section 5.2) instead
+  /// of the naive exp/sum/recip/mul composition.
+  bool StableRewrite = true;
+  /// Options for the multiplication transformer of the naive composition.
+  DotOptions Mul;
+};
+
+/// Applies softmax to every row of \p Scores (R x C -> R x C).
+Zonotope applySoftmax(const Zonotope &Scores,
+                      const SoftmaxOptions &Opts = SoftmaxOptions());
+
+} // namespace zono
+} // namespace deept
+
+#endif // DEEPT_ZONO_SOFTMAX_H

@@ -1,0 +1,429 @@
+//===- zono/Zonotope.cpp --------------------------------------*- C++ -*-===//
+
+#include "zono/Zonotope.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace deept;
+using namespace deept::zono;
+using tensor::dualExponent;
+
+namespace {
+
+/// Accumulates, per variable (column), the dual-norm of the coefficient
+/// columns of \p Coeffs. Q follows Matrix::InfNorm conventions.
+Matrix columnDualNorms(const Matrix &Coeffs, double Q, size_t NumVars) {
+  Matrix Out(1, NumVars, 0.0);
+  double *O = Out.data();
+  if (Q == 1.0) {
+    for (size_t S = 0; S < Coeffs.rows(); ++S) {
+      const double *Row = Coeffs.rowPtr(S);
+      for (size_t V = 0; V < NumVars; ++V)
+        O[V] += std::fabs(Row[V]);
+    }
+    return Out;
+  }
+  if (Q == 2.0) {
+    for (size_t S = 0; S < Coeffs.rows(); ++S) {
+      const double *Row = Coeffs.rowPtr(S);
+      for (size_t V = 0; V < NumVars; ++V)
+        O[V] += Row[V] * Row[V];
+    }
+    for (size_t V = 0; V < NumVars; ++V)
+      O[V] = std::sqrt(O[V]);
+    return Out;
+  }
+  assert(Q == Matrix::InfNorm && "unsupported dual exponent");
+  for (size_t S = 0; S < Coeffs.rows(); ++S) {
+    const double *Row = Coeffs.rowPtr(S);
+    for (size_t V = 0; V < NumVars; ++V)
+      O[V] = std::max(O[V], std::fabs(Row[V]));
+  }
+  return Out;
+}
+
+} // namespace
+
+Zonotope Zonotope::constant(const Matrix &Center, double PhiP) {
+  Zonotope Z;
+  Z.NumRows = Center.rows();
+  Z.NumCols = Center.cols();
+  Z.Center = Center;
+  Z.PhiP = PhiP;
+  Z.PhiC = Matrix(0, Z.numVars());
+  Z.EpsC = Matrix(0, Z.numVars());
+  return Z;
+}
+
+Zonotope Zonotope::lpBallOnRow(const Matrix &Center, size_t Row, double P,
+                               double Radius) {
+  assert(Row < Center.rows() && "perturbed row out of range");
+  Zonotope Z = constant(Center, P == Matrix::InfNorm ? Matrix::InfNorm : P);
+  size_t E = Center.cols();
+  Matrix Coeffs(E, Z.numVars());
+  for (size_t I = 0; I < E; ++I)
+    Coeffs.at(I, Row * E + I) = Radius;
+  if (P == Matrix::InfNorm)
+    Z.EpsC = Coeffs;
+  else
+    Z.PhiC = Coeffs;
+  return Z;
+}
+
+Zonotope Zonotope::lpBall(const Matrix &Center, double P, double Radius) {
+  Zonotope Z = constant(Center, P == Matrix::InfNorm ? Matrix::InfNorm : P);
+  size_t N = Z.numVars();
+  Matrix Coeffs(N, N);
+  for (size_t I = 0; I < N; ++I)
+    Coeffs.at(I, I) = Radius;
+  if (P == Matrix::InfNorm)
+    Z.EpsC = Coeffs;
+  else
+    Z.PhiC = Coeffs;
+  return Z;
+}
+
+Zonotope Zonotope::box(const Matrix &Lo, const Matrix &Hi) {
+  assert(Lo.rows() == Hi.rows() && Lo.cols() == Hi.cols() &&
+         "box corner shape mismatch");
+  Matrix Center = (Lo + Hi) * 0.5;
+  Zonotope Z = constant(Center, Matrix::InfNorm);
+  std::vector<std::pair<size_t, double>> Entries;
+  for (size_t V = 0; V < Z.numVars(); ++V) {
+    double Rad = 0.5 * (Hi.flat(V) - Lo.flat(V));
+    assert(Rad >= 0.0 && "box with Lo > Hi");
+    if (Rad > 0.0)
+      Entries.emplace_back(V, Rad);
+  }
+  Z.appendFreshEps(Entries);
+  return Z;
+}
+
+void Zonotope::bounds(Matrix &Lo, Matrix &Hi) const {
+  Matrix Rad = radii();
+  Lo = Matrix(NumRows, NumCols);
+  Hi = Matrix(NumRows, NumCols);
+  for (size_t V = 0; V < numVars(); ++V) {
+    Lo.flat(V) = Center.flat(V) - Rad.flat(V);
+    Hi.flat(V) = Center.flat(V) + Rad.flat(V);
+  }
+}
+
+Matrix Zonotope::radii() const {
+  double Q = dualExponent(PhiP);
+  Matrix PhiNorm = columnDualNorms(PhiC, Q, numVars());
+  Matrix EpsNorm = columnDualNorms(EpsC, 1.0, numVars());
+  Matrix Rad(NumRows, NumCols);
+  for (size_t V = 0; V < numVars(); ++V)
+    Rad.flat(V) = PhiNorm.flat(V) + EpsNorm.flat(V);
+  return Rad;
+}
+
+Zonotope Zonotope::add(const Zonotope &O) const {
+  assert(NumRows == O.NumRows && NumCols == O.NumCols && "shape mismatch");
+  Zonotope A = *this, B = O;
+  alignSpaces(A, B);
+  A.Center += B.Center;
+  A.PhiC += B.PhiC;
+  A.EpsC += B.EpsC;
+  return A;
+}
+
+Zonotope Zonotope::sub(const Zonotope &O) const {
+  return add(O.scale(-1.0));
+}
+
+Zonotope Zonotope::addConst(const Matrix &C) const {
+  Zonotope Z = *this;
+  Z.Center += C;
+  return Z;
+}
+
+Zonotope Zonotope::scale(double S) const {
+  Zonotope Z = *this;
+  Z.Center *= S;
+  Z.PhiC *= S;
+  Z.EpsC *= S;
+  return Z;
+}
+
+Zonotope Zonotope::mapLinear(
+    size_t NewRows, size_t NewCols,
+    const std::function<Matrix(const Matrix &)> &Fn) const {
+  Zonotope Z;
+  Z.NumRows = NewRows;
+  Z.NumCols = NewCols;
+  Z.PhiP = PhiP;
+  Z.Center = Fn(Center);
+  assert(Z.Center.rows() == NewRows && Z.Center.cols() == NewCols &&
+         "mapLinear shape contract violated");
+  Z.PhiC = Matrix(numPhi(), NewRows * NewCols);
+  for (size_t S = 0; S < numPhi(); ++S) {
+    Matrix Mapped = Fn(PhiC.rowSlice(S, S + 1).reshaped(NumRows, NumCols));
+    std::copy(Mapped.data(), Mapped.data() + Mapped.size(), Z.PhiC.rowPtr(S));
+  }
+  Z.EpsC = Matrix(numEps(), NewRows * NewCols);
+  for (size_t S = 0; S < numEps(); ++S) {
+    Matrix Mapped = Fn(EpsC.rowSlice(S, S + 1).reshaped(NumRows, NumCols));
+    std::copy(Mapped.data(), Mapped.data() + Mapped.size(), Z.EpsC.rowPtr(S));
+  }
+  return Z;
+}
+
+Zonotope Zonotope::matmulRightConst(const Matrix &W) const {
+  assert(W.rows() == NumCols && "matmulRightConst shape mismatch");
+  Zonotope Z = mapLinear(NumRows, W.cols(), [&](const Matrix &X) {
+    return tensor::matmul(X, W);
+  });
+  return Z;
+}
+
+Zonotope Zonotope::matmulLeftConst(const Matrix &W) const {
+  assert(W.cols() == NumRows && "matmulLeftConst shape mismatch");
+  return mapLinear(W.rows(), NumCols, [&](const Matrix &X) {
+    return tensor::matmul(W, X);
+  });
+}
+
+Zonotope Zonotope::subRowMean() const {
+  return mapLinear(NumRows, NumCols, [&](const Matrix &X) {
+    Matrix Means = X.rowMeans();
+    Matrix Out = X;
+    for (size_t R = 0; R < X.rows(); ++R)
+      for (size_t C = 0; C < X.cols(); ++C)
+        Out.at(R, C) -= Means.at(R, 0);
+    return Out;
+  });
+}
+
+Zonotope Zonotope::rowMeans() const {
+  return mapLinear(NumRows, 1,
+                   [&](const Matrix &X) { return X.rowMeans(); });
+}
+
+Zonotope Zonotope::scaleColumns(const Matrix &Gamma) const {
+  assert(Gamma.rows() == 1 && Gamma.cols() == NumCols &&
+         "scaleColumns wants a 1 x Cols vector");
+  return mapLinear(NumRows, NumCols, [&](const Matrix &X) {
+    Matrix Out = X;
+    for (size_t R = 0; R < X.rows(); ++R)
+      for (size_t C = 0; C < X.cols(); ++C)
+        Out.at(R, C) *= Gamma.at(0, C);
+    return Out;
+  });
+}
+
+Zonotope Zonotope::addRowBroadcast(const Matrix &Bias) const {
+  Zonotope Z = *this;
+  Z.Center = tensor::addRowBroadcast(Z.Center, Bias);
+  return Z;
+}
+
+Zonotope Zonotope::selectRow(size_t R) const {
+  assert(R < NumRows && "selectRow out of range");
+  return mapLinear(1, NumCols,
+                   [&](const Matrix &X) { return X.rowSlice(R, R + 1); });
+}
+
+Zonotope Zonotope::selectColRange(size_t C0, size_t C1) const {
+  assert(C0 <= C1 && C1 <= NumCols && "selectColRange out of range");
+  return mapLinear(NumRows, C1 - C0,
+                   [&](const Matrix &X) { return X.colSlice(C0, C1); });
+}
+
+Zonotope Zonotope::transposedView() const {
+  return mapLinear(NumCols, NumRows,
+                   [&](const Matrix &X) { return X.transposed(); });
+}
+
+Zonotope Zonotope::reshapedView(size_t Rows, size_t Cols) const {
+  assert(Rows * Cols == numVars() && "reshape must preserve element count");
+  Zonotope Z = *this;
+  Z.NumRows = Rows;
+  Z.NumCols = Cols;
+  Z.Center = Center.reshaped(Rows, Cols);
+  return Z;
+}
+
+Zonotope Zonotope::concatCols(const std::vector<Zonotope> &Parts) {
+  assert(!Parts.empty() && "concatCols of nothing");
+  size_t Rows = Parts.front().NumRows;
+  size_t Cols = 0;
+  size_t MaxEps = 0;
+  for (const Zonotope &P : Parts) {
+    assert(P.NumRows == Rows && "concatCols row mismatch");
+    assert(P.PhiP == Parts.front().PhiP && P.numPhi() == Parts.front().numPhi() &&
+           "concatCols phi mismatch");
+    Cols += P.NumCols;
+    MaxEps = std::max(MaxEps, P.numEps());
+  }
+  Zonotope Z;
+  Z.NumRows = Rows;
+  Z.NumCols = Cols;
+  Z.PhiP = Parts.front().PhiP;
+  Z.Center = Matrix(Rows, Cols);
+  Z.PhiC = Matrix(Parts.front().numPhi(), Rows * Cols);
+  Z.EpsC = Matrix(MaxEps, Rows * Cols);
+  size_t C0 = 0;
+  for (const Zonotope &P : Parts) {
+    Z.Center.setBlock(0, C0, P.Center);
+    for (size_t S = 0; S < P.numPhi(); ++S) {
+      const double *Src = P.PhiC.rowPtr(S);
+      double *Dst = Z.PhiC.rowPtr(S);
+      for (size_t R = 0; R < Rows; ++R)
+        std::copy(Src + R * P.NumCols, Src + (R + 1) * P.NumCols,
+                  Dst + R * Cols + C0);
+    }
+    for (size_t S = 0; S < P.numEps(); ++S) {
+      const double *Src = P.EpsC.rowPtr(S);
+      double *Dst = Z.EpsC.rowPtr(S);
+      for (size_t R = 0; R < Rows; ++R)
+        std::copy(Src + R * P.NumCols, Src + (R + 1) * P.NumCols,
+                  Dst + R * Cols + C0);
+    }
+    C0 += P.NumCols;
+  }
+  return Z;
+}
+
+void Zonotope::installCoeffs(Matrix Phi, Matrix Eps) {
+  assert(Phi.cols() == numVars() && Eps.cols() == numVars() &&
+         "installCoeffs column count mismatch");
+  PhiC = std::move(Phi);
+  EpsC = std::move(Eps);
+}
+
+void Zonotope::padEpsTo(size_t Count) {
+  assert(Count >= numEps() && "cannot shrink eps space by padding");
+  EpsC.appendZeroRows(Count - numEps());
+}
+
+void Zonotope::padPhiTo(size_t Count) {
+  assert(Count >= numPhi() && "cannot shrink phi space by padding");
+  PhiC.appendZeroRows(Count - numPhi());
+}
+
+void Zonotope::alignEps(Zonotope &A, Zonotope &B) {
+  size_t Count = std::max(A.numEps(), B.numEps());
+  A.padEpsTo(Count);
+  B.padEpsTo(Count);
+}
+
+void Zonotope::alignSpaces(Zonotope &A, Zonotope &B) {
+  if (A.numPhi() == 0)
+    A.PhiP = B.PhiP;
+  if (B.numPhi() == 0)
+    B.PhiP = A.PhiP;
+  assert(A.PhiP == B.PhiP && "incompatible phi norms");
+  size_t Count = std::max(A.numPhi(), B.numPhi());
+  A.padPhiTo(Count);
+  B.padPhiTo(Count);
+  alignEps(A, B);
+}
+
+size_t Zonotope::appendFreshEps(
+    const std::vector<std::pair<size_t, double>> &Entries) {
+  size_t First = numEps();
+  Matrix Block(Entries.size(), numVars());
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    assert(Entries[I].first < numVars() && "fresh eps var out of range");
+    Block.at(I, Entries[I].first) = Entries[I].second;
+  }
+  EpsC.appendRows(Block);
+  return First;
+}
+
+void Zonotope::scalePerVarInPlace(const Matrix &Lambda) {
+  assert(Lambda.rows() == NumRows && Lambda.cols() == NumCols &&
+         "Lambda must have the view's shape");
+  for (size_t V = 0; V < numVars(); ++V)
+    Center.flat(V) *= Lambda.flat(V);
+  for (size_t S = 0; S < numPhi(); ++S) {
+    double *Row = PhiC.rowPtr(S);
+    for (size_t V = 0; V < numVars(); ++V)
+      Row[V] *= Lambda.flat(V);
+  }
+  for (size_t S = 0; S < numEps(); ++S) {
+    double *Row = EpsC.rowPtr(S);
+    for (size_t V = 0; V < numVars(); ++V)
+      Row[V] *= Lambda.flat(V);
+  }
+}
+
+void Zonotope::shiftCenterInPlace(const Matrix &Mu) {
+  Center += Mu;
+}
+
+void Zonotope::rewriteEpsSymbol(size_t Sym, double Mid, double Rad) {
+  if (Sym >= numEps())
+    return; // This tensor predates the symbol; nothing to rewrite.
+  double *Row = EpsC.rowPtr(Sym);
+  for (size_t V = 0; V < numVars(); ++V) {
+    Center.flat(V) += Mid * Row[V];
+    Row[V] *= Rad;
+  }
+}
+
+Matrix Zonotope::sample(support::Rng &Rng, bool OnBoundary) const {
+  std::vector<double> PhiVals, EpsVals;
+  sampleNoise(Rng, OnBoundary, PhiVals, EpsVals);
+  return evaluate(PhiVals, EpsVals);
+}
+
+void Zonotope::sampleNoise(support::Rng &Rng, bool OnBoundary,
+                           std::vector<double> &PhiVals,
+                           std::vector<double> &EpsVals) const {
+  PhiVals.assign(numPhi(), 0.0);
+  EpsVals.assign(numEps(), 0.0);
+  for (double &V : PhiVals)
+    V = Rng.uniform(-1.0, 1.0);
+  if (!PhiVals.empty()) {
+    // Scale into (or onto) the unit lp ball.
+    double Norm = 0.0;
+    if (PhiP == 1.0) {
+      for (double V : PhiVals)
+        Norm += std::fabs(V);
+    } else if (PhiP == 2.0) {
+      for (double V : PhiVals)
+        Norm += V * V;
+      Norm = std::sqrt(Norm);
+    } else {
+      for (double V : PhiVals)
+        Norm = std::max(Norm, std::fabs(V));
+    }
+    double Scale = OnBoundary ? (Norm > 0 ? 1.0 / Norm : 0.0)
+                              : (Norm > 1.0 ? 1.0 / Norm : 1.0);
+    for (double &V : PhiVals)
+      V *= Scale;
+  }
+  for (double &V : EpsVals)
+    V = OnBoundary ? Rng.sign() : Rng.uniform(-1.0, 1.0);
+}
+
+Matrix Zonotope::evaluate(const std::vector<double> &PhiVals,
+                          const std::vector<double> &EpsVals) const {
+  assert(PhiVals.size() == numPhi() && EpsVals.size() == numEps() &&
+         "noise vector arity mismatch");
+  Matrix Out = Center;
+  for (size_t S = 0; S < numPhi(); ++S) {
+    const double *Row = PhiC.rowPtr(S);
+    double V = PhiVals[S];
+    if (V == 0.0)
+      continue;
+    for (size_t I = 0; I < numVars(); ++I)
+      Out.flat(I) += V * Row[I];
+  }
+  for (size_t S = 0; S < numEps(); ++S) {
+    const double *Row = EpsC.rowPtr(S);
+    double V = EpsVals[S];
+    if (V == 0.0)
+      continue;
+    for (size_t I = 0; I < numVars(); ++I)
+      Out.flat(I) += V * Row[I];
+  }
+  return Out;
+}

@@ -1,0 +1,228 @@
+//===- zono/Zonotope.h - The Multi-norm Zonotope domain --------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Multi-norm Zonotope abstract domain of "Fast and Precise
+/// Certification of Transformers" (PLDI 2021), Section 4.
+///
+/// A Multi-norm Zonotope abstracts a tensor of variables x (viewed with a
+/// logical Rows x Cols shape) as
+///
+///   x = c + A^T phi + B^T eps,   ||phi||_p <= 1,   eps_j in [-1, 1],
+///
+/// where the phi symbols model an lp-norm bound input perturbation
+/// (p in {1, 2}) and the eps symbols are classical (l-infinity) Zonotope
+/// noise symbols. Coefficients are stored symbol-major: Phi is
+/// (#phi x #vars) and Eps is (#eps x #vars), so each coefficient row is the
+/// flattened Rows x Cols coefficient tensor of one noise symbol.
+///
+/// Noise symbols are shared between zonotopes derived from the same input;
+/// all binary operations align the eps spaces by zero-padding the shorter
+/// one (symbols are allocated append-only between noise reductions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_ZONO_ZONOTOPE_H
+#define DEEPT_ZONO_ZONOTOPE_H
+
+#include "tensor/Matrix.h"
+
+#include <utility>
+#include <vector>
+
+namespace deept {
+namespace support {
+class Rng;
+} // namespace support
+
+namespace zono {
+
+using tensor::Matrix;
+
+/// A Multi-norm Zonotope over Rows x Cols variables.
+class Zonotope {
+public:
+  Zonotope() = default;
+
+  /// An abstraction of the exact constant tensor \p Center (no noise).
+  /// \p PhiP fixes the norm of phi symbols added later (Matrix::InfNorm
+  /// when the zonotope is classical).
+  static Zonotope constant(const Matrix &Center, double PhiP);
+
+  /// The lp ball of radius \p Radius around row \p Row of \p Center
+  /// (threat model T1: one perturbed word embedding). For p = infinity the
+  /// ball is expressed with classical eps symbols; otherwise with phi
+  /// symbols bound by ||phi||_p <= 1.
+  static Zonotope lpBallOnRow(const Matrix &Center, size_t Row, double P,
+                              double Radius);
+
+  /// The lp ball of radius \p Radius around the whole tensor \p Center.
+  static Zonotope lpBall(const Matrix &Center, double P, double Radius);
+
+  /// The box [Lo, Hi] (threat model T2: synonym boxes). Dimensions with
+  /// Lo == Hi get no noise symbol.
+  static Zonotope box(const Matrix &Lo, const Matrix &Hi);
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+  size_t numVars() const { return NumRows * NumCols; }
+  size_t numPhi() const { return PhiC.rows(); }
+  size_t numEps() const { return EpsC.rows(); }
+  double phiP() const { return PhiP; }
+
+  const Matrix &center() const { return Center; }
+  Matrix &center() { return Center; }
+  const Matrix &phiCoeffs() const { return PhiC; }
+  Matrix &phiCoeffs() { return PhiC; }
+  const Matrix &epsCoeffs() const { return EpsC; }
+  Matrix &epsCoeffs() { return EpsC; }
+
+  /// Computes per-variable concrete bounds (Theorem 1): for variable k,
+  ///   l_k = c_k - ||alpha_k||_q - ||beta_k||_1,
+  ///   u_k = c_k + ||alpha_k||_q + ||beta_k||_1,
+  /// with q the dual exponent of p. Outputs are Rows x Cols.
+  void bounds(Matrix &Lo, Matrix &Hi) const;
+
+  /// Per-variable noise radius ||alpha_k||_q + ||beta_k||_1 (Rows x Cols).
+  Matrix radii() const;
+
+  // --- Exact affine transformers (Theorem 2). ---
+
+  /// this + O (shared noise symbols; eps spaces are aligned).
+  Zonotope add(const Zonotope &O) const;
+
+  /// this - O.
+  Zonotope sub(const Zonotope &O) const;
+
+  /// this + constant tensor.
+  Zonotope addConst(const Matrix &C) const;
+
+  /// this * scalar.
+  Zonotope scale(double S) const;
+
+  /// View (Rows x Cols) multiplied on the right by constant W (Cols x D).
+  Zonotope matmulRightConst(const Matrix &W) const;
+
+  /// Constant W (M x Rows) times the view.
+  Zonotope matmulLeftConst(const Matrix &W) const;
+
+  /// Per row i: y[i][j] = x[i][j] - mean_j x[i][j] (the paper's layer
+  /// normalization without division by the standard deviation).
+  Zonotope subRowMean() const;
+
+  /// Row means as a Rows x 1 zonotope.
+  Zonotope rowMeans() const;
+
+  /// y[i][j] = Gamma[j] * x[i][j] (Gamma is 1 x Cols).
+  Zonotope scaleColumns(const Matrix &Gamma) const;
+
+  /// y[i][j] = x[i][j] + Bias[j] (Bias is 1 x Cols).
+  Zonotope addRowBroadcast(const Matrix &Bias) const;
+
+  /// Row \p R as a 1 x Cols zonotope.
+  Zonotope selectRow(size_t R) const;
+
+  /// Columns [C0, C1) of the view.
+  Zonotope selectColRange(size_t C0, size_t C1) const;
+
+  /// The transposed view (Cols x Rows); coefficients are permuted.
+  Zonotope transposedView() const;
+
+  /// Reshape of the view; element count preserved.
+  Zonotope reshapedView(size_t Rows, size_t Cols) const;
+
+  /// Horizontal concatenation of zonotopes with equal row counts.
+  static Zonotope concatCols(const std::vector<Zonotope> &Parts);
+
+  /// Applies an arbitrary linear map \p Fn of the view to the center and
+  /// to every coefficient row (exact, Theorem 2). Fn must map a Rows x
+  /// Cols matrix to a NewRows x NewCols matrix and be linear.
+  Zonotope
+  mapLinearPublic(size_t NewRows, size_t NewCols,
+                  const std::function<Matrix(const Matrix &)> &Fn) const {
+    return mapLinear(NewRows, NewCols, Fn);
+  }
+
+  // --- Noise-symbol plumbing. ---
+
+  /// Replaces both coefficient matrices wholesale (column counts must
+  /// equal numVars()). Used by transformers that compute coefficients
+  /// symbol by symbol.
+  void installCoeffs(Matrix Phi, Matrix Eps);
+
+  /// Pads the eps space with zero coefficient rows up to \p Count symbols.
+  void padEpsTo(size_t Count);
+
+  /// Pads the phi space with zero coefficient rows (used when combining
+  /// with constants created after the input).
+  void padPhiTo(size_t Count);
+
+  /// Aligns the eps spaces of \p A and \p B by zero padding.
+  static void alignEps(Zonotope &A, Zonotope &B);
+
+  /// Aligns both phi and eps spaces by zero padding; if one operand has no
+  /// phi symbols it adopts the other's norm.
+  static void alignSpaces(Zonotope &A, Zonotope &B);
+
+  /// Appends a block of fresh eps symbols, one per entry; entry (Var, Coef)
+  /// gives the coefficient of the new symbol on variable Var. Returns the
+  /// index of the first new symbol.
+  size_t
+  appendFreshEps(const std::vector<std::pair<size_t, double>> &Entries);
+
+  /// Scales variable v's center and all of its noise coefficients by
+  /// Lambda[v] (Lambda has the view's shape). Used by the elementwise
+  /// transformers, whose output is Lambda * x + Mu + Beta * eps_new.
+  void scalePerVarInPlace(const Matrix &Lambda);
+
+  /// Adds Mu (view shaped) to the center in place.
+  void shiftCenterInPlace(const Matrix &Mu);
+
+  /// Rewrites eps symbol \p Sym as Mid + Rad * eps_new in place (used after
+  /// the softmax sum refinement tightens a symbol's range to
+  /// [Mid - Rad, Mid + Rad]). The symbol slot is reused for eps_new.
+  void rewriteEpsSymbol(size_t Sym, double Mid, double Rad);
+
+  /// A concrete member of the concretization: noise symbols are sampled
+  /// inside their domains. If \p OnBoundary is true the phi vector is
+  /// scaled onto the unit lp sphere and eps values are +-1.
+  Matrix sample(support::Rng &Rng, bool OnBoundary = false) const;
+
+  /// Samples admissible noise values (||phi||_p <= 1, eps in [-1, 1])
+  /// without evaluating; used by tests that track points through
+  /// transformers.
+  void sampleNoise(support::Rng &Rng, bool OnBoundary,
+                   std::vector<double> &PhiVals,
+                   std::vector<double> &EpsVals) const;
+
+  /// Evaluates the zonotope at explicit noise values (sizes must match).
+  Matrix evaluate(const std::vector<double> &PhiVals,
+                  const std::vector<double> &EpsVals) const;
+
+  /// Approximate memory footprint of the coefficient matrices in bytes.
+  size_t coeffBytes() const {
+    return (PhiC.size() + EpsC.size() + Center.size()) * sizeof(double);
+  }
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  Matrix Center;                       // NumRows x NumCols
+  double PhiP = Matrix::InfNorm;       // p of the phi symbols
+  Matrix PhiC;                         // numPhi x numVars
+  Matrix EpsC;                         // numEps x numVars
+
+  /// Applies a linear map of the flattened variables to center and every
+  /// coefficient row: NewVars = Fn(OldVarsViewedRowsxCols).
+  Zonotope
+  mapLinear(size_t NewRows, size_t NewCols,
+            const std::function<Matrix(const Matrix &)> &Fn) const;
+};
+
+} // namespace zono
+} // namespace deept
+
+#endif // DEEPT_ZONO_ZONOTOPE_H

@@ -1,0 +1,69 @@
+//===- tests/argparse_test.cpp ---------------------------------*- C++ -*-===//
+
+#include "support/ArgParse.h"
+
+#include <gtest/gtest.h>
+
+using namespace deept::support;
+
+namespace {
+
+ArgParse parse(std::initializer_list<const char *> Argv,
+               const std::vector<std::string> &Switches = {}) {
+  std::vector<const char *> V = Argv;
+  return ArgParse(static_cast<int>(V.size()), V.data(), Switches);
+}
+
+} // namespace
+
+TEST(ArgParse, PositionalAndFlags) {
+  ArgParse A = parse({"prog", "train", "--out", "m.dptm", "--layers", "3"});
+  ASSERT_EQ(A.positional().size(), 1u);
+  EXPECT_EQ(A.positional()[0], "train");
+  EXPECT_EQ(A.get("out"), "m.dptm");
+  EXPECT_EQ(A.getInt("layers", 0), 3);
+  EXPECT_FALSE(A.has("missing"));
+  EXPECT_EQ(A.get("missing", "fallback"), "fallback");
+}
+
+TEST(ArgParse, SwitchesConsumeNoValue) {
+  ArgParse A = parse({"prog", "train", "--robust", "positional2"},
+                     {"robust"});
+  EXPECT_TRUE(A.has("robust"));
+  ASSERT_EQ(A.positional().size(), 2u);
+  EXPECT_EQ(A.positional()[1], "positional2");
+}
+
+TEST(ArgParse, EqualsForm) {
+  ArgParse A = parse({"prog", "--norm=linf", "--eps=0.25"});
+  EXPECT_EQ(A.get("norm"), "linf");
+  EXPECT_DOUBLE_EQ(A.getDouble("eps", 0.0), 0.25);
+}
+
+TEST(ArgParse, FlagBeforeAnotherFlagActsAsSwitch) {
+  ArgParse A = parse({"prog", "--verbose", "--out", "x"});
+  EXPECT_TRUE(A.has("verbose"));
+  EXPECT_EQ(A.get("verbose"), "");
+  EXPECT_EQ(A.get("out"), "x");
+}
+
+TEST(ArgParse, TrailingFlagWithoutValue) {
+  ArgParse A = parse({"prog", "--flag"});
+  EXPECT_TRUE(A.has("flag"));
+  EXPECT_EQ(A.get("flag", "d"), "");
+}
+
+TEST(ArgParse, IntAndDoubleDefaults) {
+  ArgParse A = parse({"prog", "--n", "42", "--x", "2.5"});
+  EXPECT_EQ(A.getInt("n", 0), 42);
+  EXPECT_DOUBLE_EQ(A.getDouble("x", 0.0), 2.5);
+  EXPECT_EQ(A.getInt("absent", 7), 7);
+  EXPECT_DOUBLE_EQ(A.getDouble("absent", 1.5), 1.5);
+}
+
+TEST(ArgParse, UnknownFlagDetection) {
+  ArgParse A = parse({"prog", "--out", "x", "--typo", "y"});
+  auto Unknown = A.unknownFlags({"out"});
+  ASSERT_EQ(Unknown.size(), 1u);
+  EXPECT_EQ(Unknown[0], "typo");
+}

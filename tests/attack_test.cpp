@@ -1,0 +1,195 @@
+//===- tests/attack_test.cpp ----------------------------------*- C++ -*-===//
+//
+// Tests for the PGD attack and synonym enumeration, including the
+// attack-vs-certificate consistency checks (a certificate and a
+// counterexample can never coexist).
+//
+//===----------------------------------------------------------------------===//
+
+#include "attack/Enumeration.h"
+#include "attack/Pgd.h"
+
+#include "nn/Train.h"
+#include "verify/DeepT.h"
+#include "verify/FeedForwardVerifier.h"
+#include "verify/RadiusSearch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace deept;
+using namespace deept::attack;
+using tensor::Matrix;
+using zono::Zonotope;
+
+namespace {
+
+struct FFFixture {
+  nn::FeedForwardNet Net;
+  std::vector<data::ImageExample> Test;
+
+  FFFixture() {
+    support::Rng Rng(600);
+    Net = nn::FeedForwardNet::init({64, 10, 50, 10, 2}, Rng);
+    support::Rng DataRng(601);
+    auto Train = data::makeStrokeImages(256, DataRng);
+    Test = data::makeStrokeImages(32, DataRng);
+    nn::TrainOptions Opts;
+    Opts.Steps = 150;
+    Opts.BatchSize = 8;
+    nn::trainFeedForward(Net, Train, Opts);
+  }
+};
+
+const FFFixture &ffFixture() {
+  static FFFixture F;
+  return F;
+}
+
+} // namespace
+
+TEST(ProjectLpBall, RespectsEachNorm) {
+  support::Rng Rng(1);
+  for (double P : {1.0, 2.0, Matrix::InfNorm}) {
+    for (int Trial = 0; Trial < 20; ++Trial) {
+      Matrix D = Matrix::randn(1, 8, Rng, 2.0);
+      Matrix Orig = D;
+      projectLpBall(D, P, 0.5);
+      EXPECT_LE(D.lpNorm(P == Matrix::InfNorm ? Matrix::InfNorm : P),
+                0.5 + 1e-9);
+      // Points already inside are untouched.
+      Matrix Small = Orig * (0.4 / std::max(Orig.lpNorm(
+                                P == Matrix::InfNorm ? Matrix::InfNorm : P),
+                                            1e-9));
+      Matrix SmallCopy = Small;
+      projectLpBall(Small, P, 0.5);
+      EXPECT_TRUE(tensor::allClose(Small, SmallCopy, 1e-12));
+    }
+  }
+}
+
+TEST(ProjectLpBall, L1ProjectionIsClosestPoint) {
+  // Spot-check the Duchi projection: projecting (1, 0.5) onto the l1 ball
+  // of radius 1 gives (0.75, 0.25).
+  Matrix D = Matrix::fromRows({{1.0, 0.5}});
+  projectLpBall(D, 1.0, 1.0);
+  EXPECT_NEAR(D.at(0, 0), 0.75, 1e-9);
+  EXPECT_NEAR(D.at(0, 1), 0.25, 1e-9);
+}
+
+TEST(PgdFF, FindsAdversarialAtLargeRadius) {
+  const FFFixture &F = ffFixture();
+  int Found = 0, Tried = 0;
+  for (const auto &Ex : F.Test) {
+    if (F.Net.classify(Ex.Pixels) != Ex.Label)
+      continue;
+    if (++Tried > 5)
+      break;
+    if (attackFeedForwardLpBall(F.Net, Ex.Pixels, 2.0, 50.0, Ex.Label))
+      ++Found;
+  }
+  EXPECT_GT(Found, 0) << "PGD should break the net at huge radii";
+}
+
+TEST(PgdFF, NeverBreaksInsideCertifiedRegion) {
+  // The fundamental consistency check between the verifier and the
+  // attack: no adversarial example exists within a certified radius.
+  const FFFixture &F = ffFixture();
+  int Checked = 0;
+  for (const auto &Ex : F.Test) {
+    if (F.Net.classify(Ex.Pixels) != Ex.Label)
+      continue;
+    if (++Checked > 4)
+      break;
+    double Certified = verify::certifiedRadius([&](double R) {
+      return verify::certifyFeedForwardLpBall(F.Net, Ex.Pixels, 2.0, R,
+                                              Ex.Label);
+    });
+    if (Certified <= 0)
+      continue;
+    EXPECT_FALSE(attackFeedForwardLpBall(F.Net, Ex.Pixels, 2.0,
+                                         0.95 * Certified, Ex.Label))
+        << "adversarial example found inside a certified region";
+  }
+  EXPECT_GT(Checked, 0);
+}
+
+TEST(PgdFF, AttackRadiusUpperBoundsCertifiedRadius) {
+  // GeoCert-substitute sanity: the attack radius (upper bound on the
+  // exact robustness radius) dominates the certified radius (lower
+  // bound); the gap is what Table 10 reports.
+  const FFFixture &F = ffFixture();
+  int Checked = 0;
+  for (const auto &Ex : F.Test) {
+    if (F.Net.classify(Ex.Pixels) != Ex.Label)
+      continue;
+    if (++Checked > 3)
+      break;
+    double Certified = verify::certifiedRadius([&](double R) {
+      return verify::certifyFeedForwardLpBall(F.Net, Ex.Pixels, 2.0, R,
+                                              Ex.Label);
+    });
+    double AttackR =
+        minimalAdversarialRadiusFF(F.Net, Ex.Pixels, 2.0, Ex.Label);
+    EXPECT_GE(AttackR, Certified - 1e-9);
+  }
+}
+
+TEST(Enumeration, CountsCombinations) {
+  data::SyntheticCorpus Corpus(data::CorpusConfig::sstLike(16));
+  data::Sentence S;
+  S.Tokens = {0, 1, 2};
+  size_t Expected = 1;
+  for (size_t T : S.Tokens)
+    Expected *= 1 + Corpus.synonymsOf(T).size();
+  EXPECT_EQ(countSynonymCombinations(Corpus, S), Expected);
+  // The cap saturates rather than overflowing.
+  data::Sentence Long;
+  for (int I = 0; I < 64; ++I)
+    Long.Tokens.push_back(I % Corpus.vocabSize());
+  EXPECT_EQ(countSynonymCombinations(Corpus, Long, 1000), 1000u);
+}
+
+TEST(Enumeration, FindsPlantedCounterexample) {
+  // On an untrained model, some synonym combination almost surely flips
+  // the (arbitrary) decision; enumeration must report non-robust when we
+  // pick the label the model disagrees with on some combination.
+  data::SyntheticCorpus Corpus(data::CorpusConfig::sstLike(16));
+  support::Rng Rng(700);
+  nn::TransformerConfig C;
+  C.MaxLen = 12;
+  C.EmbedDim = 16;
+  C.NumHeads = 2;
+  C.HiddenDim = 16;
+  C.NumLayers = 1;
+  nn::TransformerModel M =
+      nn::TransformerModel::init(C, Corpus.embeddings(), Rng);
+  support::Rng DataRng(701);
+  data::Sentence S = Corpus.sampleSentence(DataRng);
+  size_t Pred = M.classify(S.Tokens);
+  auto RobustRes = enumerateSynonymAttack(M, Corpus, S, Pred, 1u << 14);
+  auto BrokenRes = enumerateSynonymAttack(M, Corpus, S, 1 - Pred, 1u << 14);
+  // Classifying against the model's own prediction fails immediately.
+  EXPECT_FALSE(BrokenRes.Robust);
+  EXPECT_EQ(BrokenRes.Evaluated, 1u);
+  (void)RobustRes; // robustness of the prediction depends on the weights
+}
+
+TEST(Enumeration, EvaluatedNeverExceedsCap) {
+  data::SyntheticCorpus Corpus(data::CorpusConfig::sstLike(16));
+  support::Rng Rng(702);
+  nn::TransformerConfig C;
+  C.MaxLen = 12;
+  C.EmbedDim = 16;
+  C.NumHeads = 2;
+  C.HiddenDim = 16;
+  C.NumLayers = 1;
+  nn::TransformerModel M =
+      nn::TransformerModel::init(C, Corpus.embeddings(), Rng);
+  support::Rng DataRng(703);
+  data::Sentence S = Corpus.sampleSentence(DataRng);
+  size_t Pred = M.classify(S.Tokens);
+  auto Res = enumerateSynonymAttack(M, Corpus, S, Pred, 64);
+  EXPECT_LE(Res.Evaluated, 64u);
+}

@@ -1,0 +1,107 @@
+//===- tests/support_test.cpp ---------------------------------*- C++ -*-===//
+
+#include "support/Rng.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace deept::support;
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I < 16; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.uniform();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.uniform(-3.0, 5.0);
+    EXPECT_GE(V, -3.0);
+    EXPECT_LT(V, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntUnbiasedSupport) {
+  Rng R(13);
+  std::vector<int> Counts(10, 0);
+  for (int I = 0; I < 10000; ++I)
+    Counts[R.uniformInt(10)]++;
+  for (int C : Counts)
+    EXPECT_GT(C, 700); // each bucket near 1000
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng R(99);
+  double Sum = 0.0, SumSq = 0.0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double V = R.gaussian();
+    Sum += V;
+    SumSq += V * V;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.05);
+  EXPECT_NEAR(SumSq / N, 1.0, 0.05);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng A(5);
+  Rng B = A.fork();
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng R(3);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6};
+  auto Sorted = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Sorted);
+}
+
+TEST(Table, FormatRadiusStyles) {
+  EXPECT_EQ(formatRadius(0.0), "0.000");
+  EXPECT_EQ(formatRadius(1.808), "1.808");
+  EXPECT_EQ(formatRadius(0.0064), "6.4e-03");
+  EXPECT_EQ(formatFixed(28.83, 1), "28.8");
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table T({"M", "lp", "Avg"});
+  T.addRow({"3", "l1", "1.808"});
+  T.addRow({"12", "linf", "0.011"});
+  std::string S = T.render();
+  EXPECT_NE(S.find("M"), std::string::npos);
+  EXPECT_NE(S.find("1.808"), std::string::npos);
+  EXPECT_NE(S.find("linf"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(S.find("---"), std::string::npos);
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  Timer T;
+  volatile double X = 0;
+  for (int I = 0; I < 1000; ++I)
+    X = X + std::sqrt(static_cast<double>(I));
+  EXPECT_GE(T.seconds(), 0.0);
+}

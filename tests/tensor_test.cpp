@@ -1,0 +1,168 @@
+//===- tests/tensor_test.cpp ----------------------------------*- C++ -*-===//
+
+#include "tensor/Matrix.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace deept;
+using namespace deept::tensor;
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix M(2, 3, 1.5);
+  EXPECT_EQ(M.rows(), 2u);
+  EXPECT_EQ(M.cols(), 3u);
+  EXPECT_DOUBLE_EQ(M.at(1, 2), 1.5);
+  M.at(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(M.flat(1), -2.0);
+}
+
+TEST(Matrix, FromRowsAndIdentity) {
+  Matrix M = Matrix::fromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(M.at(1, 0), 3.0);
+  Matrix I = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(I.at(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(I.at(0, 2), 0.0);
+}
+
+TEST(Matrix, MatmulMatchesHand) {
+  Matrix A = Matrix::fromRows({{1, 2}, {3, 4}});
+  Matrix B = Matrix::fromRows({{5, 6}, {7, 8}});
+  Matrix C = matmul(A, B);
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(C.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(C.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(C.at(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulTransposedVariantsAgree) {
+  support::Rng Rng(11);
+  Matrix A = Matrix::randn(4, 6, Rng);
+  Matrix B = Matrix::randn(5, 6, Rng);
+  Matrix C1 = matmulTransposedB(A, B);
+  Matrix C2 = matmul(A, B.transposed());
+  EXPECT_TRUE(allClose(C1, C2, 1e-12));
+
+  Matrix D = Matrix::randn(6, 4, Rng);
+  Matrix E = Matrix::randn(6, 5, Rng);
+  Matrix F1 = matmulTransposedA(D, E);
+  Matrix F2 = matmul(D.transposed(), E);
+  EXPECT_TRUE(allClose(F1, F2, 1e-12));
+}
+
+TEST(Matrix, TransposeInvolution) {
+  support::Rng Rng(3);
+  Matrix A = Matrix::randn(3, 7, Rng);
+  EXPECT_TRUE(allClose(A.transposed().transposed(), A, 0.0));
+}
+
+TEST(Matrix, SlicesAndBlocks) {
+  Matrix M = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  Matrix R = M.rowSlice(1, 3);
+  EXPECT_EQ(R.rows(), 2u);
+  EXPECT_DOUBLE_EQ(R.at(0, 0), 4.0);
+  Matrix C = M.colSlice(1, 2);
+  EXPECT_EQ(C.cols(), 1u);
+  EXPECT_DOUBLE_EQ(C.at(2, 0), 8.0);
+  Matrix Z(3, 3);
+  Z.setBlock(1, 1, Matrix::fromRows({{9, 9}, {9, 9}}));
+  EXPECT_DOUBLE_EQ(Z.at(1, 1), 9.0);
+  EXPECT_DOUBLE_EQ(Z.at(0, 0), 0.0);
+}
+
+TEST(Matrix, AppendRows) {
+  Matrix M(0, 0);
+  M.appendRows(Matrix::fromRows({{1, 2}}));
+  M.appendRows(Matrix::fromRows({{3, 4}, {5, 6}}));
+  EXPECT_EQ(M.rows(), 3u);
+  EXPECT_DOUBLE_EQ(M.at(2, 1), 6.0);
+  M.appendZeroRows(2);
+  EXPECT_EQ(M.rows(), 5u);
+  EXPECT_DOUBLE_EQ(M.at(4, 0), 0.0);
+}
+
+TEST(Matrix, NormsMatchDefinitions) {
+  Matrix V = Matrix::rowVector({3, -4});
+  EXPECT_DOUBLE_EQ(V.lpNorm(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(V.lpNorm(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(V.lpNorm(Matrix::InfNorm), 4.0);
+}
+
+TEST(Matrix, RowLpNorms) {
+  Matrix M = Matrix::fromRows({{3, -4}, {1, 1}});
+  Matrix N2 = M.rowLpNorms(2.0);
+  EXPECT_DOUBLE_EQ(N2.at(0, 0), 5.0);
+  EXPECT_NEAR(N2.at(1, 0), std::sqrt(2.0), 1e-12);
+  Matrix NInf = M.rowLpNorms(Matrix::InfNorm);
+  EXPECT_DOUBLE_EQ(NInf.at(0, 0), 4.0);
+}
+
+TEST(Matrix, RowMeansAndArgmax) {
+  Matrix M = Matrix::fromRows({{1, 3}, {-2, 4}});
+  Matrix Mu = M.rowMeans();
+  EXPECT_DOUBLE_EQ(Mu.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(Mu.at(1, 0), 1.0);
+  EXPECT_EQ(M.argmax(), 3u);
+}
+
+TEST(Matrix, RowSoftmaxIsDistribution) {
+  support::Rng Rng(5);
+  Matrix M = Matrix::randn(4, 6, Rng, 3.0);
+  Matrix S = rowSoftmax(M);
+  for (size_t R = 0; R < S.rows(); ++R) {
+    double Sum = 0.0;
+    for (size_t C = 0; C < S.cols(); ++C) {
+      EXPECT_GT(S.at(R, C), 0.0);
+      Sum += S.at(R, C);
+    }
+    EXPECT_NEAR(Sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Matrix, RowSoftmaxStableForLargeInputs) {
+  Matrix M = Matrix::fromRows({{1000.0, 1001.0}});
+  Matrix S = rowSoftmax(M);
+  EXPECT_NEAR(S.at(0, 0) + S.at(0, 1), 1.0, 1e-12);
+  EXPECT_GT(S.at(0, 1), S.at(0, 0));
+}
+
+TEST(Matrix, DualExponentPairs) {
+  EXPECT_DOUBLE_EQ(dualExponent(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(dualExponent(Matrix::InfNorm), 1.0);
+  EXPECT_DOUBLE_EQ(dualExponent(1.0), Matrix::InfNorm);
+  EXPECT_NEAR(dualExponent(4.0), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Matrix, AddRowBroadcast) {
+  Matrix M = Matrix::fromRows({{1, 2}, {3, 4}});
+  Matrix B = Matrix::rowVector({10, 20});
+  Matrix R = addRowBroadcast(M, B);
+  EXPECT_DOUBLE_EQ(R.at(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(R.at(1, 1), 24.0);
+}
+
+TEST(Matrix, ApplyAndMap) {
+  Matrix M = Matrix::fromRows({{-1, 2}});
+  Matrix R = M.map([](double X) { return X * X; });
+  EXPECT_DOUBLE_EQ(R.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(R.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(M.at(0, 0), -1.0); // map is non-destructive
+}
+
+TEST(Matrix, HadamardAndScaledAdd) {
+  Matrix A = Matrix::fromRows({{1, 2}});
+  Matrix B = Matrix::fromRows({{3, 4}});
+  EXPECT_DOUBLE_EQ(hadamard(A, B).at(0, 1), 8.0);
+  Matrix C = A;
+  C.addScaled(B, 2.0);
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 7.0);
+}
+
+TEST(Matrix, ReshapePreservesOrder) {
+  Matrix M = Matrix::fromRows({{1, 2, 3, 4}});
+  Matrix R = M.reshaped(2, 2);
+  EXPECT_DOUBLE_EQ(R.at(1, 0), 3.0);
+}

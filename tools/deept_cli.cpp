@@ -1,0 +1,261 @@
+//===- tools/deept_cli.cpp - Command line front end ------------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+// The deept command line tool: train Transformer sentiment classifiers on
+// the synthetic corpora, certify them under threat models T1 and T2 with
+// any verifier of the family, attack them, and inspect saved models.
+//
+//   deept_cli train   --out model.dptm --corpus sst --layers 3 [...]
+//   deept_cli certify --model model.dptm --corpus sst --norm l2 [...]
+//   deept_cli synonym --model model.dptm --corpus synonym [--count 10]
+//   deept_cli attack  --model model.dptm --corpus sst --norm l2 [...]
+//   deept_cli info    --model model.dptm
+//
+//===----------------------------------------------------------------------===//
+
+#include "attack/Enumeration.h"
+#include "attack/Pgd.h"
+#include "crown/CrownVerifier.h"
+#include "nn/Serialize.h"
+#include "nn/Train.h"
+#include "support/ArgParse.h"
+#include "support/Timer.h"
+#include "verify/DeepT.h"
+#include "verify/RadiusSearch.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace deept;
+using support::ArgParse;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: deept_cli <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  train    --out FILE [--corpus sst|yelp|synonym] [--embed N]\n"
+      "           [--layers N] [--heads N] [--hidden N] [--steps N]\n"
+      "           [--std-layernorm] [--robust] [--seed N]\n"
+      "  certify  --model FILE [--corpus ...] [--norm l1|l2|linf]\n"
+      "           [--word N] [--sentences N]\n"
+      "           [--verifier fast|precise|combined|crown-baf|crown-backward]\n"
+      "  synonym  --model FILE [--corpus ...] [--count N]\n"
+      "  attack   --model FILE [--corpus ...] [--norm l1|l2|linf] [--word N]\n"
+      "  info     --model FILE\n");
+  return 2;
+}
+
+data::CorpusConfig corpusConfig(const std::string &Kind, size_t EmbedDim) {
+  if (Kind == "yelp")
+    return data::CorpusConfig::yelpLike(EmbedDim);
+  if (Kind == "synonym")
+    return data::CorpusConfig::synonymRich(EmbedDim);
+  return data::CorpusConfig::sstLike(EmbedDim);
+}
+
+double parseNorm(const std::string &Name) {
+  if (Name == "l1")
+    return 1.0;
+  if (Name == "linf")
+    return tensor::Matrix::InfNorm;
+  return 2.0;
+}
+
+int cmdTrain(const ArgParse &Args) {
+  std::string Out = Args.get("out");
+  if (Out.empty()) {
+    std::fprintf(stderr, "error: train needs --out FILE\n");
+    return 2;
+  }
+  size_t EmbedDim = Args.getInt("embed", 24);
+  data::SyntheticCorpus Corpus(
+      corpusConfig(Args.get("corpus", "sst"), EmbedDim));
+
+  nn::TransformerConfig Cfg;
+  Cfg.EmbedDim = EmbedDim;
+  Cfg.NumHeads = Args.getInt("heads", 4);
+  Cfg.HiddenDim = Args.getInt("hidden", EmbedDim);
+  Cfg.NumLayers = Args.getInt("layers", 3);
+  Cfg.MaxLen = 16;
+  Cfg.LayerNormStdDiv = Args.has("std-layernorm");
+
+  support::Rng Rng(Args.getInt("seed", 1));
+  nn::TransformerModel Model =
+      nn::TransformerModel::init(Cfg, Corpus.embeddings(), Rng);
+
+  support::Rng DataRng(Args.getInt("seed", 1) + 1);
+  auto Train = Corpus.sampleDataset(512, DataRng);
+  auto Test = Corpus.sampleDataset(200, DataRng);
+  nn::TrainOptions Opts;
+  Opts.Steps = Args.getInt("steps", 60 * Cfg.NumLayers + 120);
+  Opts.BatchSize = 16;
+  if (Args.has("robust")) {
+    Opts.SynonymSwapProb = 0.8;
+    Opts.EmbedNoise = 0.03;
+  }
+  support::Timer T;
+  nn::trainTransformer(Model, Corpus, Train, Opts);
+  std::printf("trained %zu-layer model in %.1f s, accuracy %.1f%%\n",
+              Cfg.NumLayers, T.seconds(),
+              100.0 * nn::accuracy(Model, Test));
+  if (!nn::saveModel(Out, Model)) {
+    std::fprintf(stderr, "error: cannot write %s\n", Out.c_str());
+    return 1;
+  }
+  std::printf("saved to %s\n", Out.c_str());
+  return 0;
+}
+
+int loadModelOrFail(const ArgParse &Args, nn::TransformerModel &Model) {
+  std::string Path = Args.get("model");
+  if (Path.empty() || !nn::loadModel(Path, Model)) {
+    std::fprintf(stderr, "error: cannot load model from '%s'\n",
+                 Path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmdCertify(const ArgParse &Args) {
+  nn::TransformerModel Model;
+  if (int Rc = loadModelOrFail(Args, Model))
+    return Rc;
+  data::SyntheticCorpus Corpus(
+      corpusConfig(Args.get("corpus", "sst"), Model.Config.EmbedDim));
+  double P = parseNorm(Args.get("norm", "l2"));
+  size_t Word = Args.getInt("word", 0);
+  size_t Count = Args.getInt("sentences", 3);
+  std::string Verifier = Args.get("verifier", "fast");
+
+  auto Certify = [&](const data::Sentence &S, double R) -> bool {
+    if (Verifier == "crown-baf" || Verifier == "crown-backward") {
+      crown::CrownConfig Cfg;
+      Cfg.Mode = Verifier == "crown-baf" ? crown::CrownMode::BaF
+                                         : crown::CrownMode::Backward;
+      return crown::CrownVerifier(Model, Cfg)
+          .certifyLpBall(S.Tokens, Word, P, R, S.Label);
+    }
+    verify::VerifierConfig Cfg;
+    Cfg.NoiseReductionBudget = 600;
+    if (Verifier == "precise")
+      Cfg.Method = zono::DotMethod::Precise;
+    if (Verifier == "combined")
+      Cfg.PreciseLastLayerOnly = true;
+    return verify::DeepTVerifier(Model, Cfg)
+        .certifyLpBall(S.Tokens, Word, P, R, S.Label);
+  };
+
+  support::Rng Rng(Args.getInt("seed", 2));
+  size_t Done = 0;
+  while (Done < Count) {
+    data::Sentence S = Corpus.sampleSentence(Rng);
+    if (Model.classify(S.Tokens) != S.Label || Word >= S.Tokens.size())
+      continue;
+    ++Done;
+    support::Timer T;
+    double R = verify::certifiedRadius(
+        [&](double Radius) { return Certify(S, Radius); });
+    std::printf("sentence %zu (%zu words, %s): certified %s radius %.5g "
+                "around word %zu  (%.2f s, verifier %s)\n",
+                Done, S.Tokens.size(), S.Label ? "positive" : "negative",
+                Args.get("norm", "l2").c_str(), R, Word, T.seconds(),
+                Verifier.c_str());
+  }
+  return 0;
+}
+
+int cmdSynonym(const ArgParse &Args) {
+  nn::TransformerModel Model;
+  if (int Rc = loadModelOrFail(Args, Model))
+    return Rc;
+  data::SyntheticCorpus Corpus(
+      corpusConfig(Args.get("corpus", "synonym"), Model.Config.EmbedDim));
+  verify::VerifierConfig Cfg;
+  Cfg.NoiseReductionBudget = 600;
+  verify::DeepTVerifier V(Model, Cfg);
+  support::Rng Rng(Args.getInt("seed", 3));
+  size_t Count = Args.getInt("count", 10);
+  size_t Certified = 0, Done = 0;
+  while (Done < Count) {
+    data::Sentence S = Corpus.sampleSentence(Rng);
+    if (Model.classify(S.Tokens) != S.Label)
+      continue;
+    ++Done;
+    size_t Combos = attack::countSynonymCombinations(Corpus, S);
+    support::Timer T;
+    bool Ok = V.certifySynonymBox(Corpus, S, S.Label);
+    Certified += Ok;
+    std::printf("sentence %zu: %zu combinations -> %s (%.2f s)\n", Done,
+                Combos, Ok ? "CERTIFIED" : "not certified", T.seconds());
+  }
+  std::printf("certified %zu / %zu sentences\n", Certified, Done);
+  return 0;
+}
+
+int cmdAttack(const ArgParse &Args) {
+  nn::TransformerModel Model;
+  if (int Rc = loadModelOrFail(Args, Model))
+    return Rc;
+  data::SyntheticCorpus Corpus(
+      corpusConfig(Args.get("corpus", "sst"), Model.Config.EmbedDim));
+  double P = parseNorm(Args.get("norm", "l2"));
+  size_t Word = Args.getInt("word", 0);
+  support::Rng Rng(Args.getInt("seed", 4));
+  data::Sentence S;
+  do {
+    S = Corpus.sampleSentence(Rng);
+  } while (Model.classify(S.Tokens) != S.Label || Word >= S.Tokens.size());
+  support::Timer T;
+  double R = attack::minimalAdversarialRadiusTransformer(Model, S.Tokens,
+                                                         Word, P, S.Label);
+  std::printf("smallest adversarial %s radius found by PGD around word "
+              "%zu: %.5g (%.2f s)\n",
+              Args.get("norm", "l2").c_str(), Word, R, T.seconds());
+  return 0;
+}
+
+int cmdInfo(const ArgParse &Args) {
+  nn::TransformerModel Model;
+  if (int Rc = loadModelOrFail(Args, Model))
+    return Rc;
+  const nn::TransformerConfig &C = Model.Config;
+  size_t Params = 0;
+  for (const tensor::Matrix *M : Model.parameters())
+    Params += M->size();
+  std::printf("layers:        %zu\n", C.NumLayers);
+  std::printf("embedding dim: %zu\n", C.EmbedDim);
+  std::printf("heads:         %zu (head dim %zu)\n", C.NumHeads,
+              C.headDim());
+  std::printf("hidden dim:    %zu\n", C.HiddenDim);
+  std::printf("layer norm:    %s\n",
+              C.LayerNormStdDiv ? "standard (with std division)"
+                                : "paper default (no std division)");
+  std::printf("vocab size:    %zu\n", C.VocabSize);
+  std::printf("parameters:    %zu (plus frozen embeddings)\n", Params);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParse Args(Argc, Argv, {"std-layernorm", "robust"});
+  if (Args.positional().empty())
+    return usage();
+  const std::string &Cmd = Args.positional().front();
+  if (Cmd == "train")
+    return cmdTrain(Args);
+  if (Cmd == "certify")
+    return cmdCertify(Args);
+  if (Cmd == "synonym")
+    return cmdSynonym(Args);
+  if (Cmd == "attack")
+    return cmdAttack(Args);
+  if (Cmd == "info")
+    return cmdInfo(Args);
+  return usage();
+}
