@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_zonotope_geometry.dir/figure4_zonotope_geometry.cpp.o"
+  "CMakeFiles/figure4_zonotope_geometry.dir/figure4_zonotope_geometry.cpp.o.d"
+  "figure4_zonotope_geometry"
+  "figure4_zonotope_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_zonotope_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_fcnet_geocert.dir/table10_fcnet_geocert.cpp.o"
+  "CMakeFiles/table10_fcnet_geocert.dir/table10_fcnet_geocert.cpp.o.d"
+  "table10_fcnet_geocert"
+  "table10_fcnet_geocert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_fcnet_geocert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

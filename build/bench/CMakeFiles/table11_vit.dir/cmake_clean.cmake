@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_vit.dir/table11_vit.cpp.o"
+  "CMakeFiles/table11_vit.dir/table11_vit.cpp.o.d"
+  "table11_vit"
+  "table11_vit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_vit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

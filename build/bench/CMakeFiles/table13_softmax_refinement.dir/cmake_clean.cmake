@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table13_softmax_refinement.dir/table13_softmax_refinement.cpp.o"
+  "CMakeFiles/table13_softmax_refinement.dir/table13_softmax_refinement.cpp.o.d"
+  "table13_softmax_refinement"
+  "table13_softmax_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table13_softmax_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

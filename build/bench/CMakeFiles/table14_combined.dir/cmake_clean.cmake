@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table14_combined.dir/table14_combined.cpp.o"
+  "CMakeFiles/table14_combined.dir/table14_combined.cpp.o.d"
+  "table14_combined"
+  "table14_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table14_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

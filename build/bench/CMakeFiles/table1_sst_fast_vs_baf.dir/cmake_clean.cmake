@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sst_fast_vs_baf.dir/table1_sst_fast_vs_baf.cpp.o"
+  "CMakeFiles/table1_sst_fast_vs_baf.dir/table1_sst_fast_vs_baf.cpp.o.d"
+  "table1_sst_fast_vs_baf"
+  "table1_sst_fast_vs_baf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sst_fast_vs_baf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

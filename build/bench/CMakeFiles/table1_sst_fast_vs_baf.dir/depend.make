@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_sst_fast_vs_baf.
+# This may be replaced when dependencies are built.

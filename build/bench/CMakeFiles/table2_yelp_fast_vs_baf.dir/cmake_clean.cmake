@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_yelp_fast_vs_baf.dir/table2_yelp_fast_vs_baf.cpp.o"
+  "CMakeFiles/table2_yelp_fast_vs_baf.dir/table2_yelp_fast_vs_baf.cpp.o.d"
+  "table2_yelp_fast_vs_baf"
+  "table2_yelp_fast_vs_baf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_yelp_fast_vs_baf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

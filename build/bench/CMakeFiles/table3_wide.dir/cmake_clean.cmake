@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_wide.dir/table3_wide.cpp.o"
+  "CMakeFiles/table3_wide.dir/table3_wide.cpp.o.d"
+  "table3_wide"
+  "table3_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_precision_tradeoff.dir/table4_precision_tradeoff.cpp.o"
+  "CMakeFiles/table4_precision_tradeoff.dir/table4_precision_tradeoff.cpp.o.d"
+  "table4_precision_tradeoff"
+  "table4_precision_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_precision_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_l1_l2.dir/table5_l1_l2.cpp.o"
+  "CMakeFiles/table5_l1_l2.dir/table5_l1_l2.cpp.o.d"
+  "table5_l1_l2"
+  "table5_l1_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_l1_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

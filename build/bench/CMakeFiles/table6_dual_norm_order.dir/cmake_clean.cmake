@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_dual_norm_order.dir/table6_dual_norm_order.cpp.o"
+  "CMakeFiles/table6_dual_norm_order.dir/table6_dual_norm_order.cpp.o.d"
+  "table6_dual_norm_order"
+  "table6_dual_norm_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_dual_norm_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_std_layernorm.dir/table7_std_layernorm.cpp.o"
+  "CMakeFiles/table7_std_layernorm.dir/table7_std_layernorm.cpp.o.d"
+  "table7_std_layernorm"
+  "table7_std_layernorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_std_layernorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_synonym.dir/table8_synonym.cpp.o"
+  "CMakeFiles/table8_synonym.dir/table8_synonym.cpp.o.d"
+  "table8_synonym"
+  "table8_synonym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_synonym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_synonym_example.dir/table9_synonym_example.cpp.o"
+  "CMakeFiles/table9_synonym_example.dir/table9_synonym_example.cpp.o.d"
+  "table9_synonym_example"
+  "table9_synonym_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_synonym_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentiment_certification.dir/sentiment_certification.cpp.o"
+  "CMakeFiles/sentiment_certification.dir/sentiment_certification.cpp.o.d"
+  "sentiment_certification"
+  "sentiment_certification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentiment_certification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

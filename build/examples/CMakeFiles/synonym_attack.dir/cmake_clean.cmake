@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synonym_attack.dir/synonym_attack.cpp.o"
+  "CMakeFiles/synonym_attack.dir/synonym_attack.cpp.o.d"
+  "synonym_attack"
+  "synonym_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synonym_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

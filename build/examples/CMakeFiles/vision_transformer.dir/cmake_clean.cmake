@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_transformer.dir/vision_transformer.cpp.o"
+  "CMakeFiles/vision_transformer.dir/vision_transformer.cpp.o.d"
+  "vision_transformer"
+  "vision_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

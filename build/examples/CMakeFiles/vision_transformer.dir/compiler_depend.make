@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vision_transformer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/Enumeration.cpp" "src/CMakeFiles/deept.dir/attack/Enumeration.cpp.o" "gcc" "src/CMakeFiles/deept.dir/attack/Enumeration.cpp.o.d"
+  "/root/repo/src/attack/Pgd.cpp" "src/CMakeFiles/deept.dir/attack/Pgd.cpp.o" "gcc" "src/CMakeFiles/deept.dir/attack/Pgd.cpp.o.d"
+  "/root/repo/src/autograd/Adam.cpp" "src/CMakeFiles/deept.dir/autograd/Adam.cpp.o" "gcc" "src/CMakeFiles/deept.dir/autograd/Adam.cpp.o.d"
+  "/root/repo/src/autograd/Tape.cpp" "src/CMakeFiles/deept.dir/autograd/Tape.cpp.o" "gcc" "src/CMakeFiles/deept.dir/autograd/Tape.cpp.o.d"
+  "/root/repo/src/crown/Backward.cpp" "src/CMakeFiles/deept.dir/crown/Backward.cpp.o" "gcc" "src/CMakeFiles/deept.dir/crown/Backward.cpp.o.d"
+  "/root/repo/src/crown/CrownVerifier.cpp" "src/CMakeFiles/deept.dir/crown/CrownVerifier.cpp.o" "gcc" "src/CMakeFiles/deept.dir/crown/CrownVerifier.cpp.o.d"
+  "/root/repo/src/crown/Forward.cpp" "src/CMakeFiles/deept.dir/crown/Forward.cpp.o" "gcc" "src/CMakeFiles/deept.dir/crown/Forward.cpp.o.d"
+  "/root/repo/src/crown/Graph.cpp" "src/CMakeFiles/deept.dir/crown/Graph.cpp.o" "gcc" "src/CMakeFiles/deept.dir/crown/Graph.cpp.o.d"
+  "/root/repo/src/crown/Relaxations.cpp" "src/CMakeFiles/deept.dir/crown/Relaxations.cpp.o" "gcc" "src/CMakeFiles/deept.dir/crown/Relaxations.cpp.o.d"
+  "/root/repo/src/crown/TransformerGraph.cpp" "src/CMakeFiles/deept.dir/crown/TransformerGraph.cpp.o" "gcc" "src/CMakeFiles/deept.dir/crown/TransformerGraph.cpp.o.d"
+  "/root/repo/src/data/StrokeImages.cpp" "src/CMakeFiles/deept.dir/data/StrokeImages.cpp.o" "gcc" "src/CMakeFiles/deept.dir/data/StrokeImages.cpp.o.d"
+  "/root/repo/src/data/SyntheticCorpus.cpp" "src/CMakeFiles/deept.dir/data/SyntheticCorpus.cpp.o" "gcc" "src/CMakeFiles/deept.dir/data/SyntheticCorpus.cpp.o.d"
+  "/root/repo/src/nn/FeedForwardNet.cpp" "src/CMakeFiles/deept.dir/nn/FeedForwardNet.cpp.o" "gcc" "src/CMakeFiles/deept.dir/nn/FeedForwardNet.cpp.o.d"
+  "/root/repo/src/nn/Serialize.cpp" "src/CMakeFiles/deept.dir/nn/Serialize.cpp.o" "gcc" "src/CMakeFiles/deept.dir/nn/Serialize.cpp.o.d"
+  "/root/repo/src/nn/Train.cpp" "src/CMakeFiles/deept.dir/nn/Train.cpp.o" "gcc" "src/CMakeFiles/deept.dir/nn/Train.cpp.o.d"
+  "/root/repo/src/nn/Transformer.cpp" "src/CMakeFiles/deept.dir/nn/Transformer.cpp.o" "gcc" "src/CMakeFiles/deept.dir/nn/Transformer.cpp.o.d"
+  "/root/repo/src/support/ArgParse.cpp" "src/CMakeFiles/deept.dir/support/ArgParse.cpp.o" "gcc" "src/CMakeFiles/deept.dir/support/ArgParse.cpp.o.d"
+  "/root/repo/src/support/Rng.cpp" "src/CMakeFiles/deept.dir/support/Rng.cpp.o" "gcc" "src/CMakeFiles/deept.dir/support/Rng.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/deept.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/deept.dir/support/Table.cpp.o.d"
+  "/root/repo/src/tensor/Matrix.cpp" "src/CMakeFiles/deept.dir/tensor/Matrix.cpp.o" "gcc" "src/CMakeFiles/deept.dir/tensor/Matrix.cpp.o.d"
+  "/root/repo/src/verify/DeepT.cpp" "src/CMakeFiles/deept.dir/verify/DeepT.cpp.o" "gcc" "src/CMakeFiles/deept.dir/verify/DeepT.cpp.o.d"
+  "/root/repo/src/verify/FeedForwardVerifier.cpp" "src/CMakeFiles/deept.dir/verify/FeedForwardVerifier.cpp.o" "gcc" "src/CMakeFiles/deept.dir/verify/FeedForwardVerifier.cpp.o.d"
+  "/root/repo/src/verify/RadiusSearch.cpp" "src/CMakeFiles/deept.dir/verify/RadiusSearch.cpp.o" "gcc" "src/CMakeFiles/deept.dir/verify/RadiusSearch.cpp.o.d"
+  "/root/repo/src/zono/DotProduct.cpp" "src/CMakeFiles/deept.dir/zono/DotProduct.cpp.o" "gcc" "src/CMakeFiles/deept.dir/zono/DotProduct.cpp.o.d"
+  "/root/repo/src/zono/Elementwise.cpp" "src/CMakeFiles/deept.dir/zono/Elementwise.cpp.o" "gcc" "src/CMakeFiles/deept.dir/zono/Elementwise.cpp.o.d"
+  "/root/repo/src/zono/Reduction.cpp" "src/CMakeFiles/deept.dir/zono/Reduction.cpp.o" "gcc" "src/CMakeFiles/deept.dir/zono/Reduction.cpp.o.d"
+  "/root/repo/src/zono/Refinement.cpp" "src/CMakeFiles/deept.dir/zono/Refinement.cpp.o" "gcc" "src/CMakeFiles/deept.dir/zono/Refinement.cpp.o.d"
+  "/root/repo/src/zono/Softmax.cpp" "src/CMakeFiles/deept.dir/zono/Softmax.cpp.o" "gcc" "src/CMakeFiles/deept.dir/zono/Softmax.cpp.o.d"
+  "/root/repo/src/zono/Zonotope.cpp" "src/CMakeFiles/deept.dir/zono/Zonotope.cpp.o" "gcc" "src/CMakeFiles/deept.dir/zono/Zonotope.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/argparse_test.cpp" "tests/CMakeFiles/deept_tests.dir/argparse_test.cpp.o" "gcc" "tests/CMakeFiles/deept_tests.dir/argparse_test.cpp.o.d"
+  "/root/repo/tests/attack_test.cpp" "tests/CMakeFiles/deept_tests.dir/attack_test.cpp.o" "gcc" "tests/CMakeFiles/deept_tests.dir/attack_test.cpp.o.d"
+  "/root/repo/tests/autograd_test.cpp" "tests/CMakeFiles/deept_tests.dir/autograd_test.cpp.o" "gcc" "tests/CMakeFiles/deept_tests.dir/autograd_test.cpp.o.d"
+  "/root/repo/tests/crown_test.cpp" "tests/CMakeFiles/deept_tests.dir/crown_test.cpp.o" "gcc" "tests/CMakeFiles/deept_tests.dir/crown_test.cpp.o.d"
+  "/root/repo/tests/forward_test.cpp" "tests/CMakeFiles/deept_tests.dir/forward_test.cpp.o" "gcc" "tests/CMakeFiles/deept_tests.dir/forward_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/deept_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/deept_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/nn_test.cpp" "tests/CMakeFiles/deept_tests.dir/nn_test.cpp.o" "gcc" "tests/CMakeFiles/deept_tests.dir/nn_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/deept_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/deept_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/deept_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/deept_tests.dir/tensor_test.cpp.o.d"
+  "/root/repo/tests/verify_test.cpp" "tests/CMakeFiles/deept_tests.dir/verify_test.cpp.o" "gcc" "tests/CMakeFiles/deept_tests.dir/verify_test.cpp.o.d"
+  "/root/repo/tests/zonotope_test.cpp" "tests/CMakeFiles/deept_tests.dir/zonotope_test.cpp.o" "gcc" "tests/CMakeFiles/deept_tests.dir/zonotope_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/deept.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

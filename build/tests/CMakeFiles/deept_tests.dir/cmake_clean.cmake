@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deept_tests.dir/argparse_test.cpp.o"
+  "CMakeFiles/deept_tests.dir/argparse_test.cpp.o.d"
+  "CMakeFiles/deept_tests.dir/attack_test.cpp.o"
+  "CMakeFiles/deept_tests.dir/attack_test.cpp.o.d"
+  "CMakeFiles/deept_tests.dir/autograd_test.cpp.o"
+  "CMakeFiles/deept_tests.dir/autograd_test.cpp.o.d"
+  "CMakeFiles/deept_tests.dir/crown_test.cpp.o"
+  "CMakeFiles/deept_tests.dir/crown_test.cpp.o.d"
+  "CMakeFiles/deept_tests.dir/forward_test.cpp.o"
+  "CMakeFiles/deept_tests.dir/forward_test.cpp.o.d"
+  "CMakeFiles/deept_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/deept_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/deept_tests.dir/nn_test.cpp.o"
+  "CMakeFiles/deept_tests.dir/nn_test.cpp.o.d"
+  "CMakeFiles/deept_tests.dir/support_test.cpp.o"
+  "CMakeFiles/deept_tests.dir/support_test.cpp.o.d"
+  "CMakeFiles/deept_tests.dir/tensor_test.cpp.o"
+  "CMakeFiles/deept_tests.dir/tensor_test.cpp.o.d"
+  "CMakeFiles/deept_tests.dir/verify_test.cpp.o"
+  "CMakeFiles/deept_tests.dir/verify_test.cpp.o.d"
+  "CMakeFiles/deept_tests.dir/zonotope_test.cpp.o"
+  "CMakeFiles/deept_tests.dir/zonotope_test.cpp.o.d"
+  "deept_tests"
+  "deept_tests.pdb"
+  "deept_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deept_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

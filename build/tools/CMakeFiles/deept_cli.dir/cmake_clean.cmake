@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deept_cli.dir/deept_cli.cpp.o"
+  "CMakeFiles/deept_cli.dir/deept_cli.cpp.o.d"
+  "deept_cli"
+  "deept_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deept_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
