@@ -20,11 +20,15 @@
 #include "nn/Serialize.h"
 #include "nn/Train.h"
 #include "nn/Transformer.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
 #include "support/Table.h"
 #include "support/Timer.h"
 #include "verify/RadiusSearch.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -179,6 +183,42 @@ inline void printHeader(const char *Title, const char *PaperRef) {
   std::printf("== %s ==\n(reproduces %s; scaled-down models, see "
               "DESIGN.md/EXPERIMENTS.md)\n\n",
               Title, PaperRef);
+}
+
+/// Re-emits a printed table as BENCH_<Id>.json in the working directory,
+/// bundling a snapshot of the metrics registry, so bench runs are
+/// diffable by machines as well as eyes. Cells that fully parse as
+/// numbers become JSON numbers; everything else stays a string.
+inline bool writeBenchJson(const std::string &Id, const support::Table &T) {
+  std::string Path = "BENCH_" + Id + ".json";
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  auto Cell = [](const std::string &S) {
+    char *End = nullptr;
+    double V = std::strtod(S.c_str(), &End);
+    if (End != S.c_str() && End && *End == '\0')
+      return support::jsonNumber(V);
+    return "\"" + support::jsonEscape(S) + "\"";
+  };
+  const std::vector<std::vector<std::string>> &Rows = T.rows();
+  Out << "{\"bench\":\"" << support::jsonEscape(Id) << "\",\"columns\":[";
+  if (!Rows.empty())
+    for (size_t C = 0; C < Rows[0].size(); ++C)
+      Out << (C ? "," : "") << "\"" << support::jsonEscape(Rows[0][C])
+          << "\"";
+  Out << "],\"rows\":[";
+  for (size_t R = 1; R < Rows.size(); ++R) {
+    Out << (R > 1 ? "," : "") << "[";
+    for (size_t C = 0; C < Rows[R].size(); ++C)
+      Out << (C ? "," : "") << Cell(Rows[R][C]);
+    Out << "]";
+  }
+  Out << "],\"metrics\":" << support::Metrics::global().toJson() << "}\n";
+  if (!Out)
+    return false;
+  std::printf("\n[wrote %s]\n", Path.c_str());
+  return true;
 }
 
 } // namespace bench

@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Rng.h"
+#include "support/Trace.h"
 #include "tensor/Matrix.h"
 #include "zono/DotProduct.h"
 #include "zono/Reduction.h"
@@ -95,6 +96,44 @@ void BM_NoiseReduction(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_NoiseReduction)->Arg(512)->Arg(2048);
+
+// The cost a permanently-instrumented hot path pays when tracing is off:
+// one relaxed atomic load and a branch per span.
+void BM_TraceSpanDisabled(benchmark::State &State) {
+  support::Trace::setEnabled(false);
+  for (auto _ : State) {
+    DEEPT_TRACE_SPAN("bench.span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State &State) {
+  support::Trace::setEnabled(true);
+  support::Trace::clear();
+  for (auto _ : State) {
+    DEEPT_TRACE_SPAN("bench.span");
+    benchmark::ClobberMemory();
+  }
+  support::Trace::setEnabled(false);
+  support::Trace::clear();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+// Same dot-product kernel as BM_DotProductFast but with tracing compiled
+// in *and disabled* spans on the path; comparing the two quantifies the
+// instrumentation overhead on a real kernel (<2% is the budget).
+void BM_DotProductFastTracingOff(benchmark::State &State) {
+  size_t Eps = State.range(0);
+  Zonotope Parent = makeZonotope(8, 12, 12, Eps, 3);
+  Zonotope A = Parent.selectColRange(0, 6);
+  Zonotope B = Parent.selectColRange(6, 12);
+  DotOptions Opts;
+  support::Trace::setEnabled(false);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(dotRows(A, B, Opts).numEps());
+}
+BENCHMARK(BM_DotProductFastTracingOff)->Arg(128)->Arg(512);
 
 } // namespace
 

@@ -68,6 +68,7 @@ int main() {
     }
   }
   T.print();
+  writeBenchJson("table13_softmax_refinement", T);
   std::printf("\nPaper shape: a small improvement (0.04%%-0.5%% at M=3) "
               "growing with depth (2.6%%-3.2%% at M=12), at a 5-9%% time "
               "cost.\n");
@@ -91,6 +92,7 @@ int main() {
                support::formatFixed(St.SecondsPerSentence, 1)});
   }
   TK.print();
+  writeBenchJson("table13_noise_reduction_k", TK);
   std::printf("expected: radii grow and time grows with k (the Section 5.1 "
               "tunable trade-off).\n");
   return 0;

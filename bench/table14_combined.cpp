@@ -70,6 +70,7 @@ int main() {
               support::formatFixed(SB.SecondsPerSentence, 1)});
   }
   T.print();
+  writeBenchJson("table14_combined", T);
   std::printf("\nPaper shape: the combined verifier matches or beats "
               "CROWN-Backward's average radius while being faster.\n");
   return 0;

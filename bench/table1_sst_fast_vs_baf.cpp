@@ -75,6 +75,7 @@ int main() {
     }
   }
   T.print();
+  writeBenchJson("table1_sst_fast_vs_baf", T);
   std::printf("\nPaper shape (radii degrade gently with depth for DeepT, "
               "collapse for CROWN-BaF; paper avg ratio 1.07x -> 28x for "
               "M=3 -> 12): reproduced in direction and depth trend. Our "

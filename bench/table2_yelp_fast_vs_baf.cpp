@@ -75,6 +75,7 @@ int main() {
     }
   }
   T.print();
+  writeBenchJson("table2_yelp_fast_vs_baf", T);
   std::printf("\nPaper shape (CROWN-BaF degrades even faster on the "
               "longer-sentence corpus, 250x avg ratio at M=12): the "
               "depth-collapse direction is reproduced; our forward-mode "

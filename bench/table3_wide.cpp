@@ -101,6 +101,7 @@ int main() {
     }
   }
   T.print();
+  writeBenchJson("table3_wide", T);
   std::printf("\nPaper shape: CROWN-BaF fails with \"-\" (out of memory) "
               "on the wide 12-layer network; DeepT-Fast still verifies it "
               "thanks to tunable noise-symbol reduction.\n");

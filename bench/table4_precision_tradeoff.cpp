@@ -90,6 +90,7 @@ int main() {
     }
   }
   T.print();
+  writeBenchJson("table4_precision_tradeoff", T);
   std::printf("\nPaper shape: DeepT-Fast is fastest; DeepT-Precise reaches "
               "the highest average radius but is slowest; CROWN-Backward "
               "sits between them; CROWN-BaF collapses at M=12.\n");

@@ -76,6 +76,7 @@ int main() {
     }
   }
   T.print();
+  writeBenchJson("table5_l1_l2", T);
   std::printf("\nPaper shape: DeepT-Fast within ~10%% of CROWN-Backward's "
               "radii at a fraction of its time; CROWN-BaF clearly behind "
               "at M=12.\n");

@@ -68,6 +68,7 @@ int main() {
     }
   }
   T.print();
+  writeBenchJson("table6_dual_norm_order", T);
   std::printf("\nPaper shape: the two orders are close, with a small "
               "average advantage (< ~1.5%%) for linf-first.\n");
   return 0;

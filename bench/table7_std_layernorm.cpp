@@ -81,6 +81,7 @@ int main() {
     }
   }
   T.print();
+  writeBenchJson("table7_std_layernorm", T);
   std::printf("\nPaper shape: radii are 1-2 orders of magnitude below the "
               "no-division networks of Table 1, and DeepT's advantage over "
               "CROWN-BaF persists and grows with depth.\n");

@@ -74,6 +74,7 @@ int main() {
     T.addRow({Corpus.wordName(Token), std::to_string(Syns.size()), List});
   }
   T.print();
+  writeBenchJson("table9_synonym_example", T);
   std::printf("\nlabel: %s, combinations: %zu, certified by DeepT-Fast in "
               "%.2f s\n",
               Best.Label ? "positive" : "negative", BestCombos, CertifyTime);

@@ -2,6 +2,9 @@
 
 #include "crown/CrownVerifier.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -10,6 +13,13 @@ using namespace deept::crown;
 using tensor::Matrix;
 
 CrownOutcome CrownVerifier::run(BuiltGraph &&Built) const {
+  support::TraceSpan RunSpan("crown.certify");
+  support::Metrics &MR = support::Metrics::global();
+  static support::Counter &BackwardCalls =
+      MR.counter("crown.backward.calls");
+  static support::Counter &BafCalls = MR.counter("crown.baf.calls");
+  (Config.Mode == CrownMode::Backward ? BackwardCalls : BafCalls).add(1);
+
   // Intermediate bounds: full backsubstitution in Backward mode, the
   // one-pass forward linear-bound propagation in BaF mode (Shi et al.'s
   // backward & forward split). The output margin always gets a full
@@ -17,36 +27,48 @@ CrownOutcome CrownVerifier::run(BuiltGraph &&Built) const {
   // the increasingly loose forward bounds feeding the relaxations.
   CrownOutcome Outcome;
   size_t Peak = 0, Total = 0;
-  if (Config.Mode == CrownMode::Backward) {
-    BackwardOptions Opts;
-    Opts.MaxLevelsBack = -1;
-    Opts.MemoryBudgetBytes = Config.MemoryBudgetBytes;
-    if (!computeAllBounds(Built.G, Opts, &Peak, &Total)) {
-      Outcome.OutOfMemory = true;
-      Outcome.PeakBytes = Peak;
-      Outcome.TotalBytes = Total;
-      return Outcome;
-    }
-  } else {
-    ForwardOptions Opts;
-    Opts.MemoryBudgetBytes = Config.MemoryBudgetBytes;
-    if (!computeForwardBounds(Built.G, Opts, &Peak, &Total)) {
-      Outcome.OutOfMemory = true;
-      Outcome.PeakBytes = Peak;
-      Outcome.TotalBytes = Total;
-      return Outcome;
+  {
+    DEEPT_TRACE_SPAN("crown.intermediate_bounds");
+    if (Config.Mode == CrownMode::Backward) {
+      BackwardOptions Opts;
+      Opts.MaxLevelsBack = -1;
+      Opts.MemoryBudgetBytes = Config.MemoryBudgetBytes;
+      if (!computeAllBounds(Built.G, Opts, &Peak, &Total)) {
+        Outcome.OutOfMemory = true;
+        Outcome.PeakBytes = Peak;
+        Outcome.TotalBytes = Total;
+        MR.counter("crown.oom.count").add(1);
+        return Outcome;
+      }
+    } else {
+      ForwardOptions Opts;
+      Opts.MemoryBudgetBytes = Config.MemoryBudgetBytes;
+      if (!computeForwardBounds(Built.G, Opts, &Peak, &Total)) {
+        Outcome.OutOfMemory = true;
+        Outcome.PeakBytes = Peak;
+        Outcome.TotalBytes = Total;
+        MR.counter("crown.oom.count").add(1);
+        return Outcome;
+      }
     }
   }
-  BackwardOptions MarginOpts;
-  MarginOpts.MaxLevelsBack = -1;
-  MarginOpts.MemoryBudgetBytes = Config.MemoryBudgetBytes;
-  BackwardResult R = computeBounds(Built.G, Built.Margin, MarginOpts);
+  BackwardResult R;
+  {
+    DEEPT_TRACE_SPAN("crown.margin_backsub");
+    BackwardOptions MarginOpts;
+    MarginOpts.MaxLevelsBack = -1;
+    MarginOpts.MemoryBudgetBytes = Config.MemoryBudgetBytes;
+    R = computeBounds(Built.G, Built.Margin, MarginOpts);
+  }
   Outcome.PeakBytes = std::max(Peak, R.PeakBytes);
   Outcome.TotalBytes = Total + R.TotalBytes;
+  MR.gauge("crown.peak_bytes")
+      .recordMax(static_cast<double>(Outcome.PeakBytes));
   if (R.MemoryExceeded ||
       (Config.MemoryBudgetBytes > 0 &&
        Outcome.TotalBytes > Config.MemoryBudgetBytes)) {
     Outcome.OutOfMemory = true;
+    MR.counter("crown.oom.count").add(1);
     return Outcome;
   }
   Outcome.MarginLowerBound = R.Lo.at(0, 0);

@@ -1,0 +1,142 @@
+//===- support/Metrics.cpp ------------------------------------*- C++ -*-===//
+
+#include "support/Metrics.h"
+
+#include "support/Json.h"
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace deept;
+using namespace deept::support;
+
+void Histogram::observe(double V) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (S.Count == 0) {
+    S.Min = V;
+    S.Max = V;
+  } else {
+    S.Min = std::min(S.Min, V);
+    S.Max = std::max(S.Max, V);
+  }
+  S.Count++;
+  S.Sum += V;
+}
+
+Histogram::Stats Histogram::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return S;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  S = Stats();
+}
+
+Metrics &Metrics::global() {
+  static Metrics M;
+  return M;
+}
+
+Counter &Metrics::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::unique_ptr<Counter> &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &Metrics::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::unique_ptr<Gauge> &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &Metrics::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::unique_ptr<Histogram> &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+double Metrics::counterValue(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0.0 : It->second->value();
+}
+
+double Metrics::gaugeValue(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Gauges.find(Name);
+  return It == Gauges.end() ? 0.0 : It->second->value();
+}
+
+Histogram::Stats Metrics::histogramStats(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  return It == Histograms.end() ? Histogram::Stats() : It->second->stats();
+}
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+std::string Metrics::toJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out = "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + jsonEscape(Name) + "\":" + jsonNumber(C->value());
+  }
+  Out += "},\"gauges\":{";
+  First = true;
+  for (const auto &[Name, G] : Gauges) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + jsonEscape(Name) + "\":" + jsonNumber(G->value());
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Histogram::Stats S = H->stats();
+    Out += "\"" + jsonEscape(Name) + "\":{\"count\":" +
+           jsonNumber(static_cast<double>(S.Count)) +
+           ",\"sum\":" + jsonNumber(S.Sum) + ",\"min\":" + jsonNumber(S.Min) +
+           ",\"max\":" + jsonNumber(S.Max) +
+           ",\"mean\":" + jsonNumber(S.mean()) + "}";
+  }
+  Out += "}}";
+  return Out;
+}
+
+std::string Metrics::summaryTable() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Table T({"metric", "kind", "value / count,mean,max"});
+  for (const auto &[Name, C] : Counters)
+    T.addRow({Name, "counter", formatFixed(C->value(), 0)});
+  for (const auto &[Name, G] : Gauges)
+    T.addRow({Name, "gauge", formatFixed(G->value(), 0)});
+  for (const auto &[Name, H] : Histograms) {
+    Histogram::Stats S = H->stats();
+    T.addRow({Name, "histogram",
+              std::to_string(S.Count) + "," + formatFixed(S.mean(), 2) + "," +
+                  formatFixed(S.Max, 2)});
+  }
+  return T.render();
+}

@@ -41,6 +41,10 @@ public:
   /// Renders and writes the table to stdout.
   void print() const;
 
+  /// Header row followed by the data rows, as passed in (used by the
+  /// bench harnesses to re-emit the table machine-readably).
+  const std::vector<std::vector<std::string>> &rows() const { return Rows; }
+
 private:
   std::vector<std::vector<std::string>> Rows;
 };

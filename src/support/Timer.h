@@ -35,6 +35,26 @@ private:
   Clock::time_point Start;
 };
 
+/// Accumulates the elapsed seconds of its scope into a double on exit:
+///
+///   double Sec = 0.0;
+///   { ScopedAccum A(Sec); work(); }   // Sec += wall-clock of work()
+///
+/// Replaces the repeated `Timer T; ...; Acc += T.seconds()` pattern in the
+/// bench harnesses and the CLI.
+class ScopedAccum {
+public:
+  explicit ScopedAccum(double &Acc) : Acc(Acc) {}
+  ~ScopedAccum() { Acc += T.seconds(); }
+
+  ScopedAccum(const ScopedAccum &) = delete;
+  ScopedAccum &operator=(const ScopedAccum &) = delete;
+
+private:
+  Timer T;
+  double &Acc;
+};
+
 } // namespace support
 } // namespace deept
 

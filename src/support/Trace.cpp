@@ -1,0 +1,172 @@
+//===- support/Trace.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <vector>
+
+using namespace deept;
+using namespace deept::support;
+
+std::atomic<bool> Trace::Enabled{false};
+
+namespace {
+
+/// One completed span.
+struct Event {
+  std::string Name;
+  uint64_t StartNs;
+  uint64_t DurNs;
+  uint64_t SelfNs; // DurNs minus time covered by child spans
+  uint32_t Tid;
+  uint32_t Depth;
+};
+
+/// A span still on a thread's stack.
+struct OpenSpan {
+  std::string Name;
+  uint64_t StartNs;
+  uint64_t ChildNs = 0;
+};
+
+std::mutex &logMutex() {
+  static std::mutex M;
+  return M;
+}
+
+std::vector<Event> &eventLog() {
+  static std::vector<Event> Log;
+  return Log;
+}
+
+/// Nanoseconds since the first call in the process; all threads share the
+/// epoch so their events land on one timeline.
+uint64_t nowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Epoch)
+          .count());
+}
+
+/// Small dense per-thread id for the "tid" field.
+uint32_t threadId() {
+  static std::atomic<uint32_t> Next{1};
+  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+/// Per-thread stack of open spans (nesting bookkeeping needs no lock).
+std::vector<OpenSpan> &openStack() {
+  thread_local std::vector<OpenSpan> Stack;
+  return Stack;
+}
+
+} // namespace
+
+void TraceSpan::begin(std::string Name) {
+  openStack().push_back({std::move(Name), nowNs()});
+  Active = true;
+}
+
+void TraceSpan::end() {
+  std::vector<OpenSpan> &Stack = openStack();
+  if (Stack.empty())
+    return; // clear()/disable raced with an open span; drop it
+  OpenSpan Span = std::move(Stack.back());
+  Stack.pop_back();
+  uint64_t Dur = nowNs() - Span.StartNs;
+  if (!Stack.empty())
+    Stack.back().ChildNs += Dur;
+  uint64_t Self = Dur >= Span.ChildNs ? Dur - Span.ChildNs : 0;
+  Trace::record(std::move(Span.Name), Span.StartNs, Dur, Self,
+                static_cast<uint32_t>(Stack.size()));
+}
+
+void Trace::record(std::string Name, uint64_t StartNs, uint64_t DurNs,
+                   uint64_t SelfNs, uint32_t Depth) {
+  std::lock_guard<std::mutex> Lock(logMutex());
+  eventLog().push_back(
+      {std::move(Name), StartNs, DurNs, SelfNs, threadId(), Depth});
+}
+
+void Trace::clear() {
+  std::lock_guard<std::mutex> Lock(logMutex());
+  eventLog().clear();
+}
+
+size_t Trace::eventCount() {
+  std::lock_guard<std::mutex> Lock(logMutex());
+  return eventLog().size();
+}
+
+std::string Trace::toChromeJson() {
+  std::lock_guard<std::mutex> Lock(logMutex());
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  char Buf[160];
+  for (const Event &E : eventLog()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    // Complete ("X") events; ts/dur are microseconds per the trace_event
+    // spec. pid is constant: one process, one timeline.
+    std::snprintf(Buf, sizeof(Buf),
+                  "\"ph\":\"X\",\"cat\":\"deept\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+                  "\"args\":{\"self_us\":%.3f}}",
+                  E.StartNs / 1e3, E.DurNs / 1e3, E.Tid, E.SelfNs / 1e3);
+    Out += "{\"name\":\"" + jsonEscape(E.Name) + "\",";
+    Out += Buf;
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool Trace::writeChromeJson(const std::string &Path) {
+  std::string Json = toChromeJson();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool Ok = std::fclose(F) == 0 && Written == Json.size();
+  return Ok;
+}
+
+std::string Trace::selfTimeSummary() {
+  struct Agg {
+    size_t Count = 0;
+    uint64_t TotalNs = 0;
+    uint64_t SelfNs = 0;
+  };
+  std::map<std::string, Agg> ByName;
+  {
+    std::lock_guard<std::mutex> Lock(logMutex());
+    for (const Event &E : eventLog()) {
+      Agg &A = ByName[E.Name];
+      A.Count++;
+      A.TotalNs += E.DurNs;
+      A.SelfNs += E.SelfNs;
+    }
+  }
+  std::vector<std::pair<std::string, Agg>> Sorted(ByName.begin(),
+                                                  ByName.end());
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const auto &A, const auto &B) {
+              return A.second.SelfNs > B.second.SelfNs;
+            });
+  Table T({"span", "count", "total[ms]", "self[ms]", "avg[us]"});
+  for (const auto &[Name, A] : Sorted)
+    T.addRow({Name, std::to_string(A.Count),
+              formatFixed(A.TotalNs / 1e6, 3), formatFixed(A.SelfNs / 1e6, 3),
+              formatFixed(A.TotalNs / 1e3 / static_cast<double>(A.Count), 1)});
+  return T.render();
+}

@@ -2,6 +2,8 @@
 
 #include "verify/DeepT.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "zono/Elementwise.h"
 #include "zono/Reduction.h"
 #include "zono/Refinement.h"
@@ -48,8 +50,25 @@ Zonotope abstractLayerNorm(const Zonotope &V, const Matrix &Gamma,
 
 } // namespace
 
+PropagationStats PropagationStats::fromRegistry() {
+  const support::Metrics &M = support::Metrics::global();
+  PropagationStats S;
+  S.PeakEpsSymbols = static_cast<size_t>(
+      M.gaugeValue("verify.propagate.peak_eps_symbols"));
+  S.SymbolsTightened = static_cast<size_t>(
+      M.counterValue("verify.propagate.symbols_tightened"));
+  S.PeakCoeffBytes = static_cast<size_t>(
+      M.gaugeValue("verify.propagate.peak_coeff_bytes"));
+  return S;
+}
+
 Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
                                   PropagationStats *Stats) const {
+  support::TraceSpan PropagateSpan("deept.propagate");
+  support::Metrics &MR = support::Metrics::global();
+  static support::Counter &Calls = MR.counter("verify.propagate.calls");
+  Calls.add(1);
+
   const nn::TransformerConfig &C = Model.Config;
   assert(InputEmb.cols() == C.EmbedDim && "embedding width mismatch");
   size_t A = C.NumHeads;
@@ -57,9 +76,11 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
   double Scale = 1.0 / std::sqrt(static_cast<double>(Dk));
 
   PropagationStats Local;
+  size_t LayerPeakEps = 0;
   auto Track = [&](const Zonotope &Z) {
     Local.PeakEpsSymbols = std::max(Local.PeakEpsSymbols, Z.numEps());
     Local.PeakCoeffBytes = std::max(Local.PeakCoeffBytes, Z.coeffBytes());
+    LayerPeakEps = std::max(LayerPeakEps, Z.numEps());
   };
 
   SoftmaxOptions SoftOpts;
@@ -68,6 +89,9 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
 
   Zonotope X = InputEmb;
   for (size_t L = 0; L < Model.Layers.size(); ++L) {
+    support::TraceSpan LayerSpan("deept.layer", L);
+    double EpsCreatedBefore = MR.counterValue("zono.eps_symbols.created");
+    LayerPeakEps = 0;
     const nn::TransformerLayer &Layer = Model.Layers[L];
     bool LastLayer = L + 1 == Model.Layers.size();
 
@@ -80,27 +104,44 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
 
     // Noise symbol reduction at the layer input (Section 5.1), where a
     // single tensor is live, so re-indexing the eps space is safe.
-    size_t Budget = Config.NoiseReductionBudget;
-    if (LastLayer && Config.NoiseReductionBudgetLastLayer > 0)
-      Budget = Config.NoiseReductionBudgetLastLayer;
-    if (Budget > 0)
-      reduceEpsSymbols(X, Budget);
+    {
+      DEEPT_TRACE_SPAN("deept.noise_reduction");
+      size_t Budget = Config.NoiseReductionBudget;
+      if (LastLayer && Config.NoiseReductionBudgetLastLayer > 0)
+        Budget = Config.NoiseReductionBudgetLastLayer;
+      if (Budget > 0)
+        reduceEpsSymbols(X, Budget);
+    }
     Track(X);
 
     // Multi-head self-attention (Eq. 1).
-    Zonotope Q = X.matmulRightConst(Layer.Wq).addRowBroadcast(Layer.Bq);
-    Zonotope K = X.matmulRightConst(Layer.Wk).addRowBroadcast(Layer.Bk);
-    Zonotope V = X.matmulRightConst(Layer.Wv).addRowBroadcast(Layer.Bv);
+    Zonotope Q, K, V;
+    {
+      DEEPT_TRACE_SPAN("deept.attention.qkv");
+      Q = X.matmulRightConst(Layer.Wq).addRowBroadcast(Layer.Bq);
+      K = X.matmulRightConst(Layer.Wk).addRowBroadcast(Layer.Bk);
+      V = X.matmulRightConst(Layer.Wv).addRowBroadcast(Layer.Bv);
+    }
 
     std::vector<Zonotope> Heads;
     for (size_t H = 0; H < A; ++H) {
+      DEEPT_TRACE_SPAN("deept.attention.head");
       Zonotope Qh = Q.selectColRange(H * Dk, (H + 1) * Dk);
       Zonotope Kh = K.selectColRange(H * Dk, (H + 1) * Dk);
       Zonotope Vh = V.selectColRange(H * Dk, (H + 1) * Dk);
-      Zonotope Scores = dotRows(Qh, Kh, Dot).scale(Scale);
+      Zonotope Scores;
+      {
+        DEEPT_TRACE_SPAN("deept.attention.scores");
+        Scores = dotRows(Qh, Kh, Dot).scale(Scale);
+      }
       Track(Scores);
-      Zonotope Probs = applySoftmax(Scores, SoftOpts);
+      Zonotope Probs;
+      {
+        DEEPT_TRACE_SPAN("deept.attention.softmax");
+        Probs = applySoftmax(Scores, SoftOpts);
+      }
       if (Config.SoftmaxSumRefinement) {
+        DEEPT_TRACE_SPAN("deept.attention.refine");
         // Symbol-range rewrites must reach every tensor still in use --
         // including the already-sliced value tensor Vh that the
         // attention output multiplies Probs with.
@@ -112,36 +153,62 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
       }
       // Attention output: Probs (N x N) times Vh (N x dk); rows of Probs
       // dotted with columns of Vh, i.e. rows of Vh transposed.
-      Heads.push_back(dotRows(Probs, Vh.transposedView(), Dot));
+      {
+        DEEPT_TRACE_SPAN("deept.attention.output");
+        Heads.push_back(dotRows(Probs, Vh.transposedView(), Dot));
+      }
       Track(Heads.back());
     }
-    Zonotope Concat = Zonotope::concatCols(Heads);
-    Zonotope Z =
-        Concat.matmulRightConst(Layer.Wo).addRowBroadcast(Layer.Bo);
-    Zonotope V1 = X.add(Z); // residual connection
-    Zonotope X1 =
-        abstractLayerNorm(V1, Layer.Ln1Gamma, Layer.Ln1Beta,
-                          C.LayerNormStdDiv, C.LnEps, Dot,
-                          Config.ElementwiseEps);
+    Zonotope X1;
+    {
+      DEEPT_TRACE_SPAN("deept.attention.proj_norm");
+      Zonotope Concat = Zonotope::concatCols(Heads);
+      Zonotope Z =
+          Concat.matmulRightConst(Layer.Wo).addRowBroadcast(Layer.Bo);
+      Zonotope V1 = X.add(Z); // residual connection
+      X1 = abstractLayerNorm(V1, Layer.Ln1Gamma, Layer.Ln1Beta,
+                             C.LayerNormStdDiv, C.LnEps, Dot,
+                             Config.ElementwiseEps);
+    }
 
     // Feed-forward block with its residual connection.
-    Zonotope Hid = applyRelu(
-        X1.matmulRightConst(Layer.W1).addRowBroadcast(Layer.B1));
-    Zonotope F = Hid.matmulRightConst(Layer.W2).addRowBroadcast(Layer.B2);
-    Zonotope V2 = X1.add(F);
-    X = abstractLayerNorm(V2, Layer.Ln2Gamma, Layer.Ln2Beta,
-                          C.LayerNormStdDiv, C.LnEps, Dot,
-                          Config.ElementwiseEps);
+    {
+      DEEPT_TRACE_SPAN("deept.ffn");
+      Zonotope Hid = applyRelu(
+          X1.matmulRightConst(Layer.W1).addRowBroadcast(Layer.B1));
+      Zonotope F = Hid.matmulRightConst(Layer.W2).addRowBroadcast(Layer.B2);
+      Zonotope V2 = X1.add(F);
+      X = abstractLayerNorm(V2, Layer.Ln2Gamma, Layer.Ln2Beta,
+                            C.LayerNormStdDiv, C.LnEps, Dot,
+                            Config.ElementwiseEps);
+    }
     Track(X);
+    MR.histogram("verify.layer.eps_created")
+        .observe(MR.counterValue("zono.eps_symbols.created") -
+                 EpsCreatedBefore);
+    MR.histogram("verify.layer.peak_eps_symbols")
+        .observe(static_cast<double>(LayerPeakEps));
   }
 
   // Pooling (first output embedding), tanh layer, binary classifier.
-  Zonotope Pooled = X.selectRow(0);
-  Zonotope T = applyTanh(
-      Pooled.matmulRightConst(Model.PoolW).addRowBroadcast(Model.PoolB));
-  Zonotope Logits =
-      T.matmulRightConst(Model.ClsW).addRowBroadcast(Model.ClsB);
+  Zonotope Logits;
+  {
+    DEEPT_TRACE_SPAN("deept.pooler");
+    Zonotope Pooled = X.selectRow(0);
+    Zonotope T = applyTanh(
+        Pooled.matmulRightConst(Model.PoolW).addRowBroadcast(Model.PoolB));
+    Logits = T.matmulRightConst(Model.ClsW).addRowBroadcast(Model.ClsB);
+  }
   Track(Logits);
+
+  // Mirror the per-run stats into the registry so they survive every
+  // entry point (certifyMargin and friends discard the out-param).
+  MR.gauge("verify.propagate.peak_eps_symbols")
+      .recordMax(static_cast<double>(Local.PeakEpsSymbols));
+  MR.gauge("verify.propagate.peak_coeff_bytes")
+      .recordMax(static_cast<double>(Local.PeakCoeffBytes));
+  MR.counter("verify.propagate.symbols_tightened")
+      .add(static_cast<double>(Local.SymbolsTightened));
   if (Stats)
     *Stats = Local;
   return Logits;

@@ -56,11 +56,18 @@ struct VerifierConfig {
   bool StableSoftmax = true;
 };
 
-/// Per-run statistics (for the benchmark harnesses).
+/// Propagation statistics. The numbers live in the support::Metrics
+/// registry (propagate() records them on every call, whichever entry
+/// point -- certifyMargin, certifyLpBall, certifySynonymBox -- triggered
+/// it); this struct is a thin view kept for API compatibility. Peaks are
+/// maxima and SymbolsTightened a sum since the last Metrics reset().
 struct PropagationStats {
   size_t PeakEpsSymbols = 0;
   size_t SymbolsTightened = 0;
   size_t PeakCoeffBytes = 0;
+
+  /// Snapshot of the registry's verify.propagate.* instruments.
+  static PropagationStats fromRegistry();
 };
 
 /// The DeepT verifier over a fixed Transformer model.

@@ -2,6 +2,9 @@
 
 #include "verify/RadiusSearch.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -9,10 +12,18 @@ using namespace deept;
 using namespace deept::verify;
 
 double deept::verify::certifiedRadius(
-    const std::function<bool(double)> &Certify,
+    const std::function<bool(double)> &CertifyFn,
     const RadiusSearchOptions &Opts) {
   assert(Opts.MinRadius > 0 && Opts.InitRadius >= Opts.MinRadius &&
          Opts.MaxRadius >= Opts.InitRadius && "inconsistent search range");
+  support::TraceSpan SearchSpan("radius_search");
+  static support::Counter &Probes =
+      support::Metrics::global().counter("verify.radius_search.probes");
+  auto Certify = [&](double R) {
+    DEEPT_TRACE_SPAN("radius_search.probe");
+    Probes.add(1);
+    return CertifyFn(R);
+  };
   double Probe = Opts.InitRadius;
 
   // Shrink until something certifies (or give up at MinRadius).

@@ -2,6 +2,9 @@
 
 #include "zono/DotProduct.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -195,10 +198,23 @@ void quadraticBounds(const Zonotope &A, const Zonotope &B, size_t N,
 
 Zonotope deept::zono::dotRows(const Zonotope &AIn, const Zonotope &BIn,
                               const DotOptions &Opts) {
+  DEEPT_TRACE_SPAN("zono.dot_rows");
+  static support::Counter &FastCalls =
+      support::Metrics::global().counter("zono.dot.fast.calls");
+  static support::Counter &PreciseCalls =
+      support::Metrics::global().counter("zono.dot.precise.calls");
+  static support::Counter &FlopsEst =
+      support::Metrics::global().counter("zono.dot.flops_est");
+  (Opts.Method == DotMethod::Precise ? PreciseCalls : FastCalls).add(1);
+
   assert(AIn.cols() == BIn.cols() && "dotRows dimension mismatch");
   Zonotope A = AIn, B = BIn;
   Zonotope::alignSpaces(A, B);
   size_t N = A.rows(), M = B.rows(), D = A.cols();
+  // The affine part multiplies each of the 1 + phi + eps coefficient
+  // planes (two GEMMs per noise plane) through an N x D x M contraction.
+  FlopsEst.add(2.0 * static_cast<double>(N * M * D) *
+               (1.0 + 2.0 * static_cast<double>(A.numPhi() + A.numEps())));
 
   const Matrix &CA = A.center();
   const Matrix &CB = B.center();
@@ -229,7 +245,14 @@ Zonotope deept::zono::dotRows(const Zonotope &AIn, const Zonotope &BIn,
   Out.installCoeffs(std::move(PhiOut), std::move(EpsOut));
 
   Matrix QLo, QHi;
-  quadraticBounds(A, B, N, M, D, Opts, QLo, QHi);
+  {
+    // The Fast/Precise split lives here; a separate span makes the Eq. 5
+    // vs Eq. 6 cost visible under the dot_rows parent.
+    DEEPT_TRACE_SPAN(Opts.Method == DotMethod::Precise
+                         ? "zono.dot.quadratic_precise"
+                         : "zono.dot.quadratic_fast");
+    quadraticBounds(A, B, N, M, D, Opts, QLo, QHi);
+  }
   std::vector<std::pair<size_t, double>> Fresh;
   Matrix Shift(N, M, 0.0);
   for (size_t V = 0; V < N * M; ++V) {
@@ -246,6 +269,10 @@ Zonotope deept::zono::dotRows(const Zonotope &AIn, const Zonotope &BIn,
 
 Zonotope deept::zono::mulElementwise(const Zonotope &AIn, const Zonotope &BIn,
                                      const DotOptions &Opts) {
+  DEEPT_TRACE_SPAN("zono.mul_elementwise");
+  static support::Counter &Calls =
+      support::Metrics::global().counter("zono.mul.calls");
+  Calls.add(1);
   assert(AIn.rows() == BIn.rows() && AIn.cols() == BIn.cols() &&
          "mulElementwise shape mismatch");
   Zonotope A = AIn, B = BIn;

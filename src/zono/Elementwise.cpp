@@ -2,6 +2,9 @@
 
 #include "zono/Elementwise.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -154,6 +157,7 @@ LinearPiece deept::zono::sqrtPiece(double L, double U) {
 Zonotope deept::zono::applyElementwise(
     const Zonotope &Z,
     const std::function<LinearPiece(double, double)> &PieceFn) {
+  DEEPT_TRACE_SPAN("zono.elementwise");
   Matrix Lo, Hi;
   Z.bounds(Lo, Hi);
   Matrix Lambda(Z.rows(), Z.cols());
@@ -184,24 +188,43 @@ Zonotope deept::zono::applyElementwise(
   return Out;
 }
 
+namespace {
+
+support::Counter &elementwiseCalls(const char *Fn) {
+  return support::Metrics::global().counter(
+      std::string("zono.elementwise.") + Fn + ".calls");
+}
+
+} // namespace
+
 Zonotope deept::zono::applyRelu(const Zonotope &Z) {
+  static support::Counter &Calls = elementwiseCalls("relu");
+  Calls.add(1);
   return applyElementwise(Z, [](double L, double U) { return reluPiece(L, U); });
 }
 
 Zonotope deept::zono::applyTanh(const Zonotope &Z) {
+  static support::Counter &Calls = elementwiseCalls("tanh");
+  Calls.add(1);
   return applyElementwise(Z, [](double L, double U) { return tanhPiece(L, U); });
 }
 
 Zonotope deept::zono::applyExp(const Zonotope &Z, double Eps) {
+  static support::Counter &Calls = elementwiseCalls("exp");
+  Calls.add(1);
   return applyElementwise(
       Z, [Eps](double L, double U) { return expPiece(L, U, Eps); });
 }
 
 Zonotope deept::zono::applyRecip(const Zonotope &Z, double Eps) {
+  static support::Counter &Calls = elementwiseCalls("recip");
+  Calls.add(1);
   return applyElementwise(
       Z, [Eps](double L, double U) { return recipPiece(L, U, Eps); });
 }
 
 Zonotope deept::zono::applySqrt(const Zonotope &Z) {
+  static support::Counter &Calls = elementwiseCalls("sqrt");
+  Calls.add(1);
   return applyElementwise(Z, [](double L, double U) { return sqrtPiece(L, U); });
 }

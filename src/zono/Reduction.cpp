@@ -2,6 +2,9 @@
 
 #include "zono/Reduction.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -13,6 +16,13 @@ size_t deept::zono::reduceEpsSymbols(Zonotope &Z, size_t Keep) {
   size_t NumEps = Z.numEps();
   if (NumEps <= Keep)
     return 0;
+  DEEPT_TRACE_SPAN("zono.reduce");
+  static support::Counter &Calls =
+      support::Metrics::global().counter("zono.reduce.calls");
+  static support::Counter &Dropped =
+      support::Metrics::global().counter("zono.eps_symbols.reduced");
+  Calls.add(1);
+  Dropped.add(static_cast<double>(NumEps - Keep));
   size_t NumVars = Z.numVars();
   const Matrix &Eps = Z.epsCoeffs();
 

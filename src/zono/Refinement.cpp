@@ -2,6 +2,9 @@
 
 #include "zono/Refinement.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -144,6 +147,7 @@ RefinementStats
 deept::zono::refineSoftmaxSum(Zonotope &P,
                               const std::vector<Zonotope *> &CoLive,
                               const RefinementOptions &Opts) {
+  DEEPT_TRACE_SPAN("zono.softmax_refine");
   RefinementStats Stats;
   size_t C = P.cols();
   if (C < 2)
@@ -220,15 +224,26 @@ deept::zono::refineSoftmaxSum(Zonotope &P,
     }
   }
 
+  static support::Counter &RowsRefined =
+      support::Metrics::global().counter("zono.refine.rows");
+  static support::Counter &Tightenings =
+      support::Metrics::global().counter("zono.refine.symbols_tightened");
+  static support::Histogram &Shrinkage =
+      support::Metrics::global().histogram("zono.refine.shrinkage");
+  RowsRefined.add(static_cast<double>(Stats.RowsRefined));
   for (size_t Sym = 0; Sym < Tightened.size(); ++Sym) {
     if (!Tightened[Sym])
       continue;
     double Mid = 0.5 * (Ranges[Sym].first + Ranges[Sym].second);
     double Rad = 0.5 * (Ranges[Sym].second - Ranges[Sym].first);
+    // Fraction of the symbol's original [-1, 1] range eliminated (1 =
+    // pinned to a point, 0 = untouched).
+    Shrinkage.observe(1.0 - Rad);
     P.rewriteEpsSymbol(Sym, Mid, Rad);
     for (Zonotope *Other : CoLive)
       Other->rewriteEpsSymbol(Sym, Mid, Rad);
     Stats.SymbolsTightened++;
   }
+  Tightenings.add(static_cast<double>(Stats.SymbolsTightened));
   return Stats;
 }

@@ -2,6 +2,8 @@
 
 #include "zono/Softmax.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "zono/Elementwise.h"
 
 #include <cassert>
@@ -67,6 +69,12 @@ Zonotope softmaxNaive(const Zonotope &Z, const SoftmaxOptions &Opts) {
 
 Zonotope deept::zono::applySoftmax(const Zonotope &Scores,
                                    const SoftmaxOptions &Opts) {
+  DEEPT_TRACE_SPAN("zono.softmax");
+  static support::Counter &StableCalls =
+      support::Metrics::global().counter("zono.softmax.stable.calls");
+  static support::Counter &NaiveCalls =
+      support::Metrics::global().counter("zono.softmax.naive.calls");
+  (Opts.StableRewrite ? StableCalls : NaiveCalls).add(1);
   assert(Scores.cols() > 0 && "softmax over empty rows");
   return Opts.StableRewrite ? softmaxStable(Scores, Opts)
                             : softmaxNaive(Scores, Opts);

@@ -2,6 +2,7 @@
 
 #include "zono/Zonotope.h"
 
+#include "support/Metrics.h"
 #include "support/Rng.h"
 
 #include <algorithm>
@@ -327,6 +328,11 @@ void Zonotope::alignSpaces(Zonotope &A, Zonotope &B) {
 
 size_t Zonotope::appendFreshEps(
     const std::vector<std::pair<size_t, double>> &Entries) {
+  // Every non-affine transformer introduces its fresh symbols through
+  // here, so this one counter is the global eps-creation tally.
+  static support::Counter &EpsCreated =
+      support::Metrics::global().counter("zono.eps_symbols.created");
+  EpsCreated.add(static_cast<double>(Entries.size()));
   size_t First = numEps();
   Matrix Block(Entries.size(), numVars());
   for (size_t I = 0; I < Entries.size(); ++I) {

@@ -105,3 +105,20 @@ TEST(Timer, MeasuresNonNegativeTime) {
     X = X + std::sqrt(static_cast<double>(I));
   EXPECT_GE(T.seconds(), 0.0);
 }
+
+TEST(Timer, ScopedAccumAddsElapsedTime) {
+  double Acc = 0.0;
+  {
+    ScopedAccum A(Acc);
+    volatile double X = 0;
+    for (int I = 0; I < 1000; ++I)
+      X = X + std::sqrt(static_cast<double>(I));
+    EXPECT_DOUBLE_EQ(Acc, 0.0); // only added at scope exit
+  }
+  EXPECT_GT(Acc, 0.0);
+  double First = Acc;
+  {
+    ScopedAccum A(Acc);
+  }
+  EXPECT_GE(Acc, First); // accumulates across scopes
+}

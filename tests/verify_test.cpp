@@ -12,6 +12,7 @@
 
 #include "attack/Enumeration.h"
 #include "nn/Train.h"
+#include "support/Metrics.h"
 
 #include "TestHelpers.h"
 
@@ -222,6 +223,55 @@ TEST(Verify, PropagationStatsPopulated) {
   V.propagate(In, &Stats);
   EXPECT_GT(Stats.PeakEpsSymbols, 0u);
   EXPECT_GT(Stats.PeakCoeffBytes, 0u);
+}
+
+TEST(Verify, PropagationStatsMirroredInRegistry) {
+  const Fixture &F = fixture();
+  DeepTVerifier V(F.Model, fastConfig());
+  const data::Sentence &S = F.Test[0];
+  Zonotope In =
+      Zonotope::lpBallOnRow(F.Model.embed(S.Tokens), 0, 2.0, 0.01);
+  support::Metrics &M = support::Metrics::global();
+  M.reset();
+  PropagationStats Stats;
+  V.propagate(In, &Stats);
+  PropagationStats FromReg = PropagationStats::fromRegistry();
+  EXPECT_EQ(FromReg.PeakEpsSymbols, Stats.PeakEpsSymbols);
+  EXPECT_EQ(FromReg.PeakCoeffBytes, Stats.PeakCoeffBytes);
+  EXPECT_EQ(FromReg.SymbolsTightened, Stats.SymbolsTightened);
+  EXPECT_DOUBLE_EQ(M.counterValue("verify.propagate.calls"), 1.0);
+  // Per-layer instrumentation fires once per transformer layer.
+  EXPECT_EQ(M.histogramStats("verify.layer.eps_created").Count,
+            F.Model.Layers.size());
+  EXPECT_EQ(M.histogramStats("verify.layer.peak_eps_symbols").Count,
+            F.Model.Layers.size());
+  // Non-affine transformers went through appendFreshEps.
+  EXPECT_GT(M.counterValue("zono.eps_symbols.created"), 0.0);
+  // A budget below the fixture's eps count forces reduction, which the
+  // registry must see.
+  VerifierConfig Small = fastConfig();
+  Small.NoiseReductionBudget = 40;
+  DeepTVerifier(F.Model, Small).propagate(In);
+  EXPECT_GT(M.counterValue("zono.eps_symbols.reduced"), 0.0);
+}
+
+TEST(Verify, StatsSurviveCertifyMarginEntryPoint) {
+  // certifyMargin discards propagate's out-param; the registry must still
+  // capture the run (the bug this observability layer fixes).
+  const Fixture &F = fixture();
+  DeepTVerifier V(F.Model, fastConfig());
+  const data::Sentence &S = F.Test[0];
+  Matrix X = F.Model.embed(S.Tokens);
+  size_t Pred = F.Model.forwardEmbeddings(X).argmax();
+  Zonotope In = Zonotope::lpBallOnRow(X, 0, 2.0, 0.01);
+  support::Metrics &M = support::Metrics::global();
+  M.reset();
+  V.certifyMargin(In, Pred);
+  PropagationStats Stats = PropagationStats::fromRegistry();
+  EXPECT_GT(Stats.PeakEpsSymbols, 0u);
+  EXPECT_GT(Stats.PeakCoeffBytes, 0u);
+  EXPECT_DOUBLE_EQ(M.counterValue("verify.propagate.calls"), 1.0);
+  EXPECT_GT(M.counterValue("zono.dot.fast.calls"), 0.0);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,49 @@
+# SmokeTrace.cmake - end-to-end smoke test of the observability flags.
+#
+# Trains a tiny model with deept_cli, certifies one sentence with
+# --trace-out and --stats-json, and validates both artifacts with
+# deept_json_validate. Run via:
+#   cmake -DDEEPT_CLI=... -DJSON_VALIDATE=... -DWORK_DIR=... -P SmokeTrace.cmake
+
+foreach(Var DEEPT_CLI JSON_VALIDATE WORK_DIR)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "SmokeTrace.cmake needs -D${Var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(Model "${WORK_DIR}/smoke.dptm")
+set(TraceJson "${WORK_DIR}/smoke.trace.json")
+set(StatsJson "${WORK_DIR}/smoke.stats.json")
+
+execute_process(
+  COMMAND "${DEEPT_CLI}" train --out "${Model}" --layers 1 --embed 8
+          --heads 2 --hidden 8 --steps 5
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "deept_cli train failed (rc=${Rc})")
+endif()
+
+execute_process(
+  COMMAND "${DEEPT_CLI}" certify --model "${Model}" --sentences 1
+          --trace-out "${TraceJson}" --stats-json "${StatsJson}"
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "deept_cli certify failed (rc=${Rc})")
+endif()
+
+execute_process(
+  COMMAND "${JSON_VALIDATE}" --require-key traceEvents "${TraceJson}"
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "trace JSON invalid (rc=${Rc})")
+endif()
+
+execute_process(
+  COMMAND "${JSON_VALIDATE}" --require-key metrics "${StatsJson}"
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "stats JSON invalid (rc=${Rc})")
+endif()
+
+message(STATUS "observability smoke test passed")

@@ -20,11 +20,15 @@
 #include "nn/Serialize.h"
 #include "nn/Train.h"
 #include "support/ArgParse.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 #include "verify/DeepT.h"
 #include "verify/RadiusSearch.h"
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 using namespace deept;
@@ -46,7 +50,13 @@ int usage() {
       "           [--verifier fast|precise|combined|crown-baf|crown-backward]\n"
       "  synonym  --model FILE [--corpus ...] [--count N]\n"
       "  attack   --model FILE [--corpus ...] [--norm l1|l2|linf] [--word N]\n"
-      "  info     --model FILE\n");
+      "  info     --model FILE\n"
+      "\n"
+      "observability (any command):\n"
+      "  --trace-out FILE.json   record spans, write Chrome trace_event\n"
+      "                          JSON (chrome://tracing / Perfetto) and\n"
+      "                          print a self-time summary to stderr\n"
+      "  --stats-json FILE.json  write the metrics registry as JSON\n");
   return 2;
 }
 
@@ -98,10 +108,13 @@ int cmdTrain(const ArgParse &Args) {
     Opts.SynonymSwapProb = 0.8;
     Opts.EmbedNoise = 0.03;
   }
-  support::Timer T;
-  nn::trainTransformer(Model, Corpus, Train, Opts);
+  double TrainSeconds = 0.0;
+  {
+    support::ScopedAccum A(TrainSeconds);
+    nn::trainTransformer(Model, Corpus, Train, Opts);
+  }
   std::printf("trained %zu-layer model in %.1f s, accuracy %.1f%%\n",
-              Cfg.NumLayers, T.seconds(),
+              Cfg.NumLayers, TrainSeconds,
               100.0 * nn::accuracy(Model, Test));
   if (!nn::saveModel(Out, Model)) {
     std::fprintf(stderr, "error: cannot write %s\n", Out.c_str());
@@ -157,13 +170,17 @@ int cmdCertify(const ArgParse &Args) {
     if (Model.classify(S.Tokens) != S.Label || Word >= S.Tokens.size())
       continue;
     ++Done;
-    support::Timer T;
-    double R = verify::certifiedRadius(
-        [&](double Radius) { return Certify(S, Radius); });
+    double Seconds = 0.0;
+    double R;
+    {
+      support::ScopedAccum A(Seconds);
+      R = verify::certifiedRadius(
+          [&](double Radius) { return Certify(S, Radius); });
+    }
     std::printf("sentence %zu (%zu words, %s): certified %s radius %.5g "
                 "around word %zu  (%.2f s, verifier %s)\n",
                 Done, S.Tokens.size(), S.Label ? "positive" : "negative",
-                Args.get("norm", "l2").c_str(), R, Word, T.seconds(),
+                Args.get("norm", "l2").c_str(), R, Word, Seconds,
                 Verifier.c_str());
   }
   return 0;
@@ -187,11 +204,15 @@ int cmdSynonym(const ArgParse &Args) {
       continue;
     ++Done;
     size_t Combos = attack::countSynonymCombinations(Corpus, S);
-    support::Timer T;
-    bool Ok = V.certifySynonymBox(Corpus, S, S.Label);
+    double Seconds = 0.0;
+    bool Ok;
+    {
+      support::ScopedAccum A(Seconds);
+      Ok = V.certifySynonymBox(Corpus, S, S.Label);
+    }
     Certified += Ok;
     std::printf("sentence %zu: %zu combinations -> %s (%.2f s)\n", Done,
-                Combos, Ok ? "CERTIFIED" : "not certified", T.seconds());
+                Combos, Ok ? "CERTIFIED" : "not certified", Seconds);
   }
   std::printf("certified %zu / %zu sentences\n", Certified, Done);
   return 0;
@@ -210,12 +231,16 @@ int cmdAttack(const ArgParse &Args) {
   do {
     S = Corpus.sampleSentence(Rng);
   } while (Model.classify(S.Tokens) != S.Label || Word >= S.Tokens.size());
-  support::Timer T;
-  double R = attack::minimalAdversarialRadiusTransformer(Model, S.Tokens,
-                                                         Word, P, S.Label);
+  double Seconds = 0.0;
+  double R;
+  {
+    support::ScopedAccum A(Seconds);
+    R = attack::minimalAdversarialRadiusTransformer(Model, S.Tokens, Word,
+                                                    P, S.Label);
+  }
   std::printf("smallest adversarial %s radius found by PGD around word "
               "%zu: %.5g (%.2f s)\n",
-              Args.get("norm", "l2").c_str(), Word, R, T.seconds());
+              Args.get("norm", "l2").c_str(), Word, R, Seconds);
   return 0;
 }
 
@@ -240,13 +265,7 @@ int cmdInfo(const ArgParse &Args) {
   return 0;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  ArgParse Args(Argc, Argv, {"std-layernorm", "robust"});
-  if (Args.positional().empty())
-    return usage();
-  const std::string &Cmd = Args.positional().front();
+int dispatch(const std::string &Cmd, const ArgParse &Args) {
   if (Cmd == "train")
     return cmdTrain(Args);
   if (Cmd == "certify")
@@ -258,4 +277,50 @@ int main(int Argc, char **Argv) {
   if (Cmd == "info")
     return cmdInfo(Args);
   return usage();
+}
+
+/// Writes the metrics registry (plus which command ran) to \p Path.
+bool writeStatsJson(const std::string &Path, const std::string &Cmd) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << "{\"command\":\"" << support::jsonEscape(Cmd)
+      << "\",\"metrics\":" << support::Metrics::global().toJson() << "}\n";
+  return static_cast<bool>(Out);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParse Args(Argc, Argv, {"std-layernorm", "robust"});
+  if (Args.positional().empty())
+    return usage();
+  const std::string &Cmd = Args.positional().front();
+
+  std::string TraceOut = Args.get("trace-out");
+  std::string StatsOut = Args.get("stats-json");
+  if (!TraceOut.empty())
+    support::Trace::setEnabled(true);
+
+  int Rc = dispatch(Cmd, Args);
+
+  if (!TraceOut.empty()) {
+    if (support::Trace::writeChromeJson(TraceOut))
+      std::fprintf(stderr, "wrote %zu trace events to %s\n%s",
+                   support::Trace::eventCount(), TraceOut.c_str(),
+                   support::Trace::selfTimeSummary().c_str());
+    else {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   TraceOut.c_str());
+      Rc = Rc ? Rc : 1;
+    }
+  }
+  if (!StatsOut.empty()) {
+    if (!writeStatsJson(StatsOut, Cmd)) {
+      std::fprintf(stderr, "error: cannot write stats to %s\n",
+                   StatsOut.c_str());
+      Rc = Rc ? Rc : 1;
+    }
+  }
+  return Rc;
 }

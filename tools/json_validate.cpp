@@ -1,0 +1,67 @@
+//===- tools/json_validate.cpp - JSON well-formedness checker --*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+// Validates that each argument file parses as standard JSON (RFC 8259),
+// using the same support/Json parser the tests use. The smoke test runs
+// it over deept_cli's --trace-out / --stats-json artifacts.
+//
+//   deept_json_validate FILE [FILE...]
+//   deept_json_validate --require-key traceEvents FILE
+//
+// --require-key KEY additionally demands a top-level object member named
+// KEY in every following file.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace deept;
+
+int main(int Argc, char **Argv) {
+  std::string RequiredKey;
+  int Checked = 0;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--require-key") == 0) {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --require-key needs an argument\n");
+        return 2;
+      }
+      RequiredKey = Argv[I];
+      continue;
+    }
+    std::ifstream In(Argv[I], std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "%s: cannot open\n", Argv[I]);
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Text = Buf.str();
+    support::JsonValue Doc;
+    std::string Err;
+    if (!support::parseJson(Text, Doc, &Err)) {
+      std::fprintf(stderr, "%s: invalid JSON: %s\n", Argv[I], Err.c_str());
+      return 1;
+    }
+    if (!RequiredKey.empty() && !Doc.find(RequiredKey)) {
+      std::fprintf(stderr, "%s: missing top-level key \"%s\"\n", Argv[I],
+                   RequiredKey.c_str());
+      return 1;
+    }
+    std::printf("%s: valid JSON (%zu bytes)\n", Argv[I], Text.size());
+    ++Checked;
+  }
+  if (Checked == 0) {
+    std::fprintf(stderr,
+                 "usage: deept_json_validate [--require-key KEY] FILE...\n");
+    return 2;
+  }
+  return 0;
+}
