@@ -20,8 +20,10 @@
 #include "nn/Serialize.h"
 #include "nn/Train.h"
 #include "nn/Transformer.h"
+#include "support/ArgParse.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
+#include "support/Parallel.h"
 #include "support/Table.h"
 #include "support/Timer.h"
 #include "verify/RadiusSearch.h"
@@ -37,6 +39,16 @@ namespace deept {
 namespace bench {
 
 using tensor::Matrix;
+
+/// Applies the shared execution flags every bench binary accepts:
+/// --threads N overrides the pool size (DEEPT_THREADS and the core count
+/// remain the defaults). Call first thing in main.
+inline void applyThreadFlags(int Argc, char **Argv) {
+  support::ArgParse Args(Argc, Argv);
+  if (int Threads = Args.getInt("threads", 0); Threads > 0)
+    support::ThreadPool::global().setThreadCount(
+        static_cast<size_t>(Threads));
+}
 
 /// The scaled-down counterpart of the paper's "standard" networks
 /// (E=128, 4 heads, H=128): same shape family, CPU-sized.
@@ -214,7 +226,8 @@ inline bool writeBenchJson(const std::string &Id, const support::Table &T) {
       Out << (C ? "," : "") << Cell(Rows[R][C]);
     Out << "]";
   }
-  Out << "],\"metrics\":" << support::Metrics::global().toJson() << "}\n";
+  Out << "],\"threads\":" << support::ThreadPool::global().threadCount()
+      << ",\"metrics\":" << support::Metrics::global().toJson() << "}\n";
   if (!Out)
     return false;
   std::printf("\n[wrote %s]\n", Path.c_str());

@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "Common.h"
 #include "support/Rng.h"
 #include "zono/Zonotope.h"
 
@@ -20,7 +21,8 @@ using namespace deept;
 using tensor::Matrix;
 using zono::Zonotope;
 
-int main() {
+int main(int Argc, char **Argv) {
+  deept::bench::applyThreadFlags(Argc, Argv);
   std::printf("== Figure 4: Multi-norm Zonotope geometry ==\n"
               "(reproduces PLDI'21 Figure 4)\n\n");
 

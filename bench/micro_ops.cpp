@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Parallel.h"
 #include "support/Rng.h"
 #include "support/Trace.h"
 #include "tensor/Matrix.h"
@@ -43,6 +44,27 @@ void BM_Gemm(benchmark::State &State) {
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Complexity();
 
+// Tiled GEMM across pool sizes: Args are {N, threads}. On a single-core
+// host the >1-thread rows measure oversubscription overhead rather than
+// speedup; on a multi-core runner they show the scaling curve.
+void BM_GemmPool(benchmark::State &State) {
+  size_t N = State.range(0);
+  size_t Threads = State.range(1);
+  size_t Prev = support::ThreadPool::global().threadCount();
+  support::ThreadPool::global().setThreadCount(Threads);
+  support::Rng Rng(1);
+  Matrix A = Matrix::randn(N, N, Rng);
+  Matrix B = Matrix::randn(N, N, Rng);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(tensor::matmul(A, B));
+  support::ThreadPool::global().setThreadCount(Prev);
+}
+BENCHMARK(BM_GemmPool)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8});
+
 void BM_ZonotopeBounds(benchmark::State &State) {
   size_t Eps = State.range(0);
   Zonotope Z = makeZonotope(8, 24, 24, Eps, 2);
@@ -76,6 +98,28 @@ void BM_DotProductPrecise(benchmark::State &State) {
     benchmark::DoNotOptimize(dotRows(A, B, Opts).numEps());
 }
 BENCHMARK(BM_DotProductPrecise)->Arg(128)->Arg(256)->Arg(512);
+
+// Coefficient-row parallelism in the dot-product transformer: Args are
+// {eps symbols, threads}. Exercises the Fast cascade end to end with
+// large symbol counts, the regime the pool targets.
+void BM_DotProductFastPool(benchmark::State &State) {
+  size_t Eps = State.range(0);
+  size_t Threads = State.range(1);
+  size_t Prev = support::ThreadPool::global().threadCount();
+  support::ThreadPool::global().setThreadCount(Threads);
+  Zonotope Parent = makeZonotope(8, 12, 12, Eps, 3);
+  Zonotope A = Parent.selectColRange(0, 6);
+  Zonotope B = Parent.selectColRange(6, 12);
+  DotOptions Opts;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(dotRows(A, B, Opts).numEps());
+  support::ThreadPool::global().setThreadCount(Prev);
+}
+BENCHMARK(BM_DotProductFastPool)
+    ->Args({2048, 1})
+    ->Args({2048, 2})
+    ->Args({2048, 4})
+    ->Args({2048, 8});
 
 void BM_SoftmaxTransformer(benchmark::State &State) {
   size_t Eps = State.range(0);

@@ -17,7 +17,8 @@
 using namespace deept;
 using namespace deept::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  deept::bench::applyThreadFlags(Argc, Argv);
   printHeader("Table 10: Multi-norm Zonotope vs GeoCert-substitute "
               "(FC net, l2)",
               "PLDI'21 Table 10");

@@ -16,7 +16,8 @@ using namespace deept;
 using namespace deept::bench;
 using zono::Zonotope;
 
-int main() {
+int main(int Argc, char **Argv) {
+  deept::bench::applyThreadFlags(Argc, Argv);
   printHeader("Table 11: Vision Transformer certification (DeepT-Fast)",
               "PLDI'21 Table 11");
 

@@ -15,7 +15,8 @@
 using namespace deept;
 using namespace deept::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  deept::bench::applyThreadFlags(Argc, Argv);
   printHeader("Table 14: combined DeepT (Precise last layer) vs "
               "CROWN-Backward (linf)",
               "PLDI'21 Table 14");

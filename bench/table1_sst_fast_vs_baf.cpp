@@ -14,7 +14,8 @@
 using namespace deept;
 using namespace deept::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  deept::bench::applyThreadFlags(Argc, Argv);
   printHeader("Table 1: DeepT-Fast vs CROWN-BaF (synth-SST)",
               "PLDI'21 Table 1");
 

@@ -13,7 +13,8 @@
 using namespace deept;
 using namespace deept::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  deept::bench::applyThreadFlags(Argc, Argv);
   printHeader("Table 2: DeepT-Fast vs CROWN-BaF (synth-Yelp)",
               "PLDI'21 Table 2");
 

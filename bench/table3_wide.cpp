@@ -16,7 +16,8 @@
 using namespace deept;
 using namespace deept::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  deept::bench::applyThreadFlags(Argc, Argv);
   printHeader("Table 3: wide networks (2x embed, 4x hidden)",
               "PLDI'21 Table 3");
 

@@ -16,7 +16,8 @@
 using namespace deept;
 using namespace deept::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  deept::bench::applyThreadFlags(Argc, Argv);
   printHeader(
       "Table 4 / Table 12: precision-performance trade-off (linf)",
       "PLDI'21 Tables 4 and 12");

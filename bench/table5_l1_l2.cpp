@@ -13,7 +13,8 @@
 using namespace deept;
 using namespace deept::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  deept::bench::applyThreadFlags(Argc, Argv);
   printHeader("Table 5: l1 / l2 comparison", "PLDI'21 Table 5");
 
   data::CorpusConfig CC = data::CorpusConfig::sstLike(16);

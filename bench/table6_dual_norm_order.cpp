@@ -13,7 +13,8 @@
 using namespace deept;
 using namespace deept::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  deept::bench::applyThreadFlags(Argc, Argv);
   printHeader("Table 6: dual-norm application order (DeepT-Fast)",
               "PLDI'21 Table 6");
 

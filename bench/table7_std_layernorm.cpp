@@ -16,7 +16,8 @@
 using namespace deept;
 using namespace deept::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  deept::bench::applyThreadFlags(Argc, Argv);
   printHeader("Table 7: standard layer normalization", "PLDI'21 Table 7");
 
   data::CorpusConfig CC = data::CorpusConfig::sstLike(24);

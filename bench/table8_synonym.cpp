@@ -42,7 +42,8 @@ nn::TransformerModel robustModel(const data::SyntheticCorpus &Corpus) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  deept::bench::applyThreadFlags(Argc, Argv);
   printHeader("Table 8: certification against synonym attacks (T2)",
               "PLDI'21 Table 8");
 

@@ -14,7 +14,8 @@
 using namespace deept;
 using namespace deept::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  deept::bench::applyThreadFlags(Argc, Argv);
   printHeader("Table 9: example certifiable sentence with synonyms",
               "PLDI'21 Table 9");
 

@@ -46,7 +46,7 @@ void projectL1(Matrix &Delta, double Radius) {
 Matrix stepDirection(const Matrix &Grad, double P) {
   Matrix Dir = Grad;
   if (P == Matrix::InfNorm) {
-    Dir.apply([](double G) { return G > 0 ? 1.0 : (G < 0 ? -1.0 : 0.0); });
+    Dir.applyFn([](double G) { return G > 0 ? 1.0 : (G < 0 ? -1.0 : 0.0); });
     return Dir;
   }
   double Norm = Grad.lpNorm(2.0);
@@ -115,7 +115,7 @@ double bisectAttackRadius(const std::function<bool(double)> &Attack,
 
 void deept::attack::projectLpBall(Matrix &Delta, double P, double Radius) {
   if (P == Matrix::InfNorm) {
-    Delta.apply([Radius](double V) {
+    Delta.applyFn([Radius](double V) {
       return std::clamp(V, -Radius, Radius);
     });
     return;

@@ -120,19 +120,19 @@ std::vector<Matrix> Graph::evaluate(const Matrix &InputValue) const {
       Vals[I] = Vals[N.In0];
       switch (N.Fn) {
       case UnaryFn::Relu:
-        Vals[I].apply([](double X) { return X > 0 ? X : 0.0; });
+        Vals[I].applyFn([](double X) { return X > 0 ? X : 0.0; });
         break;
       case UnaryFn::Tanh:
-        Vals[I].apply([](double X) { return std::tanh(X); });
+        Vals[I].applyFn([](double X) { return std::tanh(X); });
         break;
       case UnaryFn::Exp:
-        Vals[I].apply([](double X) { return std::exp(X); });
+        Vals[I].applyFn([](double X) { return std::exp(X); });
         break;
       case UnaryFn::Recip:
-        Vals[I].apply([](double X) { return 1.0 / X; });
+        Vals[I].applyFn([](double X) { return 1.0 / X; });
         break;
       case UnaryFn::Sqrt:
-        Vals[I].apply([](double X) { return std::sqrt(X); });
+        Vals[I].applyFn([](double X) { return std::sqrt(X); });
         break;
       }
       break;

@@ -27,7 +27,7 @@ Matrix FeedForwardNet::forward(const Matrix &X) const {
   for (size_t L = 0; L < Weights.size(); ++L) {
     H = tensor::addRowBroadcast(tensor::matmul(H, Weights[L]), Biases[L]);
     if (L + 1 != Weights.size())
-      H.apply([](double V) { return V > 0 ? V : 0.0; });
+      H.applyFn([](double V) { return V > 0 ? V : 0.0; });
   }
   return H;
 }

@@ -143,7 +143,7 @@ Matrix TransformerModel::forwardEmbeddings(const Matrix &X0) const {
                           Config.LnEps);
     // Feed-forward block.
     Matrix Hid = tensor::addRowBroadcast(tensor::matmul(X1, L.W1), L.B1);
-    Hid.apply([](double X2) { return X2 > 0 ? X2 : 0.0; });
+    Hid.applyFn([](double X2) { return X2 > 0 ? X2 : 0.0; });
     Matrix F = tensor::addRowBroadcast(tensor::matmul(Hid, L.W2), L.B2);
     Matrix V2 = X1 + F; // residual
     X = layerNorm(V2, L.Ln2Gamma, L.Ln2Beta, Config.LayerNormStdDiv,
@@ -152,7 +152,7 @@ Matrix TransformerModel::forwardEmbeddings(const Matrix &X0) const {
   // Pooling: first output embedding -> tanh layer -> binary classifier.
   Matrix Pooled = X.rowSlice(0, 1);
   Matrix T = tensor::addRowBroadcast(tensor::matmul(Pooled, PoolW), PoolB);
-  T.apply([](double V) { return std::tanh(V); });
+  T.applyFn([](double V) { return std::tanh(V); });
   return tensor::addRowBroadcast(tensor::matmul(T, ClsW), ClsB);
 }
 

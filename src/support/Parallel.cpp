@@ -1,0 +1,190 @@
+//===- support/Parallel.cpp -----------------------------------*- C++ -*-===//
+
+#include "support/Parallel.h"
+
+#include "support/Metrics.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace deept;
+using namespace deept::support;
+
+namespace {
+
+thread_local bool InWorkerRegion = false;
+
+size_t defaultThreadCount() {
+  if (const char *Env = std::getenv("DEEPT_THREADS")) {
+    char *End = nullptr;
+    long V = std::strtol(Env, &End, 10);
+    if (End != Env && V >= 1)
+      return static_cast<size_t>(V);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+struct ThreadPool::Impl {
+  /// One parallel dispatch. Workers claim chunk indices from Next; Done
+  /// counts finished chunks; Active counts threads still inside the
+  /// chunk loop (the job may not be destroyed while Active > 0).
+  struct Job {
+    size_t NumChunks = 0;
+    void (*Fn)(void *, size_t) = nullptr;
+    void *Ctx = nullptr;
+    std::atomic<size_t> Next{0};
+    std::atomic<size_t> Done{0};
+    std::atomic<size_t> Active{0};
+  };
+
+  std::mutex Mu;
+  std::condition_variable WorkCv; // workers wait for a new job generation
+  std::condition_variable DoneCv; // the caller waits for job completion
+  std::vector<std::thread> Workers;
+  Job *Current = nullptr;
+  uint64_t JobGen = 0;
+  size_t Threads = defaultThreadCount();
+  bool Started = false;
+  bool Stop = false;
+
+  Counter &Tasks = Metrics::global().counter("pool.tasks");
+  Counter &IdleNs = Metrics::global().counter("pool.steal_idle_ns");
+  // Registered up front so the instrument appears in metrics snapshots
+  // even when every GEMM stayed under the parallel threshold.
+  Histogram &TileMs = Metrics::global().histogram("gemm.tile_ms");
+
+  void runChunks(Job *J) {
+    InWorkerRegion = true;
+    size_t C;
+    while ((C = J->Next.fetch_add(1, std::memory_order_relaxed)) <
+           J->NumChunks) {
+      J->Fn(J->Ctx, C);
+      J->Done.fetch_add(1, std::memory_order_release);
+    }
+    InWorkerRegion = false;
+  }
+
+  void workerLoop() {
+    uint64_t Seen = 0;
+    while (true) {
+      Job *J = nullptr;
+      {
+        std::unique_lock<std::mutex> L(Mu);
+        WorkCv.wait(L, [&] { return Stop || JobGen != Seen; });
+        if (Stop)
+          return;
+        Seen = JobGen;
+        J = Current;
+        if (J)
+          J->Active.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!J)
+        continue;
+      runChunks(J);
+      {
+        std::lock_guard<std::mutex> L(Mu);
+        J->Active.fetch_sub(1, std::memory_order_relaxed);
+        DoneCv.notify_all();
+      }
+    }
+  }
+
+  void startLocked() {
+    if (Started)
+      return;
+    Started = true;
+    for (size_t I = 1; I < Threads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Stop = true;
+      WorkCv.notify_all();
+    }
+    for (std::thread &W : Workers)
+      W.join();
+    Workers.clear();
+    Started = false;
+    Stop = false;
+  }
+};
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool Pool;
+  return Pool;
+}
+
+ThreadPool::ThreadPool() : I(new Impl) {}
+
+ThreadPool::~ThreadPool() {
+  I->shutdown();
+  delete I;
+}
+
+size_t ThreadPool::threadCount() const {
+  std::lock_guard<std::mutex> L(I->Mu);
+  return I->Threads;
+}
+
+void ThreadPool::setThreadCount(size_t N) {
+  N = std::max<size_t>(1, N);
+  {
+    std::lock_guard<std::mutex> L(I->Mu);
+    if (I->Threads == N)
+      return;
+  }
+  I->shutdown();
+  std::lock_guard<std::mutex> L(I->Mu);
+  I->Threads = N;
+}
+
+bool ThreadPool::inParallelRegion() { return InWorkerRegion; }
+
+void ThreadPool::run(size_t NumChunks, void (*Fn)(void *, size_t),
+                     void *Ctx) {
+  if (NumChunks == 0)
+    return;
+  Impl::Job J;
+  J.NumChunks = NumChunks;
+  J.Fn = Fn;
+  J.Ctx = Ctx;
+  I->Tasks.add(static_cast<double>(NumChunks));
+  {
+    std::lock_guard<std::mutex> L(I->Mu);
+    I->startLocked();
+    ++I->JobGen;
+    I->Current = &J;
+    I->WorkCv.notify_all();
+  }
+  I->runChunks(&J);
+  // The caller ran out of chunks; time spent waiting for workers to drain
+  // theirs is the load-imbalance tail the pool.steal_idle_ns counter
+  // tracks.
+  uint64_t T0 = nowNs();
+  {
+    std::unique_lock<std::mutex> L(I->Mu);
+    I->DoneCv.wait(L, [&] {
+      return J.Done.load(std::memory_order_acquire) == NumChunks &&
+             J.Active.load(std::memory_order_relaxed) == 0;
+    });
+    I->Current = nullptr;
+  }
+  I->IdleNs.add(static_cast<double>(nowNs() - T0));
+}

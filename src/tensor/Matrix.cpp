@@ -2,11 +2,14 @@
 
 #include "tensor/Matrix.h"
 
+#include "support/Metrics.h"
 #include "support/Rng.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 using namespace deept;
 using namespace deept::tensor;
@@ -190,7 +193,15 @@ double Matrix::lpNorm(double P) const {
 
 Matrix Matrix::rowLpNorms(double P) const {
   Matrix Out(NumRows, 1);
-  for (size_t R = 0; R < NumRows; ++R) {
+  support::parallelFor(
+      0, NumRows, support::grainForWork(NumCols),
+      [&](size_t R0, size_t R1) { rowLpNormsRange(P, Out, R0, R1); });
+  return Out;
+}
+
+void Matrix::rowLpNormsRange(double P, Matrix &Out, size_t R0,
+                             size_t R1) const {
+  for (size_t R = R0; R < R1; ++R) {
     const double *Row = rowPtr(R);
     double S = 0.0;
     if (P == InfNorm) {
@@ -211,19 +222,22 @@ Matrix Matrix::rowLpNorms(double P) const {
     }
     Out.at(R, 0) = S;
   }
-  return Out;
 }
 
 Matrix Matrix::rowMeans() const {
   assert(NumCols > 0 && "rowMeans of empty rows");
   Matrix Out(NumRows, 1);
-  for (size_t R = 0; R < NumRows; ++R) {
-    const double *Row = rowPtr(R);
-    double S = 0.0;
-    for (size_t C = 0; C < NumCols; ++C)
-      S += Row[C];
-    Out.at(R, 0) = S / static_cast<double>(NumCols);
-  }
+  support::parallelFor(0, NumRows, support::grainForWork(NumCols),
+                       [&](size_t R0, size_t R1) {
+                         for (size_t R = R0; R < R1; ++R) {
+                           const double *Row = rowPtr(R);
+                           double S = 0.0;
+                           for (size_t C = 0; C < NumCols; ++C)
+                             S += Row[C];
+                           Out.at(R, 0) =
+                               S / static_cast<double>(NumCols);
+                         }
+                       });
   return Out;
 }
 
@@ -236,57 +250,191 @@ size_t Matrix::argmax() const {
   return Best;
 }
 
+namespace {
+
+/// Cache tile over the contraction axis: a GemmKBlock x Cols panel of B
+/// stays resident while every output row in a chunk accumulates against
+/// it. Per output element the contraction still runs in ascending-k
+/// order (blocks ascend, k ascends within a block), so tiled results are
+/// bit-identical to the naive ikj kernel.
+constexpr size_t GemmKBlock = 128;
+
+/// Register-blocked output rows of the matmul kernel: four C rows share
+/// each loaded B row, and the compiler vectorizes the branch-free inner
+/// loop.
+constexpr size_t GemmRowBlock = 4;
+
+/// Scalar mul-adds below which a GEMM runs serially; pool dispatch and
+/// the gemm.tile_ms observation only pay off above it.
+constexpr size_t GemmParallelFlops = 64 * 1024;
+
+bool allZero(const double *P, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    if (P[I] != 0.0)
+      return false;
+  return true;
+}
+
+/// Observes one parallel GEMM's wall time into the gemm.tile_ms
+/// histogram (serial small GEMMs skip the mutex entirely).
+class GemmTimeScope {
+public:
+  explicit GemmTimeScope(bool Active) : Active(Active) {}
+  ~GemmTimeScope() {
+    if (Active) {
+      static support::Histogram &TileMs =
+          support::Metrics::global().histogram("gemm.tile_ms");
+      TileMs.observe(T.seconds() * 1e3);
+    }
+  }
+
+private:
+  bool Active;
+  support::Timer T;
+};
+
+/// Rows [R0, R1) of C = A * B, K-tiled with GemmRowBlock-row register
+/// blocking. The inner loops are branch-free on dense data; sparsity is
+/// skipped only at block granularity (a whole A row-group slice of zeros,
+/// the common shape for fresh-noise-symbol coefficient rows).
+void matmulRowRange(const Matrix &A, const Matrix &B, Matrix &C, size_t R0,
+                    size_t R1) {
+  size_t K = A.cols(), M = B.cols();
+  for (size_t Kb = 0; Kb < K; Kb += GemmKBlock) {
+    size_t KEnd = std::min(K, Kb + GemmKBlock);
+    for (size_t I0 = R0; I0 < R1; I0 += GemmRowBlock) {
+      size_t IEnd = std::min(R1, I0 + GemmRowBlock);
+      bool BlockZero = true;
+      for (size_t I = I0; I < IEnd && BlockZero; ++I)
+        BlockZero = allZero(A.rowPtr(I) + Kb, KEnd - Kb);
+      if (BlockZero)
+        continue;
+      if (IEnd - I0 == GemmRowBlock) {
+        double *C0 = C.rowPtr(I0), *C1 = C.rowPtr(I0 + 1);
+        double *C2 = C.rowPtr(I0 + 2), *C3 = C.rowPtr(I0 + 3);
+        const double *A0 = A.rowPtr(I0), *A1 = A.rowPtr(I0 + 1);
+        const double *A2 = A.rowPtr(I0 + 2), *A3 = A.rowPtr(I0 + 3);
+        for (size_t Kk = Kb; Kk < KEnd; ++Kk) {
+          const double *BRow = B.rowPtr(Kk);
+          double V0 = A0[Kk], V1 = A1[Kk], V2 = A2[Kk], V3 = A3[Kk];
+          for (size_t J = 0; J < M; ++J) {
+            double BV = BRow[J];
+            C0[J] += V0 * BV;
+            C1[J] += V1 * BV;
+            C2[J] += V2 * BV;
+            C3[J] += V3 * BV;
+          }
+        }
+      } else {
+        for (size_t I = I0; I < IEnd; ++I) {
+          double *CRow = C.rowPtr(I);
+          const double *ARow = A.rowPtr(I);
+          for (size_t Kk = Kb; Kk < KEnd; ++Kk) {
+            double AV = ARow[Kk];
+            const double *BRow = B.rowPtr(Kk);
+            for (size_t J = 0; J < M; ++J)
+              CRow[J] += AV * BRow[J];
+          }
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
 Matrix deept::tensor::matmul(const Matrix &A, const Matrix &B) {
   assert(A.cols() == B.rows() && "matmul shape mismatch");
   Matrix C(A.rows(), B.cols());
-  // ikj order keeps the inner loop streaming over contiguous rows of B.
-  for (size_t I = 0; I < A.rows(); ++I) {
-    double *CRow = C.rowPtr(I);
-    const double *ARow = A.rowPtr(I);
-    for (size_t K = 0; K < A.cols(); ++K) {
-      double AV = ARow[K];
-      if (AV == 0.0)
-        continue;
-      const double *BRow = B.rowPtr(K);
-      for (size_t J = 0; J < B.cols(); ++J)
-        CRow[J] += AV * BRow[J];
-    }
-  }
+  size_t RowWork = A.cols() * B.cols();
+  bool Parallel = A.rows() * RowWork >= GemmParallelFlops &&
+                  !support::ThreadPool::inParallelRegion();
+  GemmTimeScope Scope(Parallel);
+  support::parallelFor(0, A.rows(), support::grainForWork(RowWork),
+                       [&](size_t R0, size_t R1) {
+                         matmulRowRange(A, B, C, R0, R1);
+                       });
   return C;
 }
 
 Matrix deept::tensor::matmulTransposedB(const Matrix &A, const Matrix &B) {
   assert(A.cols() == B.cols() && "matmulTransposedB shape mismatch");
   Matrix C(A.rows(), B.rows());
-  for (size_t I = 0; I < A.rows(); ++I) {
-    const double *ARow = A.rowPtr(I);
-    double *CRow = C.rowPtr(I);
-    for (size_t J = 0; J < B.rows(); ++J) {
-      const double *BRow = B.rowPtr(J);
-      double S = 0.0;
-      for (size_t K = 0; K < A.cols(); ++K)
-        S += ARow[K] * BRow[K];
-      CRow[J] = S;
-    }
-  }
+  size_t K = A.cols(), M = B.rows();
+  size_t RowWork = K * M;
+  bool Parallel = A.rows() * RowWork >= GemmParallelFlops &&
+                  !support::ThreadPool::inParallelRegion();
+  GemmTimeScope Scope(Parallel);
+  // Dot-product form: four B rows share each loaded A element, with four
+  // independent accumulators the compiler can vectorize across K.
+  support::parallelFor(
+      0, A.rows(), support::grainForWork(RowWork), [&](size_t R0, size_t R1) {
+        for (size_t I = R0; I < R1; ++I) {
+          const double *ARow = A.rowPtr(I);
+          double *CRow = C.rowPtr(I);
+          if (allZero(ARow, K))
+            continue;
+          size_t J = 0;
+          for (; J + 4 <= M; J += 4) {
+            const double *B0 = B.rowPtr(J), *B1 = B.rowPtr(J + 1);
+            const double *B2 = B.rowPtr(J + 2), *B3 = B.rowPtr(J + 3);
+            double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
+            for (size_t Kk = 0; Kk < K; ++Kk) {
+              double AV = ARow[Kk];
+              S0 += AV * B0[Kk];
+              S1 += AV * B1[Kk];
+              S2 += AV * B2[Kk];
+              S3 += AV * B3[Kk];
+            }
+            CRow[J] = S0;
+            CRow[J + 1] = S1;
+            CRow[J + 2] = S2;
+            CRow[J + 3] = S3;
+          }
+          for (; J < M; ++J) {
+            const double *BRow = B.rowPtr(J);
+            double S = 0.0;
+            for (size_t Kk = 0; Kk < K; ++Kk)
+              S += ARow[Kk] * BRow[Kk];
+            CRow[J] = S;
+          }
+        }
+      });
   return C;
 }
 
 Matrix deept::tensor::matmulTransposedA(const Matrix &A, const Matrix &B) {
   assert(A.rows() == B.rows() && "matmulTransposedA shape mismatch");
-  Matrix C(A.cols(), B.cols());
-  for (size_t K = 0; K < A.rows(); ++K) {
-    const double *ARow = A.rowPtr(K);
-    const double *BRow = B.rowPtr(K);
-    for (size_t I = 0; I < A.cols(); ++I) {
-      double AV = ARow[I];
-      if (AV == 0.0)
-        continue;
-      double *CRow = C.rowPtr(I);
-      for (size_t J = 0; J < B.cols(); ++J)
-        CRow[J] += AV * BRow[J];
-    }
-  }
+  size_t K = A.rows(), N = A.cols(), M = B.cols();
+  Matrix C(N, M);
+  size_t RowWork = K * M;
+  bool Parallel = N * RowWork >= GemmParallelFlops &&
+                  !support::ThreadPool::inParallelRegion();
+  GemmTimeScope Scope(Parallel);
+  // Output-row parallel: C row I accumulates column I of A against every
+  // row of B, K-tiled so the B panel is reused across the strided A
+  // column reads. Ascending-k order per element keeps results identical
+  // at any thread count.
+  support::parallelFor(
+      0, N, support::grainForWork(RowWork), [&](size_t R0, size_t R1) {
+        for (size_t Kb = 0; Kb < K; Kb += GemmKBlock) {
+          size_t KEnd = std::min(K, Kb + GemmKBlock);
+          for (size_t I = R0; I < R1; ++I) {
+            double *CRow = C.rowPtr(I);
+            bool ColZero = true;
+            for (size_t Kk = Kb; Kk < KEnd && ColZero; ++Kk)
+              ColZero = A.at(Kk, I) == 0.0;
+            if (ColZero)
+              continue;
+            for (size_t Kk = Kb; Kk < KEnd; ++Kk) {
+              double AV = A.at(Kk, I);
+              const double *BRow = B.rowPtr(Kk);
+              for (size_t J = 0; J < M; ++J)
+                CRow[J] += AV * BRow[J];
+            }
+          }
+        }
+      });
   return C;
 }
 

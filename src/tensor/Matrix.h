@@ -16,6 +16,8 @@
 #ifndef DEEPT_TENSOR_MATRIX_H
 #define DEEPT_TENSOR_MATRIX_H
 
+#include "support/Parallel.h"
+
 #include <cassert>
 #include <cstddef>
 #include <functional>
@@ -117,11 +119,33 @@ public:
   /// Adds S * O to this matrix.
   void addScaled(const Matrix &O, double S);
 
-  /// Applies \p Fn to every element in place.
+  /// Applies \p Fn to every element in place. The std::function overload
+  /// stays for callers that store the function (the autograd tape); hot
+  /// paths use the templated applyFn/mapFn below, which inline the functor
+  /// and run large matrices through the thread pool.
   void apply(const std::function<double(double)> &Fn);
 
   /// Returns a copy with \p Fn applied to every element.
   Matrix map(const std::function<double(double)> &Fn) const;
+
+  /// Templated in-place elementwise map: no std::function indirection, and
+  /// parallel over the flat range for large matrices. \p Fn must be pure
+  /// (it may run concurrently on disjoint elements).
+  template <typename FnT> void applyFn(FnT &&Fn) {
+    double *D = Data.data();
+    support::parallelFor(0, Data.size(), 32768,
+                         [&](size_t I0, size_t I1) {
+                           for (size_t I = I0; I < I1; ++I)
+                             D[I] = Fn(D[I]);
+                         });
+  }
+
+  /// Templated copy-and-map counterpart of applyFn.
+  template <typename FnT> Matrix mapFn(FnT &&Fn) const {
+    Matrix M = *this;
+    M.applyFn(Fn);
+    return M;
+  }
 
   /// Sum of all elements.
   double sum() const;
@@ -146,6 +170,10 @@ public:
   size_t argmax() const;
 
 private:
+  /// Row range [R0, R1) of rowLpNorms into \p Out (the parallel chunk
+  /// body).
+  void rowLpNormsRange(double P, Matrix &Out, size_t R0, size_t R1) const;
+
   size_t NumRows = 0;
   size_t NumCols = 0;
   std::vector<double> Data;

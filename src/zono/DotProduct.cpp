@@ -3,6 +3,7 @@
 #include "zono/DotProduct.h"
 
 #include "support/Metrics.h"
+#include "support/Parallel.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -11,32 +12,39 @@
 
 using namespace deept;
 using namespace deept::zono;
+using support::grainForWork;
+using support::parallelFor;
 using tensor::dualExponent;
 
 namespace {
 
 /// Per-variable q-norms over the symbol axis of a coefficient matrix whose
 /// rows are flattened M x D views: returns an M x D matrix of norms.
+/// Parallel over variable ranges; per variable the symbol axis accumulates
+/// in ascending order, so results do not depend on the thread count.
 Matrix perVarSymbolNorms(const Matrix &Coeffs, double Q, size_t M, size_t D) {
   Matrix Out(M, D, 0.0);
   double *O = Out.data();
   size_t NumVars = M * D;
-  for (size_t S = 0; S < Coeffs.rows(); ++S) {
-    const double *Row = Coeffs.rowPtr(S);
-    if (Q == 1.0) {
-      for (size_t V = 0; V < NumVars; ++V)
-        O[V] += std::fabs(Row[V]);
-    } else if (Q == 2.0) {
-      for (size_t V = 0; V < NumVars; ++V)
-        O[V] += Row[V] * Row[V];
-    } else {
-      for (size_t V = 0; V < NumVars; ++V)
-        O[V] = std::max(O[V], std::fabs(Row[V]));
+  size_t NumS = Coeffs.rows();
+  parallelFor(0, NumVars, grainForWork(NumS), [&](size_t V0, size_t V1) {
+    for (size_t S = 0; S < NumS; ++S) {
+      const double *Row = Coeffs.rowPtr(S);
+      if (Q == 1.0) {
+        for (size_t V = V0; V < V1; ++V)
+          O[V] += std::fabs(Row[V]);
+      } else if (Q == 2.0) {
+        for (size_t V = V0; V < V1; ++V)
+          O[V] += Row[V] * Row[V];
+      } else {
+        for (size_t V = V0; V < V1; ++V)
+          O[V] = std::max(O[V], std::fabs(Row[V]));
+      }
     }
-  }
-  if (Q == 2.0)
-    for (size_t V = 0; V < NumVars; ++V)
-      O[V] = std::sqrt(O[V]);
+    if (Q == 2.0)
+      for (size_t V = V0; V < V1; ++V)
+        O[V] = std::sqrt(O[V]);
+  });
   return Out;
 }
 
@@ -46,58 +54,79 @@ Matrix perVarSymbolNorms(const Matrix &Coeffs, double Q, size_t M, size_t D) {
 /// PInner. The dual norm is applied to the Inner side first (row norms),
 /// then the outer q-norm accumulates over Outer's symbols. Returns an
 /// N x M matrix U with |quad| <= U.
+///
+/// Parallel over the outer output rows: each row accumulates its symbol
+/// cascade independently, in ascending symbol order with ascending-d
+/// dots, so the result is bit-identical at any thread count.
 Matrix fastAbsBound(const Matrix &Outer, double POuter, size_t N,
                     const Matrix &Inner, double PInner, size_t M, size_t D) {
   double QInner = dualExponent(PInner);
   double QOuter = dualExponent(POuter);
   Matrix InnerNorms = perVarSymbolNorms(Inner, QInner, M, D);
   Matrix Acc(N, M, 0.0);
-  Matrix AbsRow(N, D);
-  for (size_t S = 0; S < Outer.rows(); ++S) {
-    const double *Row = Outer.rowPtr(S);
-    for (size_t V = 0; V < N * D; ++V)
-      AbsRow.flat(V) = std::fabs(Row[V]);
-    Matrix T = tensor::matmulTransposedB(AbsRow, InnerNorms);
-    if (QOuter == 1.0) {
-      Acc += T;
-    } else if (QOuter == 2.0) {
-      for (size_t V = 0; V < N * M; ++V)
-        Acc.flat(V) += T.flat(V) * T.flat(V);
-    } else {
-      for (size_t V = 0; V < N * M; ++V)
-        Acc.flat(V) = std::max(Acc.flat(V), T.flat(V));
+  size_t NumS = Outer.rows();
+  parallelFor(0, N, grainForWork(NumS * M * D), [&](size_t I0, size_t I1) {
+    std::vector<double> AbsS(D), TRow(M);
+    for (size_t I = I0; I < I1; ++I) {
+      double *AccRow = Acc.rowPtr(I);
+      for (size_t S = 0; S < NumS; ++S) {
+        const double *Slice = Outer.rowPtr(S) + I * D;
+        for (size_t K = 0; K < D; ++K)
+          AbsS[K] = std::fabs(Slice[K]);
+        for (size_t J = 0; J < M; ++J) {
+          const double *IN = InnerNorms.rowPtr(J);
+          double T = 0.0;
+          for (size_t K = 0; K < D; ++K)
+            T += AbsS[K] * IN[K];
+          TRow[J] = T;
+        }
+        if (QOuter == 1.0) {
+          for (size_t J = 0; J < M; ++J)
+            AccRow[J] += TRow[J];
+        } else if (QOuter == 2.0) {
+          for (size_t J = 0; J < M; ++J)
+            AccRow[J] += TRow[J] * TRow[J];
+        } else {
+          for (size_t J = 0; J < M; ++J)
+            AccRow[J] = std::max(AccRow[J], TRow[J]);
+        }
+      }
+      if (QOuter == 2.0)
+        for (size_t J = 0; J < M; ++J)
+          AccRow[J] = std::sqrt(AccRow[J]);
     }
-  }
-  if (QOuter == 2.0)
-    for (size_t V = 0; V < N * M; ++V)
-      Acc.flat(V) = std::sqrt(Acc.flat(V));
+  });
   return Acc;
 }
 
 /// Lists, for each row of an N x D view, the symbols whose coefficient
 /// slice on that row is not identically zero. Fresh (diagonal) symbols
 /// touch a single variable, so these lists are short in practice.
+/// Parallel over rows; each row's list stays in ascending symbol order.
 std::vector<std::vector<size_t>> activeSymbolsPerRow(const Matrix &Coeffs,
                                                      size_t N, size_t D) {
   std::vector<std::vector<size_t>> Active(N);
-  for (size_t S = 0; S < Coeffs.rows(); ++S) {
-    const double *Row = Coeffs.rowPtr(S);
-    for (size_t I = 0; I < N; ++I) {
-      const double *Slice = Row + I * D;
-      for (size_t K = 0; K < D; ++K) {
-        if (Slice[K] != 0.0) {
-          Active[I].push_back(S);
-          break;
+  size_t NumS = Coeffs.rows();
+  parallelFor(0, N, grainForWork(NumS * D), [&](size_t I0, size_t I1) {
+    for (size_t I = I0; I < I1; ++I) {
+      for (size_t S = 0; S < NumS; ++S) {
+        const double *Slice = Coeffs.rowPtr(S) + I * D;
+        for (size_t K = 0; K < D; ++K) {
+          if (Slice[K] != 0.0) {
+            Active[I].push_back(S);
+            break;
+          }
         }
       }
     }
-  }
+  });
   return Active;
 }
 
 /// The Eq. 6 eps-eps interval bound: accumulates, for every output pair,
 ///   sum_s (v_s . w_s) * [0, 1]  +  sum_{s != t} (v_s . w_t) * [-1, 1]
-/// into (Lo, Hi).
+/// into (Lo, Hi). Parallel over the rows of the N x M output; the
+/// per-pair double loop over active symbols keeps its serial order.
 void preciseEpsBound(const Matrix &EA, size_t N, const Matrix &EB, size_t M,
                      size_t D, Matrix &Lo, Matrix &Hi) {
   Lo = Matrix(N, M, 0.0);
@@ -105,33 +134,35 @@ void preciseEpsBound(const Matrix &EA, size_t N, const Matrix &EB, size_t M,
   assert(EA.rows() == EB.rows() && "eps spaces must be aligned");
   auto ActiveA = activeSymbolsPerRow(EA, N, D);
   auto ActiveB = activeSymbolsPerRow(EB, M, D);
-  for (size_t I = 0; I < N; ++I) {
-    for (size_t J = 0; J < M; ++J) {
-      double L = 0.0, H = 0.0;
-      for (size_t S : ActiveA[I]) {
-        const double *AS = EA.rowPtr(S) + I * D;
-        for (size_t T : ActiveB[J]) {
-          const double *BT = EB.rowPtr(T) + J * D;
-          double G = 0.0;
-          for (size_t K = 0; K < D; ++K)
-            G += AS[K] * BT[K];
-          if (S == T) {
-            // eps^2 in [0, 1].
-            if (G > 0.0)
-              H += G;
-            else
-              L += G;
-          } else {
-            // eps_s eps_t in [-1, 1].
-            H += std::fabs(G);
-            L -= std::fabs(G);
+  parallelFor(0, N, 1, [&](size_t I0, size_t I1) {
+    for (size_t I = I0; I < I1; ++I) {
+      for (size_t J = 0; J < M; ++J) {
+        double L = 0.0, H = 0.0;
+        for (size_t S : ActiveA[I]) {
+          const double *AS = EA.rowPtr(S) + I * D;
+          for (size_t T : ActiveB[J]) {
+            const double *BT = EB.rowPtr(T) + J * D;
+            double G = 0.0;
+            for (size_t K = 0; K < D; ++K)
+              G += AS[K] * BT[K];
+            if (S == T) {
+              // eps^2 in [0, 1].
+              if (G > 0.0)
+                H += G;
+              else
+                L += G;
+            } else {
+              // eps_s eps_t in [-1, 1].
+              H += std::fabs(G);
+              L -= std::fabs(G);
+            }
           }
         }
+        Lo.at(I, J) = L;
+        Hi.at(I, J) = H;
       }
-      Lo.at(I, J) = L;
-      Hi.at(I, J) = H;
     }
-  }
+  });
 }
 
 /// Accumulates the four quadratic interaction blocks of dotRows into
@@ -222,22 +253,30 @@ Zonotope deept::zono::dotRows(const Zonotope &AIn, const Zonotope &BIn,
   // Exact affine part.
   Matrix Center = tensor::matmulTransposedB(CA, CB);
 
+  // The per-symbol affine coefficients are independent rows of the output
+  // coefficient matrices, so the symbol loop parallelises with disjoint
+  // writes; the nested GEMMs turn serial inside a worker chunk.
+  size_t SymGrain = grainForWork(4 * N * M * D);
   Matrix PhiOut(A.numPhi(), N * M);
-  for (size_t S = 0; S < A.numPhi(); ++S) {
-    Matrix AS = A.phiCoeffs().rowSlice(S, S + 1).reshaped(N, D);
-    Matrix BS = B.phiCoeffs().rowSlice(S, S + 1).reshaped(M, D);
-    Matrix Coef = tensor::matmulTransposedB(CA, BS) +
-                  tensor::matmulTransposedB(AS, CB);
-    std::copy(Coef.data(), Coef.data() + Coef.size(), PhiOut.rowPtr(S));
-  }
+  parallelFor(0, A.numPhi(), SymGrain, [&](size_t S0, size_t S1) {
+    for (size_t S = S0; S < S1; ++S) {
+      Matrix AS = A.phiCoeffs().rowSlice(S, S + 1).reshaped(N, D);
+      Matrix BS = B.phiCoeffs().rowSlice(S, S + 1).reshaped(M, D);
+      Matrix Coef = tensor::matmulTransposedB(CA, BS) +
+                    tensor::matmulTransposedB(AS, CB);
+      std::copy(Coef.data(), Coef.data() + Coef.size(), PhiOut.rowPtr(S));
+    }
+  });
   Matrix EpsOut(A.numEps(), N * M);
-  for (size_t S = 0; S < A.numEps(); ++S) {
-    Matrix AS = A.epsCoeffs().rowSlice(S, S + 1).reshaped(N, D);
-    Matrix BS = B.epsCoeffs().rowSlice(S, S + 1).reshaped(M, D);
-    Matrix Coef = tensor::matmulTransposedB(CA, BS) +
-                  tensor::matmulTransposedB(AS, CB);
-    std::copy(Coef.data(), Coef.data() + Coef.size(), EpsOut.rowPtr(S));
-  }
+  parallelFor(0, A.numEps(), SymGrain, [&](size_t S0, size_t S1) {
+    for (size_t S = S0; S < S1; ++S) {
+      Matrix AS = A.epsCoeffs().rowSlice(S, S + 1).reshaped(N, D);
+      Matrix BS = B.epsCoeffs().rowSlice(S, S + 1).reshaped(M, D);
+      Matrix Coef = tensor::matmulTransposedB(CA, BS) +
+                    tensor::matmulTransposedB(AS, CB);
+      std::copy(Coef.data(), Coef.data() + Coef.size(), EpsOut.rowPtr(S));
+    }
+  });
 
   // Install the affine coefficients, then absorb the quadratic remainder
   // into fresh symbols.
@@ -283,22 +322,27 @@ Zonotope deept::zono::mulElementwise(const Zonotope &AIn, const Zonotope &BIn,
   Zonotope Out = Zonotope::constant(Center.reshaped(A.rows(), A.cols()),
                                     A.phiP());
 
+  size_t SymGrain = grainForWork(2 * NumVars);
   Matrix PhiOut(A.numPhi(), NumVars);
-  for (size_t S = 0; S < A.numPhi(); ++S) {
-    const double *AS = A.phiCoeffs().rowPtr(S);
-    const double *BS = B.phiCoeffs().rowPtr(S);
-    double *O = PhiOut.rowPtr(S);
-    for (size_t V = 0; V < NumVars; ++V)
-      O[V] = A.center().flat(V) * BS[V] + B.center().flat(V) * AS[V];
-  }
+  parallelFor(0, A.numPhi(), SymGrain, [&](size_t S0, size_t S1) {
+    for (size_t S = S0; S < S1; ++S) {
+      const double *AS = A.phiCoeffs().rowPtr(S);
+      const double *BS = B.phiCoeffs().rowPtr(S);
+      double *O = PhiOut.rowPtr(S);
+      for (size_t V = 0; V < NumVars; ++V)
+        O[V] = A.center().flat(V) * BS[V] + B.center().flat(V) * AS[V];
+    }
+  });
   Matrix EpsOut(A.numEps(), NumVars);
-  for (size_t S = 0; S < A.numEps(); ++S) {
-    const double *AS = A.epsCoeffs().rowPtr(S);
-    const double *BS = B.epsCoeffs().rowPtr(S);
-    double *O = EpsOut.rowPtr(S);
-    for (size_t V = 0; V < NumVars; ++V)
-      O[V] = A.center().flat(V) * BS[V] + B.center().flat(V) * AS[V];
-  }
+  parallelFor(0, A.numEps(), SymGrain, [&](size_t S0, size_t S1) {
+    for (size_t S = S0; S < S1; ++S) {
+      const double *AS = A.epsCoeffs().rowPtr(S);
+      const double *BS = B.epsCoeffs().rowPtr(S);
+      double *O = EpsOut.rowPtr(S);
+      for (size_t V = 0; V < NumVars; ++V)
+        O[V] = A.center().flat(V) * BS[V] + B.center().flat(V) * AS[V];
+    }
+  });
   Out.installCoeffs(PhiOut, EpsOut);
 
   // Quadratic remainder per variable: the D = 1 specialisation of the
@@ -320,46 +364,57 @@ Zonotope deept::zono::mulElementwise(const Zonotope &AIn, const Zonotope &BIn,
     return Q == 2.0 ? std::sqrt(Acc) : Acc;
   };
 
-  std::vector<std::pair<size_t, double>> Fresh;
+  // Per-variable pass, parallel over variable chunks. Each chunk collects
+  // its fresh-symbol candidates separately; merging the chunk vectors in
+  // ascending chunk order reproduces the serial ascending-V order exactly.
   Matrix Shift(A.rows(), A.cols(), 0.0);
-  for (size_t V = 0; V < NumVars; ++V) {
-    double Lo = 0.0, Hi = 0.0;
-    double PhiA = ColNorm(A.phiCoeffs(), QP, V);
-    double PhiB = ColNorm(B.phiCoeffs(), QP, V);
-    double EpsA1 = ColNorm(A.epsCoeffs(), 1.0, V);
-    double EpsB1 = ColNorm(B.epsCoeffs(), 1.0, V);
-    double Sym = PhiA * PhiB + PhiA * EpsB1 + EpsA1 * PhiB;
-    if (Opts.Method == DotMethod::Precise && A.numEps() > 0) {
-      for (size_t S = 0; S < A.numEps(); ++S) {
-        double AS = A.epsCoeffs().at(S, V);
-        if (AS == 0.0)
-          continue;
-        for (size_t T = 0; T < B.numEps(); ++T) {
-          double G = AS * B.epsCoeffs().at(T, V);
-          if (G == 0.0)
+  size_t VarGrain = grainForWork(4 * (A.numPhi() + A.numEps()) + 8);
+  size_t NumChunks = NumVars == 0 ? 0 : (NumVars + VarGrain - 1) / VarGrain;
+  std::vector<std::vector<std::pair<size_t, double>>> ChunkFresh(NumChunks);
+  parallelFor(0, NumVars, VarGrain, [&](size_t V0, size_t V1) {
+    auto &Fresh = ChunkFresh[V0 / VarGrain];
+    for (size_t V = V0; V < V1; ++V) {
+      double Lo = 0.0, Hi = 0.0;
+      double PhiA = ColNorm(A.phiCoeffs(), QP, V);
+      double PhiB = ColNorm(B.phiCoeffs(), QP, V);
+      double EpsA1 = ColNorm(A.epsCoeffs(), 1.0, V);
+      double EpsB1 = ColNorm(B.epsCoeffs(), 1.0, V);
+      double Sym = PhiA * PhiB + PhiA * EpsB1 + EpsA1 * PhiB;
+      if (Opts.Method == DotMethod::Precise && A.numEps() > 0) {
+        for (size_t S = 0; S < A.numEps(); ++S) {
+          double AS = A.epsCoeffs().at(S, V);
+          if (AS == 0.0)
             continue;
-          if (S == T) {
-            if (G > 0.0)
-              Hi += G;
-            else
-              Lo += G;
-          } else {
-            Hi += std::fabs(G);
-            Lo -= std::fabs(G);
+          for (size_t T = 0; T < B.numEps(); ++T) {
+            double G = AS * B.epsCoeffs().at(T, V);
+            if (G == 0.0)
+              continue;
+            if (S == T) {
+              if (G > 0.0)
+                Hi += G;
+              else
+                Lo += G;
+            } else {
+              Hi += std::fabs(G);
+              Lo -= std::fabs(G);
+            }
           }
         }
+      } else {
+        Sym += EpsA1 * EpsB1;
       }
-    } else {
-      Sym += EpsA1 * EpsB1;
+      Lo -= Sym;
+      Hi += Sym;
+      double Mid = 0.5 * (Hi + Lo);
+      double Rad = 0.5 * (Hi - Lo);
+      Shift.flat(V) = Mid;
+      if (Rad > 0.0)
+        Fresh.emplace_back(V, Rad);
     }
-    Lo -= Sym;
-    Hi += Sym;
-    double Mid = 0.5 * (Hi + Lo);
-    double Rad = 0.5 * (Hi - Lo);
-    Shift.flat(V) = Mid;
-    if (Rad > 0.0)
-      Fresh.emplace_back(V, Rad);
-  }
+  });
+  std::vector<std::pair<size_t, double>> Fresh;
+  for (auto &C : ChunkFresh)
+    Fresh.insert(Fresh.end(), C.begin(), C.end());
   Out.shiftCenterInPlace(Shift);
   Out.appendFreshEps(Fresh);
   return Out;

@@ -157,35 +157,7 @@ LinearPiece deept::zono::sqrtPiece(double L, double U) {
 Zonotope deept::zono::applyElementwise(
     const Zonotope &Z,
     const std::function<LinearPiece(double, double)> &PieceFn) {
-  DEEPT_TRACE_SPAN("zono.elementwise");
-  Matrix Lo, Hi;
-  Z.bounds(Lo, Hi);
-  Matrix Lambda(Z.rows(), Z.cols());
-  Matrix Mu(Z.rows(), Z.cols());
-  std::vector<std::pair<size_t, double>> Fresh;
-  // When the abstraction has exploded (overflowed coefficients during a
-  // hopeless certification probe), bounds can be non-finite or inverted;
-  // sanitize them to a huge sound interval so the pieces stay finite.
-  constexpr double HugeBound = 1e100;
-  for (size_t V = 0; V < Z.numVars(); ++V) {
-    double L = Lo.flat(V), U = Hi.flat(V);
-    if (std::isnan(L) || std::isnan(U) || L > U) {
-      L = -HugeBound;
-      U = HugeBound;
-    }
-    L = std::clamp(L, -HugeBound, HugeBound);
-    U = std::clamp(U, L, HugeBound);
-    LinearPiece P = PieceFn(L, U);
-    Lambda.flat(V) = P.Lambda;
-    Mu.flat(V) = P.Mu;
-    if (P.BetaNew != 0.0)
-      Fresh.emplace_back(V, P.BetaNew);
-  }
-  Zonotope Out = Z;
-  Out.scalePerVarInPlace(Lambda);
-  Out.shiftCenterInPlace(Mu);
-  Out.appendFreshEps(Fresh);
-  return Out;
+  return applyElementwiseFn(Z, PieceFn);
 }
 
 namespace {
@@ -200,31 +172,34 @@ support::Counter &elementwiseCalls(const char *Fn) {
 Zonotope deept::zono::applyRelu(const Zonotope &Z) {
   static support::Counter &Calls = elementwiseCalls("relu");
   Calls.add(1);
-  return applyElementwise(Z, [](double L, double U) { return reluPiece(L, U); });
+  return applyElementwiseFn(Z,
+                            [](double L, double U) { return reluPiece(L, U); });
 }
 
 Zonotope deept::zono::applyTanh(const Zonotope &Z) {
   static support::Counter &Calls = elementwiseCalls("tanh");
   Calls.add(1);
-  return applyElementwise(Z, [](double L, double U) { return tanhPiece(L, U); });
+  return applyElementwiseFn(Z,
+                            [](double L, double U) { return tanhPiece(L, U); });
 }
 
 Zonotope deept::zono::applyExp(const Zonotope &Z, double Eps) {
   static support::Counter &Calls = elementwiseCalls("exp");
   Calls.add(1);
-  return applyElementwise(
+  return applyElementwiseFn(
       Z, [Eps](double L, double U) { return expPiece(L, U, Eps); });
 }
 
 Zonotope deept::zono::applyRecip(const Zonotope &Z, double Eps) {
   static support::Counter &Calls = elementwiseCalls("recip");
   Calls.add(1);
-  return applyElementwise(
+  return applyElementwiseFn(
       Z, [Eps](double L, double U) { return recipPiece(L, U, Eps); });
 }
 
 Zonotope deept::zono::applySqrt(const Zonotope &Z) {
   static support::Counter &Calls = elementwiseCalls("sqrt");
   Calls.add(1);
-  return applyElementwise(Z, [](double L, double U) { return sqrtPiece(L, U); });
+  return applyElementwiseFn(Z,
+                            [](double L, double U) { return sqrtPiece(L, U); });
 }

@@ -22,7 +22,14 @@
 #ifndef DEEPT_ZONO_ELEMENTWISE_H
 #define DEEPT_ZONO_ELEMENTWISE_H
 
+#include "support/Parallel.h"
+#include "support/Trace.h"
 #include "zono/Zonotope.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
 
 namespace deept {
 namespace zono {
@@ -50,9 +57,56 @@ LinearPiece recipPiece(double L, double U,
 /// Requires L > 0.
 LinearPiece sqrtPiece(double L, double U);
 
-/// Applies a per-variable relaxation to a whole zonotope. \p PieceFn maps
-/// (L, U) of each variable to its LinearPiece; variables with
-/// BetaNew != 0 each get one fresh eps symbol.
+/// Templated core of applyElementwise: \p PieceFn maps (L, U) of each
+/// variable to its LinearPiece; variables with BetaNew != 0 each get one
+/// fresh eps symbol. The functor is inlined (no std::function) and the
+/// per-variable loop runs on the thread pool, so PieceFn must be pure.
+/// Fresh symbols are collected per chunk and merged in ascending chunk
+/// order, reproducing the serial ascending-variable order exactly.
+template <typename PieceFnT>
+Zonotope applyElementwiseFn(const Zonotope &Z, PieceFnT &&PieceFn) {
+  DEEPT_TRACE_SPAN("zono.elementwise");
+  Matrix Lo, Hi;
+  Z.bounds(Lo, Hi);
+  Matrix Lambda(Z.rows(), Z.cols());
+  Matrix Mu(Z.rows(), Z.cols());
+  // When the abstraction has exploded (overflowed coefficients during a
+  // hopeless certification probe), bounds can be non-finite or inverted;
+  // sanitize them to a huge sound interval so the pieces stay finite.
+  constexpr double HugeBound = 1e100;
+  size_t NumVars = Z.numVars();
+  size_t Grain = support::grainForWork(64);
+  size_t NumChunks = NumVars == 0 ? 0 : (NumVars + Grain - 1) / Grain;
+  std::vector<std::vector<std::pair<size_t, double>>> ChunkFresh(NumChunks);
+  support::parallelFor(0, NumVars, Grain, [&](size_t V0, size_t V1) {
+    auto &Fresh = ChunkFresh[V0 / Grain];
+    for (size_t V = V0; V < V1; ++V) {
+      double L = Lo.flat(V), U = Hi.flat(V);
+      if (std::isnan(L) || std::isnan(U) || L > U) {
+        L = -HugeBound;
+        U = HugeBound;
+      }
+      L = std::clamp(L, -HugeBound, HugeBound);
+      U = std::clamp(U, L, HugeBound);
+      LinearPiece P = PieceFn(L, U);
+      Lambda.flat(V) = P.Lambda;
+      Mu.flat(V) = P.Mu;
+      if (P.BetaNew != 0.0)
+        Fresh.emplace_back(V, P.BetaNew);
+    }
+  });
+  std::vector<std::pair<size_t, double>> Fresh;
+  for (auto &C : ChunkFresh)
+    Fresh.insert(Fresh.end(), C.begin(), C.end());
+  Zonotope Out = Z;
+  Out.scalePerVarInPlace(Lambda);
+  Out.shiftCenterInPlace(Mu);
+  Out.appendFreshEps(Fresh);
+  return Out;
+}
+
+/// std::function entry point kept for callers that store the relaxation
+/// (it simply forwards to the template).
 Zonotope
 applyElementwise(const Zonotope &Z,
                  const std::function<LinearPiece(double, double)> &PieceFn);

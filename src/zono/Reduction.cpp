@@ -3,6 +3,7 @@
 #include "zono/Reduction.h"
 
 #include "support/Metrics.h"
+#include "support/Parallel.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -26,15 +27,20 @@ size_t deept::zono::reduceEpsSymbols(Zonotope &Z, size_t Keep) {
   size_t NumVars = Z.numVars();
   const Matrix &Eps = Z.epsCoeffs();
 
-  // Heuristic score m_j = sum_i |B_ij| per symbol.
+  // Heuristic score m_j = sum_i |B_ij| per symbol. Each symbol's score is
+  // an independent reduction over its own row, so the symbol loop
+  // parallelises with disjoint writes and fixed per-row order.
   std::vector<double> Score(NumEps, 0.0);
-  for (size_t S = 0; S < NumEps; ++S) {
-    const double *Row = Eps.rowPtr(S);
-    double Acc = 0.0;
-    for (size_t V = 0; V < NumVars; ++V)
-      Acc += std::fabs(Row[V]);
-    Score[S] = Acc;
-  }
+  support::parallelFor(
+      0, NumEps, support::grainForWork(NumVars), [&](size_t S0, size_t S1) {
+        for (size_t S = S0; S < S1; ++S) {
+          const double *Row = Eps.rowPtr(S);
+          double Acc = 0.0;
+          for (size_t V = 0; V < NumVars; ++V)
+            Acc += std::fabs(Row[V]);
+          Score[S] = Acc;
+        }
+      });
   std::vector<size_t> Order(NumEps);
   std::iota(Order.begin(), Order.end(), 0);
   std::nth_element(Order.begin(), Order.begin() + Keep, Order.end(),
@@ -45,19 +51,35 @@ size_t deept::zono::reduceEpsSymbols(Zonotope &Z, size_t Keep) {
 
   // Kept symbols are copied in their original order (their identity within
   // this tensor is all that matters after reduction); dropped symbols fold
-  // into a per-variable interval radius.
+  // into a per-variable interval radius. The destination row of each kept
+  // symbol is a prefix count, so the copies parallelise over symbols; the
+  // fold parallelises over variable chunks with the dropped symbols
+  // accumulated in ascending order inside each chunk (the serial order).
   Matrix NewEps(Keep, NumVars);
+  std::vector<size_t> OutRow(NumEps, 0);
+  for (size_t S = 0, Out = 0; S < NumEps; ++S)
+    if (Kept[S])
+      OutRow[S] = Out++;
+  support::parallelFor(
+      0, NumEps, support::grainForWork(NumVars), [&](size_t S0, size_t S1) {
+        for (size_t S = S0; S < S1; ++S) {
+          if (!Kept[S])
+            continue;
+          const double *Row = Eps.rowPtr(S);
+          std::copy(Row, Row + NumVars, NewEps.rowPtr(OutRow[S]));
+        }
+      });
   std::vector<double> FoldRadius(NumVars, 0.0);
-  size_t Out = 0;
-  for (size_t S = 0; S < NumEps; ++S) {
-    const double *Row = Eps.rowPtr(S);
-    if (Kept[S]) {
-      std::copy(Row, Row + NumVars, NewEps.rowPtr(Out++));
-      continue;
-    }
-    for (size_t V = 0; V < NumVars; ++V)
-      FoldRadius[V] += std::fabs(Row[V]);
-  }
+  support::parallelFor(
+      0, NumVars, support::grainForWork(NumEps), [&](size_t V0, size_t V1) {
+        for (size_t S = 0; S < NumEps; ++S) {
+          if (Kept[S])
+            continue;
+          const double *Row = Eps.rowPtr(S);
+          for (size_t V = V0; V < V1; ++V)
+            FoldRadius[V] += std::fabs(Row[V]);
+        }
+      });
 
   Z.installCoeffs(Matrix(Z.phiCoeffs()), std::move(NewEps));
   std::vector<std::pair<size_t, double>> Fresh;

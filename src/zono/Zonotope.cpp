@@ -3,6 +3,7 @@
 #include "zono/Zonotope.h"
 
 #include "support/Metrics.h"
+#include "support/Parallel.h"
 #include "support/Rng.h"
 
 #include <algorithm>
@@ -11,39 +12,46 @@
 
 using namespace deept;
 using namespace deept::zono;
+using support::grainForWork;
+using support::parallelFor;
 using tensor::dualExponent;
 
 namespace {
 
 /// Accumulates, per variable (column), the dual-norm of the coefficient
-/// columns of \p Coeffs. Q follows Matrix::InfNorm conventions.
+/// columns of \p Coeffs. Q follows Matrix::InfNorm conventions. Parallel
+/// over variable ranges; each variable accumulates its symbol axis in
+/// ascending order, so results are thread-count independent.
 Matrix columnDualNorms(const Matrix &Coeffs, double Q, size_t NumVars) {
   Matrix Out(1, NumVars, 0.0);
   double *O = Out.data();
-  if (Q == 1.0) {
-    for (size_t S = 0; S < Coeffs.rows(); ++S) {
-      const double *Row = Coeffs.rowPtr(S);
-      for (size_t V = 0; V < NumVars; ++V)
-        O[V] += std::fabs(Row[V]);
+  size_t NumS = Coeffs.rows();
+  parallelFor(0, NumVars, grainForWork(NumS), [&](size_t V0, size_t V1) {
+    if (Q == 1.0) {
+      for (size_t S = 0; S < NumS; ++S) {
+        const double *Row = Coeffs.rowPtr(S);
+        for (size_t V = V0; V < V1; ++V)
+          O[V] += std::fabs(Row[V]);
+      }
+      return;
     }
-    return Out;
-  }
-  if (Q == 2.0) {
-    for (size_t S = 0; S < Coeffs.rows(); ++S) {
-      const double *Row = Coeffs.rowPtr(S);
-      for (size_t V = 0; V < NumVars; ++V)
-        O[V] += Row[V] * Row[V];
+    if (Q == 2.0) {
+      for (size_t S = 0; S < NumS; ++S) {
+        const double *Row = Coeffs.rowPtr(S);
+        for (size_t V = V0; V < V1; ++V)
+          O[V] += Row[V] * Row[V];
+      }
+      for (size_t V = V0; V < V1; ++V)
+        O[V] = std::sqrt(O[V]);
+      return;
     }
-    for (size_t V = 0; V < NumVars; ++V)
-      O[V] = std::sqrt(O[V]);
-    return Out;
-  }
-  assert(Q == Matrix::InfNorm && "unsupported dual exponent");
-  for (size_t S = 0; S < Coeffs.rows(); ++S) {
-    const double *Row = Coeffs.rowPtr(S);
-    for (size_t V = 0; V < NumVars; ++V)
-      O[V] = std::max(O[V], std::fabs(Row[V]));
-  }
+    assert(Q == Matrix::InfNorm && "unsupported dual exponent");
+    for (size_t S = 0; S < NumS; ++S) {
+      const double *Row = Coeffs.rowPtr(S);
+      for (size_t V = V0; V < V1; ++V)
+        O[V] = std::max(O[V], std::fabs(Row[V]));
+    }
+  });
   return Out;
 }
 
@@ -162,16 +170,26 @@ Zonotope Zonotope::mapLinear(
   Z.Center = Fn(Center);
   assert(Z.Center.rows() == NewRows && Z.Center.cols() == NewCols &&
          "mapLinear shape contract violated");
+  // One Fn application per coefficient row, each writing a disjoint output
+  // row: parallel over symbols. Fn must be pure (all mapLinear callers pass
+  // stateless linear maps).
+  size_t SymGrain = grainForWork(2 * numVars());
   Z.PhiC = Matrix(numPhi(), NewRows * NewCols);
-  for (size_t S = 0; S < numPhi(); ++S) {
-    Matrix Mapped = Fn(PhiC.rowSlice(S, S + 1).reshaped(NumRows, NumCols));
-    std::copy(Mapped.data(), Mapped.data() + Mapped.size(), Z.PhiC.rowPtr(S));
-  }
+  parallelFor(0, numPhi(), SymGrain, [&](size_t S0, size_t S1) {
+    for (size_t S = S0; S < S1; ++S) {
+      Matrix Mapped = Fn(PhiC.rowSlice(S, S + 1).reshaped(NumRows, NumCols));
+      std::copy(Mapped.data(), Mapped.data() + Mapped.size(),
+                Z.PhiC.rowPtr(S));
+    }
+  });
   Z.EpsC = Matrix(numEps(), NewRows * NewCols);
-  for (size_t S = 0; S < numEps(); ++S) {
-    Matrix Mapped = Fn(EpsC.rowSlice(S, S + 1).reshaped(NumRows, NumCols));
-    std::copy(Mapped.data(), Mapped.data() + Mapped.size(), Z.EpsC.rowPtr(S));
-  }
+  parallelFor(0, numEps(), SymGrain, [&](size_t S0, size_t S1) {
+    for (size_t S = S0; S < S1; ++S) {
+      Matrix Mapped = Fn(EpsC.rowSlice(S, S + 1).reshaped(NumRows, NumCols));
+      std::copy(Mapped.data(), Mapped.data() + Mapped.size(),
+                Z.EpsC.rowPtr(S));
+    }
+  });
   return Z;
 }
 
@@ -346,18 +364,24 @@ size_t Zonotope::appendFreshEps(
 void Zonotope::scalePerVarInPlace(const Matrix &Lambda) {
   assert(Lambda.rows() == NumRows && Lambda.cols() == NumCols &&
          "Lambda must have the view's shape");
-  for (size_t V = 0; V < numVars(); ++V)
+  size_t N = numVars();
+  for (size_t V = 0; V < N; ++V)
     Center.flat(V) *= Lambda.flat(V);
-  for (size_t S = 0; S < numPhi(); ++S) {
-    double *Row = PhiC.rowPtr(S);
-    for (size_t V = 0; V < numVars(); ++V)
-      Row[V] *= Lambda.flat(V);
-  }
-  for (size_t S = 0; S < numEps(); ++S) {
-    double *Row = EpsC.rowPtr(S);
-    for (size_t V = 0; V < numVars(); ++V)
-      Row[V] *= Lambda.flat(V);
-  }
+  size_t SymGrain = grainForWork(N);
+  parallelFor(0, numPhi(), SymGrain, [&](size_t S0, size_t S1) {
+    for (size_t S = S0; S < S1; ++S) {
+      double *Row = PhiC.rowPtr(S);
+      for (size_t V = 0; V < N; ++V)
+        Row[V] *= Lambda.flat(V);
+    }
+  });
+  parallelFor(0, numEps(), SymGrain, [&](size_t S0, size_t S1) {
+    for (size_t S = S0; S < S1; ++S) {
+      double *Row = EpsC.rowPtr(S);
+      for (size_t V = 0; V < N; ++V)
+        Row[V] *= Lambda.flat(V);
+    }
+  });
 }
 
 void Zonotope::shiftCenterInPlace(const Matrix &Mu) {

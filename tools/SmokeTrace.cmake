@@ -4,12 +4,20 @@
 # --trace-out and --stats-json, and validates both artifacts with
 # deept_json_validate. Run via:
 #   cmake -DDEEPT_CLI=... -DJSON_VALIDATE=... -DWORK_DIR=... -P SmokeTrace.cmake
+#
+# Pass -DTHREADS=N to run the certify step with --threads N (the
+# parallel_smoke test drives the thread pool through the same harness).
 
 foreach(Var DEEPT_CLI JSON_VALIDATE WORK_DIR)
   if(NOT DEFINED ${Var})
     message(FATAL_ERROR "SmokeTrace.cmake needs -D${Var}=...")
   endif()
 endforeach()
+
+set(ThreadFlags)
+if(DEFINED THREADS)
+  set(ThreadFlags --threads "${THREADS}")
+endif()
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
 set(Model "${WORK_DIR}/smoke.dptm")
@@ -27,6 +35,7 @@ endif()
 execute_process(
   COMMAND "${DEEPT_CLI}" certify --model "${Model}" --sentences 1
           --trace-out "${TraceJson}" --stats-json "${StatsJson}"
+          ${ThreadFlags}
   RESULT_VARIABLE Rc)
 if(NOT Rc EQUAL 0)
   message(FATAL_ERROR "deept_cli certify failed (rc=${Rc})")

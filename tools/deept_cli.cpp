@@ -22,6 +22,7 @@
 #include "support/ArgParse.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
+#include "support/Parallel.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 #include "verify/DeepT.h"
@@ -51,6 +52,11 @@ int usage() {
       "  synonym  --model FILE [--corpus ...] [--count N]\n"
       "  attack   --model FILE [--corpus ...] [--norm l1|l2|linf] [--word N]\n"
       "  info     --model FILE\n"
+      "\n"
+      "execution (any command):\n"
+      "  --threads N             worker threads for the shared pool\n"
+      "                          (default: all cores, or DEEPT_THREADS);\n"
+      "                          results are identical for any N\n"
       "\n"
       "observability (any command):\n"
       "  --trace-out FILE.json   record spans, write Chrome trace_event\n"
@@ -279,13 +285,15 @@ int dispatch(const std::string &Cmd, const ArgParse &Args) {
   return usage();
 }
 
-/// Writes the metrics registry (plus which command ran) to \p Path.
+/// Writes the metrics registry (plus which command ran and the pool's
+/// thread count) to \p Path.
 bool writeStatsJson(const std::string &Path, const std::string &Cmd) {
   std::ofstream Out(Path, std::ios::binary);
   if (!Out)
     return false;
-  Out << "{\"command\":\"" << support::jsonEscape(Cmd)
-      << "\",\"metrics\":" << support::Metrics::global().toJson() << "}\n";
+  Out << "{\"command\":\"" << support::jsonEscape(Cmd) << "\",\"threads\":"
+      << support::ThreadPool::global().threadCount()
+      << ",\"metrics\":" << support::Metrics::global().toJson() << "}\n";
   return static_cast<bool>(Out);
 }
 
@@ -301,6 +309,9 @@ int main(int Argc, char **Argv) {
   std::string StatsOut = Args.get("stats-json");
   if (!TraceOut.empty())
     support::Trace::setEnabled(true);
+  if (int Threads = Args.getInt("threads", 0); Threads > 0)
+    support::ThreadPool::global().setThreadCount(
+        static_cast<size_t>(Threads));
 
   int Rc = dispatch(Cmd, Args);
 
