@@ -27,6 +27,7 @@
 #include "support/Table.h"
 #include "support/Timer.h"
 #include "verify/RadiusSearch.h"
+#include "verify/Scheduler.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -42,12 +43,19 @@ using tensor::Matrix;
 
 /// Applies the shared execution flags every bench binary accepts:
 /// --threads N overrides the pool size (DEEPT_THREADS and the core count
-/// remain the defaults). Call first thing in main.
+/// remain the defaults); 0, negative, or non-numeric values abort with a
+/// clear error. Call first thing in main.
 inline void applyThreadFlags(int Argc, char **Argv) {
   support::ArgParse Args(Argc, Argv);
-  if (int Threads = Args.getInt("threads", 0); Threads > 0)
-    support::ThreadPool::global().setThreadCount(
-        static_cast<size_t>(Threads));
+  if (!Args.has("threads"))
+    return;
+  size_t Threads = 0;
+  std::string Err;
+  if (!support::parseThreadCount(Args.get("threads"), Threads, &Err)) {
+    std::fprintf(stderr, "error: --threads %s\n", Err.c_str());
+    std::exit(2);
+  }
+  support::ThreadPool::global().setThreadCount(Threads);
 }
 
 /// The scaled-down counterpart of the paper's "standard" networks
@@ -173,6 +181,56 @@ inline RadiusStats evaluateRadii(const CertifyFn &Certify,
       Stats.Avg += R;
       ++Stats.Count;
     }
+  }
+  if (Stats.Count > 0)
+    Stats.Avg /= static_cast<double>(Stats.Count);
+  if (Stats.Min == 1e300)
+    Stats.Min = 0.0;
+  Stats.SecondsPerSentence =
+      Eval.empty() ? 0.0 : Timer.seconds() / static_cast<double>(Eval.size());
+  return Stats;
+}
+
+/// The Section 6.1 protocol through the production path: every
+/// (sentence, position) pair becomes a radius-search job on the
+/// verify::Scheduler, which fans the batch out over the shared pool
+/// (outer-loop parallelism; per-job radii stay bit-identical to the
+/// serial evaluateRadii above). Jobs that error surface as radius 0 and
+/// a stderr note rather than aborting the table.
+inline RadiusStats
+evaluateRadiiScheduled(const nn::TransformerModel &Model,
+                       verify::JobMethod Method,
+                       const std::vector<data::Sentence> &Eval, double P,
+                       const EvalOptions &Opts = EvalOptions(),
+                       size_t NoiseReductionBudget = 600) {
+  verify::JobQueue Queue;
+  for (const data::Sentence &S : Eval) {
+    size_t Positions = std::min(Opts.PositionsPerSentence, S.Tokens.size());
+    for (size_t W = 0; W < Positions; ++W) {
+      verify::JobSpec J;
+      J.Tokens = S.Tokens;
+      J.TrueClass = S.Label;
+      J.Word = W;
+      J.P = P;
+      J.SearchRadius = true;
+      J.Search = Opts.Search;
+      J.Method = Method;
+      J.NoiseReductionBudget = NoiseReductionBudget;
+      Queue.push(std::move(J));
+    }
+  }
+  support::Timer Timer;
+  verify::Scheduler Sched(Model);
+  std::vector<verify::JobResult> Results = Sched.run(Queue);
+  RadiusStats Stats;
+  Stats.Min = 1e300;
+  for (const verify::JobResult &R : Results) {
+    if (R.Status == verify::JobStatus::Error)
+      std::fprintf(stderr, "warning: job %s failed: %s\n", R.Key.c_str(),
+                   R.Error.c_str());
+    Stats.Min = std::min(Stats.Min, R.Radius);
+    Stats.Avg += R.Radius;
+    ++Stats.Count;
   }
   if (Stats.Count > 0)
     Stats.Avg /= static_cast<double>(Stats.Count);

@@ -4,12 +4,16 @@
 // CROWN-BaF on the SST-like corpus, for M in {3, 6, 12} layers and
 // lp in {l1, l2, linf}, plus the ratio of the average certified radii.
 //
+// Runs through the verify::Scheduler batch path: all (sentence, position)
+// radius searches of one (model, norm, verifier) cell are independent
+// jobs fanned out over the shared pool. Radii are bit-identical to the
+// serial per-query loop.
+//
 //===----------------------------------------------------------------------===//
 
 #include "Common.h"
 
-#include "crown/CrownVerifier.h"
-#include "verify/DeepT.h"
+#include "verify/Scheduler.h"
 
 using namespace deept;
 using namespace deept::bench;
@@ -47,24 +51,11 @@ int main(int Argc, char **Argv) {
 
   for (size_t MI = 0; MI < Models.size(); ++MI) {
     const nn::TransformerModel &Model = Models[MI];
-    verify::VerifierConfig VC;
-    VC.NoiseReductionBudget = 600;
-    verify::DeepTVerifier DeepT(Model, VC);
-    crown::CrownConfig CF;
-    CF.Mode = crown::CrownMode::BaF;
-    crown::CrownVerifier BaF(Model, CF);
-
     for (double P : {1.0, 2.0, tensor::Matrix::InfNorm}) {
-      RadiusStats SD = evaluateRadii(
-          [&](const data::Sentence &S, size_t W, double Pp, double R) {
-            return DeepT.certifyLpBall(S.Tokens, W, Pp, R, S.Label);
-          },
-          Eval, P, Opts);
-      RadiusStats SB = evaluateRadii(
-          [&](const data::Sentence &S, size_t W, double Pp, double R) {
-            return BaF.certifyLpBall(S.Tokens, W, Pp, R, S.Label);
-          },
-          Eval, P, Opts);
+      RadiusStats SD = evaluateRadiiScheduled(Model, verify::JobMethod::Fast,
+                                              Eval, P, Opts);
+      RadiusStats SB = evaluateRadiiScheduled(
+          Model, verify::JobMethod::CrownBaF, Eval, P, Opts);
       double Ratio = SB.Avg > 0 ? SD.Avg / SB.Avg : 0.0;
       std::string RatioStr =
           SB.Avg > 1e-12 ? support::formatFixed(Ratio, 2) : ">1e6";

@@ -3,6 +3,8 @@
 #include "support/ArgParse.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 using namespace deept::support;
@@ -47,6 +49,25 @@ long ArgParse::getInt(const std::string &Name, long Default) const {
   if (It == Values.end() || It->second.empty())
     return Default;
   return std::strtol(It->second.c_str(), nullptr, 10);
+}
+
+bool ArgParse::getIntStrict(const std::string &Name, long &Out,
+                            std::string *Err) const {
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return true;
+  const std::string &Text = It->second;
+  char *End = nullptr;
+  errno = 0;
+  long V = std::strtol(Text.c_str(), &End, 10);
+  if (Text.empty() || std::isspace(Text[0]) ||
+      End != Text.c_str() + Text.size() || errno == ERANGE) {
+    if (Err)
+      *Err = "--" + Name + " expects an integer, got '" + Text + "'";
+    return false;
+  }
+  Out = V;
+  return true;
 }
 
 double ArgParse::getDouble(const std::string &Name, double Default) const {

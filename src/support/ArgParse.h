@@ -38,6 +38,16 @@ public:
   long getInt(const std::string &Name, long Default) const;
   double getDouble(const std::string &Name, double Default) const;
 
+  /// Strict integer parse of `--name`: the whole value must be a decimal
+  /// integer (optionally signed). Returns true leaving \p Out untouched
+  /// when the flag is absent, true with \p Out set when well formed, and
+  /// false (filling \p Err with a "--name expects an integer" message)
+  /// when the flag is present but empty or malformed. Flags whose value
+  /// feeds resource configuration (thread counts, deadlines) use this so
+  /// typos fail loudly instead of silently becoming a default.
+  bool getIntStrict(const std::string &Name, long &Out,
+                    std::string *Err = nullptr) const;
+
   /// Positional arguments in order.
   const std::vector<std::string> &positional() const { return Positional; }
 

@@ -5,8 +5,11 @@
 #include "support/Metrics.h"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
@@ -21,10 +24,13 @@ thread_local bool InWorkerRegion = false;
 
 size_t defaultThreadCount() {
   if (const char *Env = std::getenv("DEEPT_THREADS")) {
-    char *End = nullptr;
-    long V = std::strtol(Env, &End, 10);
-    if (End != Env && V >= 1)
-      return static_cast<size_t>(V);
+    size_t V = 0;
+    std::string Err;
+    if (!parseThreadCount(Env, V, &Err)) {
+      std::fprintf(stderr, "error: DEEPT_THREADS %s\n", Err.c_str());
+      std::exit(2);
+    }
+    return V;
   }
   unsigned HW = std::thread::hardware_concurrency();
   return HW ? HW : 1;
@@ -38,6 +44,23 @@ uint64_t nowNs() {
 }
 
 } // namespace
+
+bool deept::support::parseThreadCount(const std::string &Text, size_t &Out,
+                                      std::string *Err) {
+  char *End = nullptr;
+  errno = 0;
+  long V = std::strtol(Text.c_str(), &End, 10);
+  // strtol skips leading whitespace; a strict flag value must not.
+  bool Parsed = !Text.empty() && !std::isspace(Text[0]) &&
+                End == Text.c_str() + Text.size() && errno != ERANGE;
+  if (!Parsed || V < 1) {
+    if (Err)
+      *Err = "must be a positive integer, got '" + Text + "'";
+    return false;
+  }
+  Out = static_cast<size_t>(V);
+  return true;
+}
 
 struct ThreadPool::Impl {
   /// One parallel dispatch. Workers claim chunk indices from Next; Done

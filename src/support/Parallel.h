@@ -35,9 +35,19 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <string>
 
 namespace deept {
 namespace support {
+
+/// Parses a worker-thread count: the whole string must be a decimal
+/// integer >= 1. Returns false and fills \p Err ("must be a positive
+/// integer, got '...'") for zero, negative, empty, or non-numeric input.
+/// Both the --threads flag (CLI, benches) and the DEEPT_THREADS
+/// environment variable go through this, so malformed values fail loudly
+/// instead of silently falling back to the core count.
+bool parseThreadCount(const std::string &Text, size_t &Out,
+                      std::string *Err = nullptr);
 
 /// The process-wide worker pool. Users go through parallelFor; the class
 /// is exposed for configuration (thread count) and introspection.

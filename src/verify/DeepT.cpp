@@ -89,6 +89,8 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
 
   Zonotope X = InputEmb;
   for (size_t L = 0; L < Model.Layers.size(); ++L) {
+    if (Config.CancelCheck)
+      Config.CancelCheck();
     support::TraceSpan LayerSpan("deept.layer", L);
     double EpsCreatedBefore = MR.counterValue("zono.eps_symbols.created");
     LayerPeakEps = 0;

@@ -29,6 +29,8 @@
 #include "zono/Softmax.h"
 #include "zono/Zonotope.h"
 
+#include <functional>
+
 namespace deept {
 namespace verify {
 
@@ -54,6 +56,12 @@ struct VerifierConfig {
   /// Use the stable softmax rewrite of Section 5.2 (the naive composition
   /// exists for ablations).
   bool StableSoftmax = true;
+  /// Cooperative-cancellation hook, invoked at the top of every layer
+  /// during propagate(). May throw to abort the propagation; the batch
+  /// scheduler's wall-clock deadlines are enforced through it (see
+  /// verify/Scheduler.h). Empty by default (no overhead beyond one
+  /// branch per layer).
+  std::function<void()> CancelCheck;
 };
 
 /// Propagation statistics. The numbers live in the support::Metrics

@@ -1,0 +1,482 @@
+//===- verify/Scheduler.cpp -----------------------------------*- C++ -*-===//
+
+#include "verify/Scheduler.h"
+
+#include "crown/CrownVerifier.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Parallel.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <new>
+#include <sstream>
+
+using namespace deept;
+using namespace deept::verify;
+using tensor::Matrix;
+using zono::Zonotope;
+
+namespace {
+
+/// Wall-clock deadline of one job attempt. Ms < 0 never expires, Ms == 0
+/// expires immediately (the deterministic trigger the tests use), Ms > 0
+/// is a real deadline starting at construction.
+class Deadline {
+public:
+  explicit Deadline(int64_t Ms) : Ms(Ms) {}
+
+  bool expired() const {
+    return Ms >= 0 && T.seconds() * 1e3 >= static_cast<double>(Ms);
+  }
+
+  void check() const {
+    if (expired())
+      throw DeadlineExceeded(Ms);
+  }
+
+private:
+  int64_t Ms;
+  support::Timer T;
+};
+
+/// Precise and Combined degrade to Fast; everything else fails outright.
+bool degrade(JobMethod &M) {
+  if (M == JobMethod::Precise || M == JobMethod::Combined) {
+    M = JobMethod::Fast;
+    return true;
+  }
+  return false;
+}
+
+std::string normToken(double P) {
+  if (P == 1.0)
+    return "l1";
+  if (P == 2.0)
+    return "l2";
+  if (P == Matrix::InfNorm)
+    return "linf";
+  std::ostringstream S;
+  S << "p" << P;
+  return S.str();
+}
+
+bool parseNormToken(const std::string &Name, double &Out) {
+  if (Name == "l1")
+    Out = 1.0;
+  else if (Name == "l2")
+    Out = 2.0;
+  else if (Name == "linf")
+    Out = Matrix::InfNorm;
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
+const char *deept::verify::jobMethodName(JobMethod M) {
+  switch (M) {
+  case JobMethod::Fast:
+    return "fast";
+  case JobMethod::Precise:
+    return "precise";
+  case JobMethod::Combined:
+    return "combined";
+  case JobMethod::CrownBaF:
+    return "crown-baf";
+  case JobMethod::CrownBackward:
+    return "crown-backward";
+  }
+  return "fast";
+}
+
+bool deept::verify::parseJobMethod(const std::string &Name, JobMethod &Out) {
+  for (JobMethod M :
+       {JobMethod::Fast, JobMethod::Precise, JobMethod::Combined,
+        JobMethod::CrownBaF, JobMethod::CrownBackward})
+    if (Name == jobMethodName(M)) {
+      Out = M;
+      return true;
+    }
+  return false;
+}
+
+const char *deept::verify::jobStatusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Ok:
+    return "ok";
+  case JobStatus::Degraded:
+    return "degraded";
+  case JobStatus::Error:
+    return "error";
+  case JobStatus::Skipped:
+    return "skipped";
+  }
+  return "error";
+}
+
+//===----------------------------------------------------------------------===//
+// JobQueue JSON parsing
+//===----------------------------------------------------------------------===//
+
+bool JobQueue::fromJson(const support::JsonValue &Doc,
+                        const data::SyntheticCorpus *Corpus, JobQueue &Out,
+                        std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  const support::JsonValue *Jobs = Doc.find("jobs");
+  if (!Jobs || !Jobs->isArray())
+    return Fail("jobs document needs a top-level \"jobs\" array");
+
+  for (size_t I = 0; I < Jobs->Items.size(); ++I) {
+    const support::JsonValue &J = Jobs->Items[I];
+    std::string Where = "job " + std::to_string(I);
+    if (!J.isObject())
+      return Fail(Where + ": expected an object");
+    JobSpec S;
+    if (const support::JsonValue *V = J.find("id")) {
+      if (V->K != support::JsonValue::Kind::String)
+        return Fail(Where + ": \"id\" must be a string");
+      S.Id = V->StringVal;
+    }
+
+    // Sentence: explicit tokens, or a corpus sample by seed.
+    const support::JsonValue *Tokens = J.find("tokens");
+    const support::JsonValue *Seed = J.find("seed");
+    if (Tokens) {
+      if (!Tokens->isArray() || Tokens->Items.empty())
+        return Fail(Where + ": \"tokens\" must be a non-empty array");
+      for (const support::JsonValue &T : Tokens->Items) {
+        if (T.K != support::JsonValue::Kind::Number || T.NumberVal < 0)
+          return Fail(Where + ": tokens must be non-negative numbers");
+        S.Tokens.push_back(static_cast<size_t>(T.NumberVal));
+      }
+      const support::JsonValue *Label = J.find("label");
+      if (!Label || Label->K != support::JsonValue::Kind::Number)
+        return Fail(Where + ": explicit \"tokens\" need a \"label\"");
+      S.TrueClass = static_cast<size_t>(Label->NumberVal);
+    } else if (Seed) {
+      if (Seed->K != support::JsonValue::Kind::Number)
+        return Fail(Where + ": \"seed\" must be a number");
+      if (!Corpus)
+        return Fail(Where + ": \"seed\" jobs need a corpus");
+      support::Rng Rng(static_cast<uint64_t>(Seed->NumberVal));
+      data::Sentence Sent = Corpus->sampleSentence(Rng);
+      S.Tokens = std::move(Sent.Tokens);
+      S.TrueClass = Sent.Label;
+      if (const support::JsonValue *Label = J.find("label"))
+        S.TrueClass = static_cast<size_t>(Label->NumberVal);
+    } else {
+      return Fail(Where + ": needs \"tokens\" or \"seed\"");
+    }
+
+    if (const support::JsonValue *V = J.find("word"))
+      S.Word = static_cast<size_t>(V->NumberVal);
+    if (const support::JsonValue *V = J.find("norm")) {
+      if (V->K != support::JsonValue::Kind::String ||
+          !parseNormToken(V->StringVal, S.P))
+        return Fail(Where + ": \"norm\" must be \"l1\", \"l2\" or \"linf\"");
+    }
+    if (const support::JsonValue *V = J.find("eps")) {
+      if (V->K != support::JsonValue::Kind::Number || V->NumberVal <= 0)
+        return Fail(Where + ": \"eps\" must be a positive number");
+      S.Epsilon = V->NumberVal;
+    }
+    if (const support::JsonValue *V = J.find("search")) {
+      if (V->K != support::JsonValue::Kind::Bool)
+        return Fail(Where + ": \"search\" must be a boolean");
+      S.SearchRadius = V->BoolVal;
+      if (S.SearchRadius)
+        S.Search.InitRadius = S.Epsilon;
+    }
+    if (const support::JsonValue *V = J.find("method")) {
+      if (V->K != support::JsonValue::Kind::String ||
+          !parseJobMethod(V->StringVal, S.Method))
+        return Fail(Where + ": unknown \"method\" (want fast, precise, "
+                            "combined, crown-baf or crown-backward)");
+    }
+    if (const support::JsonValue *V = J.find("deadline_ms")) {
+      if (V->K != support::JsonValue::Kind::Number)
+        return Fail(Where + ": \"deadline_ms\" must be a number");
+      S.DeadlineMs = static_cast<int64_t>(V->NumberVal);
+    }
+    if (const support::JsonValue *V = J.find("budget")) {
+      if (V->K != support::JsonValue::Kind::Number || V->NumberVal < 0)
+        return Fail(Where + ": \"budget\" must be a non-negative number");
+      S.NoiseReductionBudget = static_cast<size_t>(V->NumberVal);
+    }
+    Out.push(std::move(S));
+  }
+  return true;
+}
+
+bool JobQueue::fromJsonFile(const std::string &Path,
+                            const data::SyntheticCorpus *Corpus,
+                            JobQueue &Out, std::string *Err) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    if (Err)
+      *Err = "cannot open jobs file '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  support::JsonValue Doc;
+  std::string ParseErr;
+  if (!support::parseJson(Buf.str(), Doc, &ParseErr)) {
+    if (Err)
+      *Err = Path + ": " + ParseErr;
+    return false;
+  }
+  return fromJson(Doc, Corpus, Out, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Result store
+//===----------------------------------------------------------------------===//
+
+std::string Scheduler::jobKey(const JobSpec &Spec) {
+  if (!Spec.Id.empty())
+    return Spec.Id;
+  // FNV-1a over the query contents (not the deadline: re-running a batch
+  // under new latency constraints must still skip completed work).
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  auto MixDouble = [&](double D) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &D, sizeof(Bits));
+    Mix(Bits);
+  };
+  for (size_t T : Spec.Tokens)
+    Mix(static_cast<uint64_t>(T) + 1);
+  Mix(Spec.TrueClass);
+  Mix(Spec.Word);
+  MixDouble(Spec.P);
+  Mix(Spec.SearchRadius ? 1 : 0);
+  if (Spec.SearchRadius) {
+    MixDouble(Spec.Search.InitRadius);
+    MixDouble(Spec.Search.MaxRadius);
+    Mix(static_cast<uint64_t>(Spec.Search.BisectSteps));
+  } else {
+    MixDouble(Spec.Epsilon);
+  }
+  Mix(static_cast<uint64_t>(Spec.Method));
+  Mix(Spec.NoiseReductionBudget);
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%s-%s-w%zu-%s-%016llx",
+                jobMethodName(Spec.Method), normToken(Spec.P).c_str(),
+                Spec.Word, Spec.SearchRadius ? "search" : "eps",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+std::string Scheduler::resultJsonLine(const JobResult &R) {
+  std::string S = "{\"key\":\"" + support::jsonEscape(R.Key) +
+                  "\",\"status\":\"" + jobStatusName(R.Status) +
+                  "\",\"method\":\"" + jobMethodName(R.MethodUsed) +
+                  "\",\"certified\":" + (R.Certified ? "true" : "false") +
+                  ",\"margin\":" + support::jsonNumber(R.Margin) +
+                  ",\"radius\":" + support::jsonNumber(R.Radius) +
+                  ",\"deadline_hit\":" + (R.DeadlineHit ? "true" : "false") +
+                  ",\"seconds\":" + support::jsonNumber(R.Seconds) +
+                  ",\"queue_ms\":" + support::jsonNumber(R.QueueMs);
+  if (!R.Error.empty())
+    S += ",\"error\":\"" + support::jsonEscape(R.Error) + "\"";
+  return S + "}";
+}
+
+std::set<std::string> Scheduler::completedKeys(const std::string &Path) {
+  std::set<std::string> Keys;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Keys;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    support::JsonValue Doc;
+    if (!support::parseJson(Line, Doc))
+      continue; // tolerate a crash-truncated tail
+    const support::JsonValue *Key = Doc.find("key");
+    if (Key && Key->K == support::JsonValue::Kind::String)
+      Keys.insert(Key->StringVal);
+  }
+  return Keys;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+void Scheduler::executeOne(const JobSpec &Spec, JobMethod Method,
+                           int64_t DeadlineMs, JobResult &R) const {
+  if (Spec.Tokens.empty())
+    throw std::runtime_error("job has no tokens");
+  if (Spec.Word >= Spec.Tokens.size())
+    throw std::runtime_error(
+        "word position " + std::to_string(Spec.Word) +
+        " out of range for a " + std::to_string(Spec.Tokens.size()) +
+        "-token sentence");
+  if (Spec.TrueClass >= 2)
+    throw std::runtime_error("true class must be 0 or 1");
+  for (size_t T : Spec.Tokens)
+    if (T >= Model.Config.VocabSize)
+      throw std::runtime_error("token id " + std::to_string(T) +
+                               " outside the vocabulary (" +
+                               std::to_string(Model.Config.VocabSize) + ")");
+
+  Deadline D(DeadlineMs);
+  auto MarginAt = [&](double Radius) -> double {
+    D.check(); // per-probe check (covers the CROWN paths too)
+    if (Method == JobMethod::CrownBaF ||
+        Method == JobMethod::CrownBackward) {
+      crown::CrownConfig CC;
+      CC.Mode = Method == JobMethod::CrownBaF ? crown::CrownMode::BaF
+                                              : crown::CrownMode::Backward;
+      crown::CrownOutcome O =
+          crown::CrownVerifier(Model, CC)
+              .certifyMarginLpBall(Spec.Tokens, Spec.Word, Spec.P, Radius,
+                                   Spec.TrueClass);
+      // A budgeted out-of-memory outcome is "not certified", matching
+      // CrownVerifier::certifyLpBall.
+      return O.OutOfMemory ? -HUGE_VAL : O.MarginLowerBound;
+    }
+    VerifierConfig VC;
+    VC.NoiseReductionBudget = Spec.NoiseReductionBudget;
+    if (Method == JobMethod::Precise)
+      VC.Method = zono::DotMethod::Precise;
+    if (Method == JobMethod::Combined)
+      VC.PreciseLastLayerOnly = true;
+    VC.CancelCheck = [&D] { D.check(); };
+    DeepTVerifier V(Model, VC);
+    Matrix X = Model.embed(Spec.Tokens);
+    Zonotope In = Zonotope::lpBallOnRow(X, Spec.Word, Spec.P, Radius);
+    return V.certifyMargin(In, Spec.TrueClass);
+  };
+
+  R.MethodUsed = Method;
+  if (Spec.SearchRadius) {
+    R.Radius = certifiedRadius(
+        [&](double Radius) { return MarginAt(Radius) > 0.0; }, Spec.Search);
+    R.Certified = R.Radius > 0.0;
+  } else {
+    R.Margin = MarginAt(Spec.Epsilon);
+    R.Certified = R.Margin > 0.0;
+  }
+}
+
+void Scheduler::executeWithDegradation(const JobSpec &Spec,
+                                       JobResult &R) const {
+  static support::Counter &DeadlineHits =
+      support::Metrics::global().counter("sched.deadline_hits");
+  int64_t DeadlineMs =
+      Spec.DeadlineMs >= 0
+          ? Spec.DeadlineMs
+          : (Opts.DefaultDeadlineMs > 0 ? Opts.DefaultDeadlineMs : -1);
+  JobMethod Method = Spec.Method;
+  for (;;) {
+    try {
+      executeOne(Spec, Method, DeadlineMs, R);
+      R.Status =
+          Method == Spec.Method ? JobStatus::Ok : JobStatus::Degraded;
+      return;
+    } catch (const DeadlineExceeded &E) {
+      DeadlineHits.add(1);
+      R.DeadlineHit = true;
+      if (degrade(Method)) {
+        // The deadline is already blown; a degraded-but-complete answer
+        // beats a second miss, so the retry runs without one.
+        DeadlineMs = -1;
+        continue;
+      }
+      R.Status = JobStatus::Error;
+      R.Error = E.what();
+      return;
+    } catch (const std::bad_alloc &) {
+      if (degrade(Method)) {
+        DeadlineMs = -1;
+        continue;
+      }
+      R.Status = JobStatus::Error;
+      R.Error = "out of memory";
+      return;
+    } catch (const std::exception &E) {
+      R.Status = JobStatus::Error;
+      R.Error = E.what();
+      return;
+    }
+  }
+}
+
+std::vector<JobResult> Scheduler::run(const JobQueue &Queue) const {
+  support::TraceSpan BatchSpan("sched.batch");
+  support::Metrics &M = support::Metrics::global();
+  static support::Counter &Jobs = M.counter("sched.jobs");
+  static support::Counter &Degraded = M.counter("sched.degraded");
+  static support::Counter &Errors = M.counter("sched.errors");
+  static support::Counter &Skipped = M.counter("sched.skipped");
+  static support::Histogram &QueueLatencyMs =
+      M.histogram("sched.queue_latency_ms");
+  static support::Histogram &JobMs = M.histogram("sched.job_ms");
+
+  std::set<std::string> Done;
+  if (Opts.Resume && !Opts.JsonlPath.empty())
+    Done = completedKeys(Opts.JsonlPath);
+
+  std::ofstream Store;
+  std::mutex StoreMu;
+  if (!Opts.JsonlPath.empty()) {
+    Store.open(Opts.JsonlPath, std::ios::app | std::ios::binary);
+    if (!Store)
+      throw std::runtime_error("cannot open result store '" +
+                               Opts.JsonlPath + "'");
+  }
+
+  size_t N = Queue.size();
+  std::vector<JobResult> Results(N);
+  support::Timer BatchTimer;
+  support::parallelFor(0, N, 1, [&](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I) {
+      const JobSpec &Spec = Queue.spec(I);
+      JobResult &R = Results[I];
+      R.Key = jobKey(Spec);
+      R.MethodUsed = Spec.Method;
+      if (Done.count(R.Key)) {
+        R.Status = JobStatus::Skipped;
+        Skipped.add(1);
+        continue;
+      }
+      support::TraceSpan JobSpan("sched.job", I);
+      Jobs.add(1);
+      R.QueueMs = BatchTimer.seconds() * 1e3;
+      QueueLatencyMs.observe(R.QueueMs);
+      support::Timer JobTimer;
+      executeWithDegradation(Spec, R);
+      R.Seconds = JobTimer.seconds();
+      JobMs.observe(R.Seconds * 1e3);
+      if (R.Status == JobStatus::Degraded)
+        Degraded.add(1);
+      else if (R.Status == JobStatus::Error)
+        Errors.add(1);
+      if (Store.is_open()) {
+        std::string Line = resultJsonLine(R);
+        std::lock_guard<std::mutex> Lock(StoreMu);
+        Store << Line << '\n';
+        Store.flush();
+      }
+    }
+  });
+  return Results;
+}

@@ -1,6 +1,7 @@
 //===- tests/argparse_test.cpp ---------------------------------*- C++ -*-===//
 
 #include "support/ArgParse.h"
+#include "support/Parallel.h"
 
 #include <gtest/gtest.h>
 
@@ -66,4 +67,46 @@ TEST(ArgParse, UnknownFlagDetection) {
   auto Unknown = A.unknownFlags({"out"});
   ASSERT_EQ(Unknown.size(), 1u);
   EXPECT_EQ(Unknown[0], "typo");
+}
+
+TEST(ArgParse, GetIntStrictAcceptsWellFormedIntegers) {
+  ArgParse A = parse({"prog", "--deadline-ms", "250", "--neg", "-3"});
+  long Out = 7;
+  std::string Err;
+  EXPECT_TRUE(A.getIntStrict("deadline-ms", Out, &Err));
+  EXPECT_EQ(Out, 250);
+  EXPECT_TRUE(A.getIntStrict("neg", Out, &Err));
+  EXPECT_EQ(Out, -3);
+  // Absent flags succeed without touching the output.
+  Out = 42;
+  EXPECT_TRUE(A.getIntStrict("absent", Out, &Err));
+  EXPECT_EQ(Out, 42);
+}
+
+TEST(ArgParse, GetIntStrictRejectsMalformedValues) {
+  ArgParse A = parse({"prog", "--a", "12x", "--b", "abc", "--c", "1.5",
+                      "--d", ""});
+  long Out = 0;
+  for (const char *Name : {"a", "b", "c", "d"}) {
+    std::string Err;
+    EXPECT_FALSE(A.getIntStrict(Name, Out, &Err)) << Name;
+    EXPECT_NE(Err.find("expects an integer"), std::string::npos) << Err;
+  }
+}
+
+TEST(ThreadCount, ParseAcceptsPositiveIntegers) {
+  size_t Out = 0;
+  EXPECT_TRUE(deept::support::parseThreadCount("1", Out));
+  EXPECT_EQ(Out, 1u);
+  EXPECT_TRUE(deept::support::parseThreadCount("16", Out));
+  EXPECT_EQ(Out, 16u);
+}
+
+TEST(ThreadCount, ParseRejectsZeroNegativeAndGarbage) {
+  for (const char *Bad : {"0", "-1", "-8", "two", "4x", "1.5", "", " 4"}) {
+    size_t Out = 99;
+    std::string Err;
+    EXPECT_FALSE(deept::support::parseThreadCount(Bad, Out, &Err)) << Bad;
+    EXPECT_NE(Err.find("positive integer"), std::string::npos) << Err;
+  }
 }

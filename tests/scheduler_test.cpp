@@ -1,0 +1,309 @@
+//===- tests/scheduler_test.cpp - Batch scheduler tests --------*- C++ -*-===//
+//
+// Tests of verify::Scheduler: a mixed batch with forced deadline expiry
+// and forced failures gets the right ok/degraded/error tags, the JSONL
+// result store resumes by skipping completed keys, and per-job margins
+// are bit-identical to serial single-job runs at any thread count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/SyntheticCorpus.h"
+#include "nn/Transformer.h"
+#include "support/Json.h"
+#include "support/Parallel.h"
+#include "support/Rng.h"
+#include "verify/Scheduler.h"
+#include "zono/Zonotope.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace deept;
+using support::ThreadPool;
+using tensor::Matrix;
+using verify::JobMethod;
+using verify::JobQueue;
+using verify::JobResult;
+using verify::JobSpec;
+using verify::JobStatus;
+using verify::Scheduler;
+using verify::SchedulerOptions;
+
+namespace {
+
+/// Restores the pool's thread count on scope exit (same idiom as
+/// parallel_test.cpp).
+class ScopedThreads {
+public:
+  explicit ScopedThreads(size_t N) : Prev(ThreadPool::global().threadCount()) {
+    ThreadPool::global().setThreadCount(N);
+  }
+  ~ScopedThreads() { ThreadPool::global().setThreadCount(Prev); }
+
+private:
+  size_t Prev;
+};
+
+/// Deletes a temp file on scope exit.
+class TempFile {
+public:
+  explicit TempFile(std::string Path) : Path(std::move(Path)) {
+    std::remove(this->Path.c_str());
+  }
+  ~TempFile() { std::remove(Path.c_str()); }
+  const std::string &path() const { return Path; }
+
+private:
+  std::string Path;
+};
+
+struct TinySetup {
+  data::SyntheticCorpus Corpus;
+  nn::TransformerModel Model;
+  data::Sentence Sent;
+
+  TinySetup() : Corpus(data::CorpusConfig::sstLike(16)) {
+    nn::TransformerConfig Cfg;
+    Cfg.MaxLen = 16;
+    Cfg.EmbedDim = 16;
+    Cfg.NumHeads = 2;
+    Cfg.HiddenDim = 16;
+    Cfg.NumLayers = 2;
+    support::Rng Rng(0x5eed);
+    Model = nn::TransformerModel::init(Cfg, Corpus.embeddings(), Rng);
+    support::Rng SentRng(7);
+    Sent = Corpus.sampleSentence(SentRng);
+    // Certify against the model's own prediction so margins (and hence
+    // searched radii) are positive even for this untrained model.
+    Sent.Label = Model.classify(Sent.Tokens);
+  }
+
+  JobSpec job(JobMethod M, double Eps = 0.05) const {
+    JobSpec J;
+    J.Tokens = Sent.Tokens;
+    J.TrueClass = Sent.Label;
+    J.Word = 0;
+    J.P = 2.0;
+    J.Epsilon = Eps;
+    J.Method = M;
+    J.NoiseReductionBudget = 128;
+    return J;
+  }
+};
+
+/// The serial reference for a fixed-eps DeepT job: what a single-query
+/// run computes with one thread.
+double serialMargin(const TinySetup &S, const JobSpec &J) {
+  ScopedThreads T(1);
+  verify::VerifierConfig VC;
+  VC.NoiseReductionBudget = J.NoiseReductionBudget;
+  if (J.Method == JobMethod::Precise)
+    VC.Method = zono::DotMethod::Precise;
+  if (J.Method == JobMethod::Combined)
+    VC.PreciseLastLayerOnly = true;
+  verify::DeepTVerifier V(S.Model, VC);
+  Matrix X = S.Model.embed(J.Tokens);
+  zono::Zonotope In = zono::Zonotope::lpBallOnRow(X, J.Word, J.P, J.Epsilon);
+  return V.certifyMargin(In, J.TrueClass);
+}
+
+TEST(Scheduler, MixedBatchTagsAndDegradation) {
+  TinySetup S;
+  TempFile Store("scheduler_test_mixed.jsonl");
+
+  JobQueue Q;
+  Q.push(S.job(JobMethod::Fast));                 // 0: ok
+  Q.push(S.job(JobMethod::Precise));              // 1: ok
+  Q.push(S.job(JobMethod::Combined));             // 2: ok
+  JobSpec Search = S.job(JobMethod::Fast);        // 3: ok (radius search)
+  Search.SearchRadius = true;
+  Search.Search.InitRadius = 0.05;
+  Search.Search.BisectSteps = 3;
+  Search.Search.MaxRadius = 8.0;
+  Q.push(Search);
+  // The deadline jobs repeat queries 0-2, and the derived key excludes
+  // the deadline by design -- explicit Ids keep their store rows apart.
+  JobSpec Expire = S.job(JobMethod::Precise);     // 4: degraded (forced
+  Expire.DeadlineMs = 0;                          //    deadline expiry)
+  Expire.Id = "expire-precise";
+  Q.push(Expire);
+  JobSpec ExpireC = S.job(JobMethod::Combined);   // 5: degraded
+  ExpireC.DeadlineMs = 0;
+  ExpireC.Id = "expire-combined";
+  Q.push(ExpireC);
+  JobSpec ExpireF = S.job(JobMethod::Fast);       // 6: error (nothing to
+  ExpireF.DeadlineMs = 0;                         //    degrade to)
+  ExpireF.Id = "expire-fast";
+  Q.push(ExpireF);
+  JobSpec Bad = S.job(JobMethod::Fast);           // 7: error (forced throw)
+  Bad.Word = 99;
+  Q.push(Bad);
+  Q.push(S.job(JobMethod::CrownBaF));             // 8: ok (baseline)
+
+  SchedulerOptions Opts;
+  Opts.JsonlPath = Store.path();
+  Scheduler Sched(S.Model, Opts);
+  std::vector<JobResult> R = Sched.run(Q);
+  ASSERT_EQ(R.size(), 9u);
+
+  EXPECT_EQ(R[0].Status, JobStatus::Ok);
+  EXPECT_EQ(R[1].Status, JobStatus::Ok);
+  EXPECT_EQ(R[2].Status, JobStatus::Ok);
+  EXPECT_EQ(R[3].Status, JobStatus::Ok);
+  EXPECT_GT(R[3].Radius, 0.0);
+  EXPECT_TRUE(R[3].Certified);
+
+  // Forced deadline expiry on Precise/Combined degrades to Fast and
+  // produces exactly the Fast answer.
+  for (size_t I : {4u, 5u}) {
+    EXPECT_EQ(R[I].Status, JobStatus::Degraded) << "job " << I;
+    EXPECT_TRUE(R[I].DeadlineHit) << "job " << I;
+    EXPECT_EQ(R[I].MethodUsed, JobMethod::Fast) << "job " << I;
+    EXPECT_EQ(R[I].Margin, R[0].Margin) << "job " << I;
+    EXPECT_TRUE(R[I].Error.empty()) << "job " << I;
+  }
+
+  // Fast has nothing below it: a blown deadline is an error.
+  EXPECT_EQ(R[6].Status, JobStatus::Error);
+  EXPECT_TRUE(R[6].DeadlineHit);
+  EXPECT_NE(R[6].Error.find("deadline"), std::string::npos);
+
+  EXPECT_EQ(R[7].Status, JobStatus::Error);
+  EXPECT_NE(R[7].Error.find("out of range"), std::string::npos);
+
+  EXPECT_EQ(R[8].Status, JobStatus::Ok);
+  EXPECT_EQ(R[8].MethodUsed, JobMethod::CrownBaF);
+
+  // Every job (including errors) landed in the store as valid JSON.
+  auto Keys = Scheduler::completedKeys(Store.path());
+  EXPECT_EQ(Keys.size(), 9u);
+  std::ifstream In(Store.path());
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(In, Line)) {
+    support::JsonValue Doc;
+    ASSERT_TRUE(support::parseJson(Line, Doc)) << Line;
+    ASSERT_NE(Doc.find("key"), nullptr);
+    ASSERT_NE(Doc.find("status"), nullptr);
+    ++Lines;
+  }
+  EXPECT_EQ(Lines, 9u);
+}
+
+TEST(Scheduler, ResumeSkipsCompletedJobs) {
+  TinySetup S;
+  TempFile Store("scheduler_test_resume.jsonl");
+
+  JobQueue Q;
+  Q.push(S.job(JobMethod::Fast, 0.02));
+  Q.push(S.job(JobMethod::Fast, 0.05));
+  Q.push(S.job(JobMethod::Precise, 0.05));
+
+  SchedulerOptions Opts;
+  Opts.JsonlPath = Store.path();
+  Opts.Resume = true;
+  Scheduler Sched(S.Model, Opts);
+
+  // First run: nothing to skip.
+  std::vector<JobResult> First = Sched.run(Q);
+  for (const JobResult &R : First)
+    EXPECT_EQ(R.Status, JobStatus::Ok);
+
+  // Second run with one extra job: the three completed keys are skipped,
+  // only the new job executes.
+  Q.push(S.job(JobMethod::Combined, 0.05));
+  std::vector<JobResult> Second = Sched.run(Q);
+  ASSERT_EQ(Second.size(), 4u);
+  EXPECT_EQ(Second[0].Status, JobStatus::Skipped);
+  EXPECT_EQ(Second[1].Status, JobStatus::Skipped);
+  EXPECT_EQ(Second[2].Status, JobStatus::Skipped);
+  EXPECT_EQ(Second[3].Status, JobStatus::Ok);
+  EXPECT_EQ(Scheduler::completedKeys(Store.path()).size(), 4u);
+
+  // A changed deadline must not change the key (resume under new latency
+  // constraints still skips completed work).
+  JobSpec A = S.job(JobMethod::Fast, 0.02);
+  JobSpec B = A;
+  B.DeadlineMs = 1234;
+  EXPECT_EQ(Scheduler::jobKey(A), Scheduler::jobKey(B));
+  // ...but a different query gets a different key, and an explicit Id
+  // wins outright.
+  EXPECT_NE(Scheduler::jobKey(A),
+            Scheduler::jobKey(S.job(JobMethod::Fast, 0.05)));
+  B.Id = "my-job";
+  EXPECT_EQ(Scheduler::jobKey(B), "my-job");
+}
+
+TEST(Scheduler, MarginsBitIdenticalToSerialAcrossThreadCounts) {
+  TinySetup S;
+
+  JobQueue Q;
+  Q.push(S.job(JobMethod::Fast));
+  Q.push(S.job(JobMethod::Precise));
+  Q.push(S.job(JobMethod::Combined));
+  Q.push(S.job(JobMethod::Fast, 0.01));
+
+  std::vector<double> Serial;
+  for (const JobSpec &J : Q.specs())
+    Serial.push_back(serialMargin(S, J));
+
+  Scheduler Sched(S.Model);
+  for (size_t Threads : {1u, 2u, 8u}) {
+    ScopedThreads T(Threads);
+    std::vector<JobResult> R = Sched.run(Q);
+    ASSERT_EQ(R.size(), Q.size());
+    for (size_t I = 0; I < R.size(); ++I) {
+      EXPECT_EQ(R[I].Status, JobStatus::Ok);
+      EXPECT_EQ(R[I].Margin, Serial[I])
+          << "margin differs from serial at " << Threads << " threads (job "
+          << I << ")";
+    }
+  }
+}
+
+TEST(Scheduler, JobQueueFromJson) {
+  TinySetup S;
+  const char *Doc = R"({"jobs":[
+    {"id":"a","seed":7,"word":0,"norm":"l2","eps":0.05,"method":"precise",
+     "deadline_ms":500,"budget":128},
+    {"tokens":[1,2,3],"label":1,"norm":"linf","search":true,"eps":0.1},
+    {"seed":9,"method":"crown-baf"}
+  ]})";
+  support::JsonValue V;
+  ASSERT_TRUE(support::parseJson(Doc, V));
+  JobQueue Q;
+  std::string Err;
+  ASSERT_TRUE(JobQueue::fromJson(V, &S.Corpus, Q, &Err)) << Err;
+  ASSERT_EQ(Q.size(), 3u);
+  EXPECT_EQ(Q.spec(0).Id, "a");
+  EXPECT_EQ(Q.spec(0).Method, JobMethod::Precise);
+  EXPECT_EQ(Q.spec(0).DeadlineMs, 500);
+  EXPECT_EQ(Q.spec(0).NoiseReductionBudget, 128u);
+  EXPECT_FALSE(Q.spec(0).Tokens.empty());
+  EXPECT_EQ(Q.spec(1).Tokens.size(), 3u);
+  EXPECT_EQ(Q.spec(1).TrueClass, 1u);
+  EXPECT_TRUE(Q.spec(1).SearchRadius);
+  EXPECT_EQ(Q.spec(1).P, Matrix::InfNorm);
+  EXPECT_EQ(Q.spec(2).Method, JobMethod::CrownBaF);
+
+  // Malformed documents are rejected with a located error.
+  auto Rejects = [&](const char *Text) {
+    support::JsonValue Bad;
+    ASSERT_TRUE(support::parseJson(Text, Bad));
+    JobQueue Dead;
+    std::string E;
+    EXPECT_FALSE(JobQueue::fromJson(Bad, &S.Corpus, Dead, &E)) << Text;
+    EXPECT_FALSE(E.empty());
+  };
+  Rejects(R"({"nope":[]})");
+  Rejects(R"({"jobs":[{"tokens":[1,2]}]})");            // missing label
+  Rejects(R"({"jobs":[{"seed":1,"norm":"l7"}]})");      // bad norm
+  Rejects(R"({"jobs":[{"seed":1,"method":"magic"}]})"); // bad method
+  Rejects(R"({"jobs":[{"seed":1,"eps":-1}]})");         // bad eps
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# ci_local.sh - run the GitHub CI pipeline stages on a developer machine.
+#
+# Usage: tools/ci_local.sh [STAGE...]
+#   Stages: tier1 tsan asan artifacts   (default: all four, in order)
+#
+# Environment:
+#   BUILD_TYPE   CMake build type for tier1/artifacts (default Release)
+#   CC / CXX     compiler pair (default: whatever CMake picks)
+#   JOBS         parallel build jobs (default: nproc)
+#
+# Mirrors .github/workflows/ci.yml: the tier-1 configure+ctest matrix
+# cell, the TSan/ASan jobs, and the bench-artifact job. ccache is used
+# when installed and skipped otherwise, so the script runs unchanged on
+# boxes without it.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+BUILD_TYPE="${BUILD_TYPE:-Release}"
+STAGES=("$@")
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier1 tsan asan artifacts)
+
+CMAKE_COMMON=()
+if command -v ccache >/dev/null 2>&1; then
+  CMAKE_COMMON+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+  echo "== ccache enabled ($(ccache --version | head -n1)) =="
+else
+  echo "== ccache not installed; building without it =="
+fi
+
+# gtest suites exercising the code each sanitizer targets (kept in sync
+# with ci.yml).
+TSAN_FILTER='ParallelFor.*:TiledGemm.*:Determinism.*'
+ASAN_FILTER='Zonotope.*:Elementwise.*:DotProduct.*:Softmax.*:Reduction.*'
+ASAN_FILTER+=':Norms/NormParamTest.*:Verify.*:Norms/VerifyNormTest.*'
+ASAN_FILTER+=':RadiusSearch*:FeedForwardVerifier.*:Scheduler.*'
+
+configure() { # dir, extra cmake args...
+  local Dir="$1"; shift
+  cmake -S "$ROOT" -B "$Dir" -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+        "${CMAKE_COMMON[@]}" "$@"
+}
+
+stage_tier1() {
+  echo "== tier1: full build + ctest ($BUILD_TYPE) =="
+  configure "$ROOT/build-ci/tier1"
+  cmake --build "$ROOT/build-ci/tier1" -j "$JOBS"
+  ctest --test-dir "$ROOT/build-ci/tier1" --output-on-failure -j "$JOBS"
+}
+
+stage_tsan() {
+  echo "== tsan: parallel layer under ThreadSanitizer =="
+  configure "$ROOT/build-ci/tsan" -DDEEPT_SANITIZE=thread
+  cmake --build "$ROOT/build-ci/tsan" -j "$JOBS" \
+        --target deept_tests deept_cli deept_json_validate
+  "$ROOT/build-ci/tsan/tests/deept_tests" --gtest_filter="$TSAN_FILTER"
+  ctest --test-dir "$ROOT/build-ci/tsan" -R parallel_smoke \
+        --output-on-failure
+}
+
+stage_asan() {
+  echo "== asan: zonotope/verifier layers under AddressSanitizer =="
+  configure "$ROOT/build-ci/asan" -DDEEPT_SANITIZE=address
+  cmake --build "$ROOT/build-ci/asan" -j "$JOBS" --target deept_tests
+  "$ROOT/build-ci/asan/tests/deept_tests" --gtest_filter="$ASAN_FILTER"
+}
+
+stage_artifacts() {
+  echo "== artifacts: scheduler-driven bench + JSONL validation =="
+  configure "$ROOT/build-ci/tier1"
+  cmake --build "$ROOT/build-ci/tier1" -j "$JOBS" \
+        --target table1_sst_fast_vs_baf deept_cli deept_json_validate
+  local Out="$ROOT/build-ci/artifacts"
+  mkdir -p "$Out"
+  # The tracked model cache makes this a pure-certification run (no
+  # training in CI).
+  ( cd "$Out" && DEEPT_MODEL_CACHE="$ROOT/deept-model-cache" \
+      "$ROOT/build-ci/tier1/bench/table1_sst_fast_vs_baf" )
+  "$ROOT/build-ci/tier1/tools/deept_json_validate" --require-key bench \
+      "$Out"/BENCH_*.json
+
+  cat > "$Out/jobs.json" <<'EOF'
+{"jobs":[
+  {"id":"fixed","seed":3,"word":0,"norm":"l2","eps":0.02,"method":"fast"},
+  {"id":"search","seed":4,"word":0,"norm":"l1","eps":0.05,"search":true,
+   "method":"fast"},
+  {"id":"expire","seed":3,"word":0,"method":"precise","deadline_ms":0},
+  {"id":"badword","seed":5,"word":99,"method":"fast"}
+]}
+EOF
+  rm -f "$Out/results.jsonl"
+  DEEPT_MODEL_CACHE="$ROOT/deept-model-cache" \
+    "$ROOT/build-ci/tier1/tools/deept_cli" batch \
+      --model "$ROOT/deept-model-cache/sst_m3.dptm" \
+      --jobs "$Out/jobs.json" --out "$Out/results.jsonl"
+  DEEPT_MODEL_CACHE="$ROOT/deept-model-cache" \
+    "$ROOT/build-ci/tier1/tools/deept_cli" batch \
+      --model "$ROOT/deept-model-cache/sst_m3.dptm" \
+      --jobs "$Out/jobs.json" --out "$Out/results.jsonl" --resume
+  "$ROOT/build-ci/tier1/tools/deept_json_validate" --jsonl \
+      --require-key key "$Out/results.jsonl"
+  echo "artifacts in $Out"
+}
+
+for Stage in "${STAGES[@]}"; do
+  case "$Stage" in
+    tier1) stage_tier1 ;;
+    tsan) stage_tsan ;;
+    asan) stage_asan ;;
+    artifacts) stage_artifacts ;;
+    *) echo "unknown stage '$Stage' (want tier1 tsan asan artifacts)" >&2
+       exit 2 ;;
+  esac
+done
+echo "== ci_local: all stages passed =="

@@ -27,8 +27,10 @@
 #include "support/Trace.h"
 #include "verify/DeepT.h"
 #include "verify/RadiusSearch.h"
+#include "verify/Scheduler.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
@@ -51,6 +53,12 @@ int usage() {
       "           [--verifier fast|precise|combined|crown-baf|crown-backward]\n"
       "  synonym  --model FILE [--corpus ...] [--count N]\n"
       "  attack   --model FILE [--corpus ...] [--norm l1|l2|linf] [--word N]\n"
+      "  batch    --model FILE --jobs FILE.json --out FILE.jsonl\n"
+      "           [--corpus ...] [--deadline-ms N] [--resume]\n"
+      "           run a batch of certification jobs on the scheduler:\n"
+      "           per-job deadlines, Precise->Fast degradation, results\n"
+      "           appended to the JSONL store (one object per job);\n"
+      "           --resume skips jobs already present in the store\n"
       "  info     --model FILE\n"
       "\n"
       "execution (any command):\n"
@@ -250,6 +258,67 @@ int cmdAttack(const ArgParse &Args) {
   return 0;
 }
 
+int cmdBatch(const ArgParse &Args) {
+  nn::TransformerModel Model;
+  if (int Rc = loadModelOrFail(Args, Model))
+    return Rc;
+  std::string JobsPath = Args.get("jobs");
+  std::string OutPath = Args.get("out");
+  if (JobsPath.empty() || OutPath.empty()) {
+    std::fprintf(stderr,
+                 "error: batch needs --jobs FILE.json and --out FILE.jsonl\n");
+    return 2;
+  }
+  data::SyntheticCorpus Corpus(
+      corpusConfig(Args.get("corpus", "sst"), Model.Config.EmbedDim));
+
+  verify::JobQueue Queue;
+  std::string Err;
+  if (!verify::JobQueue::fromJsonFile(JobsPath, &Corpus, Queue, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  verify::SchedulerOptions SO;
+  long DeadlineMs = 0;
+  if (!Args.getIntStrict("deadline-ms", DeadlineMs, &Err) || DeadlineMs < 0) {
+    std::fprintf(stderr, "error: %s\n",
+                 Err.empty() ? "--deadline-ms must be >= 0" : Err.c_str());
+    return 2;
+  }
+  SO.DefaultDeadlineMs = DeadlineMs;
+  SO.JsonlPath = OutPath;
+  SO.Resume = Args.has("resume");
+
+  verify::Scheduler Sched(Model, SO);
+  support::Timer Timer;
+  std::vector<verify::JobResult> Results;
+  try {
+    Results = Sched.run(Queue);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    return 1;
+  }
+  double Seconds = Timer.seconds();
+
+  size_t Counts[4] = {0, 0, 0, 0};
+  size_t Certified = 0;
+  for (const verify::JobResult &R : Results) {
+    ++Counts[static_cast<size_t>(R.Status)];
+    Certified += R.Certified;
+  }
+  size_t Ran = Results.size() - Counts[3];
+  std::printf("batch: %zu jobs (%zu ok, %zu degraded, %zu error, "
+              "%zu skipped), %zu certified\n",
+              Results.size(), Counts[0], Counts[1], Counts[2], Counts[3],
+              Certified);
+  std::printf("%.2f s wall, %.1f jobs/s on %zu threads -> %s\n", Seconds,
+              Ran > 0 && Seconds > 0 ? static_cast<double>(Ran) / Seconds
+                                     : 0.0,
+              support::ThreadPool::global().threadCount(), OutPath.c_str());
+  return 0;
+}
+
 int cmdInfo(const ArgParse &Args) {
   nn::TransformerModel Model;
   if (int Rc = loadModelOrFail(Args, Model))
@@ -280,6 +349,8 @@ int dispatch(const std::string &Cmd, const ArgParse &Args) {
     return cmdSynonym(Args);
   if (Cmd == "attack")
     return cmdAttack(Args);
+  if (Cmd == "batch")
+    return cmdBatch(Args);
   if (Cmd == "info")
     return cmdInfo(Args);
   return usage();
@@ -300,7 +371,7 @@ bool writeStatsJson(const std::string &Path, const std::string &Cmd) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  ArgParse Args(Argc, Argv, {"std-layernorm", "robust"});
+  ArgParse Args(Argc, Argv, {"std-layernorm", "robust", "resume"});
   if (Args.positional().empty())
     return usage();
   const std::string &Cmd = Args.positional().front();
@@ -309,9 +380,15 @@ int main(int Argc, char **Argv) {
   std::string StatsOut = Args.get("stats-json");
   if (!TraceOut.empty())
     support::Trace::setEnabled(true);
-  if (int Threads = Args.getInt("threads", 0); Threads > 0)
-    support::ThreadPool::global().setThreadCount(
-        static_cast<size_t>(Threads));
+  if (Args.has("threads")) {
+    size_t Threads = 0;
+    std::string Err;
+    if (!support::parseThreadCount(Args.get("threads"), Threads, &Err)) {
+      std::fprintf(stderr, "error: --threads %s\n", Err.c_str());
+      return 2;
+    }
+    support::ThreadPool::global().setThreadCount(Threads);
+  }
 
   int Rc = dispatch(Cmd, Args);
 

@@ -3,14 +3,18 @@
 // Part of deept-cpp. MIT license.
 //
 // Validates that each argument file parses as standard JSON (RFC 8259),
-// using the same support/Json parser the tests use. The smoke test runs
-// it over deept_cli's --trace-out / --stats-json artifacts.
+// using the same support/Json parser the tests use. The smoke tests run
+// it over deept_cli's --trace-out / --stats-json artifacts, the bench
+// BENCH_*.json reports, and the scheduler's JSONL result stores.
 //
 //   deept_json_validate FILE [FILE...]
 //   deept_json_validate --require-key traceEvents FILE
+//   deept_json_validate --jsonl --require-key key results.jsonl
 //
 // --require-key KEY additionally demands a top-level object member named
-// KEY in every following file.
+// KEY in every following file. --jsonl switches to line-delimited mode
+// for the following files: every non-empty line must parse as one JSON
+// document (and satisfy --require-key individually).
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,8 +28,37 @@
 
 using namespace deept;
 
+namespace {
+
+bool checkDoc(const char *Path, const std::string &Text,
+              const std::string &RequiredKey, size_t LineNo) {
+  support::JsonValue Doc;
+  std::string Err;
+  if (!support::parseJson(Text, Doc, &Err)) {
+    if (LineNo)
+      std::fprintf(stderr, "%s:%zu: invalid JSON: %s\n", Path, LineNo,
+                   Err.c_str());
+    else
+      std::fprintf(stderr, "%s: invalid JSON: %s\n", Path, Err.c_str());
+    return false;
+  }
+  if (!RequiredKey.empty() && !Doc.find(RequiredKey)) {
+    if (LineNo)
+      std::fprintf(stderr, "%s:%zu: missing key \"%s\"\n", Path, LineNo,
+                   RequiredKey.c_str());
+    else
+      std::fprintf(stderr, "%s: missing top-level key \"%s\"\n", Path,
+                   RequiredKey.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   std::string RequiredKey;
+  bool Jsonl = false;
   int Checked = 0;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--require-key") == 0) {
@@ -36,31 +69,45 @@ int main(int Argc, char **Argv) {
       RequiredKey = Argv[I];
       continue;
     }
+    if (std::strcmp(Argv[I], "--jsonl") == 0) {
+      Jsonl = true;
+      continue;
+    }
     std::ifstream In(Argv[I], std::ios::binary);
     if (!In) {
       std::fprintf(stderr, "%s: cannot open\n", Argv[I]);
       return 1;
     }
-    std::ostringstream Buf;
-    Buf << In.rdbuf();
-    std::string Text = Buf.str();
-    support::JsonValue Doc;
-    std::string Err;
-    if (!support::parseJson(Text, Doc, &Err)) {
-      std::fprintf(stderr, "%s: invalid JSON: %s\n", Argv[I], Err.c_str());
-      return 1;
+    if (Jsonl) {
+      std::string Line;
+      size_t LineNo = 0, Docs = 0;
+      while (std::getline(In, Line)) {
+        ++LineNo;
+        if (Line.empty())
+          continue;
+        if (!checkDoc(Argv[I], Line, RequiredKey, LineNo))
+          return 1;
+        ++Docs;
+      }
+      if (Docs == 0) {
+        std::fprintf(stderr, "%s: no JSON documents (empty JSONL)\n",
+                     Argv[I]);
+        return 1;
+      }
+      std::printf("%s: valid JSONL (%zu documents)\n", Argv[I], Docs);
+    } else {
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      std::string Text = Buf.str();
+      if (!checkDoc(Argv[I], Text, RequiredKey, 0))
+        return 1;
+      std::printf("%s: valid JSON (%zu bytes)\n", Argv[I], Text.size());
     }
-    if (!RequiredKey.empty() && !Doc.find(RequiredKey)) {
-      std::fprintf(stderr, "%s: missing top-level key \"%s\"\n", Argv[I],
-                   RequiredKey.c_str());
-      return 1;
-    }
-    std::printf("%s: valid JSON (%zu bytes)\n", Argv[I], Text.size());
     ++Checked;
   }
   if (Checked == 0) {
-    std::fprintf(stderr,
-                 "usage: deept_json_validate [--require-key KEY] FILE...\n");
+    std::fprintf(stderr, "usage: deept_json_validate [--jsonl] "
+                         "[--require-key KEY] FILE...\n");
     return 2;
   }
   return 0;
