@@ -9,12 +9,31 @@
 /// the benchmark binaries so a model trained for one table is reused by
 /// the others (the paper similarly trains each network once).
 ///
+/// The on-disk format (".dptm", version 2) is hardened against the
+/// corruption modes a production model store actually sees:
+///
+///   magic "DPTM0002" | config header | matrix payload | CRC32 trailer
+///
+/// The loader verifies the magic and version, bounds-checks every
+/// dimension field *before* allocating (a flipped bit in a header must
+/// not become a 100-GB allocation), cross-checks each matrix shape
+/// against the shape the config implies, detects truncation against the
+/// file size, rejects non-finite weights, and verifies a CRC32 over
+/// header + payload. Failures are typed support::Error values
+/// (model_not_found / model_corrupt / io_error), never crashes or
+/// silently wrong models. Saves are atomic (write temp + rename).
+///
+/// Version-1 files (no trailer) predate the checksum and still load --
+/// the tracked bench model caches are v1 -- with every structural check
+/// except the CRC.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DEEPT_NN_SERIALIZE_H
 #define DEEPT_NN_SERIALIZE_H
 
 #include "nn/Transformer.h"
+#include "support/Error.h"
 
 #include <functional>
 #include <string>
@@ -22,14 +41,27 @@
 namespace deept {
 namespace nn {
 
-/// Writes \p Model to \p Path. Returns false on I/O failure.
-bool saveModel(const std::string &Path, const TransformerModel &Model);
+/// Writes \p Model to \p Path atomically. Returns false on I/O failure,
+/// filling \p Err (optional) with the typed cause.
+bool saveModel(const std::string &Path, const TransformerModel &Model,
+               support::Error *Err = nullptr);
 
-/// Reads a model from \p Path. Returns false on I/O or format failure.
-bool loadModel(const std::string &Path, TransformerModel &Model);
+/// Reads a model from \p Path. Returns false on failure, filling \p Err
+/// (optional) with a typed cause: ModelNotFound when the file does not
+/// exist, ModelCorrupt for any format/validation failure, IoError for OS
+/// level read errors.
+bool loadModel(const std::string &Path, TransformerModel &Model,
+               support::Error *Err = nullptr);
 
-/// Loads "CacheDir/Name.dptm" if present, otherwise invokes \p TrainFn and
-/// stores the result. CacheDir is created if missing.
+/// Validates \p Config in isolation: every dimension within its sane
+/// bound, heads dividing the embedding width. Used by the loader before
+/// any allocation; exposed for tests.
+bool validateConfig(const TransformerConfig &Config, std::string *Why);
+
+/// Loads "CacheDir/Name.dptm" if present and valid, otherwise invokes
+/// \p TrainFn and stores the result. A corrupt or stale cache file is
+/// reported to stderr and replaced by retraining -- never trusted.
+/// CacheDir is created if missing.
 TransformerModel
 getOrTrainCached(const std::string &CacheDir, const std::string &Name,
                  const std::function<TransformerModel()> &TrainFn);

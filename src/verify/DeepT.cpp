@@ -2,6 +2,8 @@
 
 #include "verify/DeepT.h"
 
+#include "support/Error.h"
+#include "support/Fault.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 #include "zono/Elementwise.h"
@@ -77,10 +79,20 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
 
   PropagationStats Local;
   size_t LayerPeakEps = 0;
-  auto Track = [&](const Zonotope &Z) {
+  // Track doubles as the soundness checkpoint: it sees every major
+  // intermediate zonotope, so a corrupted abstraction is caught at the
+  // first checkpoint after the corruption and surfaces as a structured
+  // UnsoundAbstraction error instead of flowing into a verdict.
+  auto Track = [&](const Zonotope &Z, const char *Site) {
     Local.PeakEpsSymbols = std::max(Local.PeakEpsSymbols, Z.numEps());
     Local.PeakCoeffBytes = std::max(Local.PeakCoeffBytes, Z.coeffBytes());
     LayerPeakEps = std::max(LayerPeakEps, Z.numEps());
+    if (Config.ValidateAbstractions) {
+      std::string Why;
+      if (!Z.validate(&Why))
+        throw support::Error(support::ErrorCode::UnsoundAbstraction, Site,
+                             Why);
+    }
   };
 
   SoftmaxOptions SoftOpts;
@@ -88,6 +100,11 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
   SoftOpts.StableRewrite = Config.StableSoftmax;
 
   Zonotope X = InputEmb;
+  // Fault site for the robustness drills: injects a NaN/Inf into the
+  // input center so the soundness guards must turn it into a structured
+  // error (never a certificate).
+  DEEPT_FAULT_CORRUPT("verify.propagate", X.center().data(),
+                      X.center().size());
   for (size_t L = 0; L < Model.Layers.size(); ++L) {
     if (Config.CancelCheck)
       Config.CancelCheck();
@@ -114,7 +131,7 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
       if (Budget > 0)
         reduceEpsSymbols(X, Budget);
     }
-    Track(X);
+    Track(X, "verify.layer_input");
 
     // Multi-head self-attention (Eq. 1).
     Zonotope Q, K, V;
@@ -136,7 +153,7 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
         DEEPT_TRACE_SPAN("deept.attention.scores");
         Scores = dotRows(Qh, Kh, Dot).scale(Scale);
       }
-      Track(Scores);
+      Track(Scores, "verify.attention.scores");
       Zonotope Probs;
       {
         DEEPT_TRACE_SPAN("deept.attention.softmax");
@@ -159,7 +176,7 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
         DEEPT_TRACE_SPAN("deept.attention.output");
         Heads.push_back(dotRows(Probs, Vh.transposedView(), Dot));
       }
-      Track(Heads.back());
+      Track(Heads.back(), "verify.attention.output");
     }
     Zonotope X1;
     {
@@ -184,7 +201,7 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
                             C.LayerNormStdDiv, C.LnEps, Dot,
                             Config.ElementwiseEps);
     }
-    Track(X);
+    Track(X, "verify.layer_output");
     MR.histogram("verify.layer.eps_created")
         .observe(MR.counterValue("zono.eps_symbols.created") -
                  EpsCreatedBefore);
@@ -201,7 +218,7 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
         Pooled.matmulRightConst(Model.PoolW).addRowBroadcast(Model.PoolB));
     Logits = T.matmulRightConst(Model.ClsW).addRowBroadcast(Model.ClsB);
   }
-  Track(Logits);
+  Track(Logits, "verify.logits");
 
   // Mirror the per-run stats into the registry so they survive every
   // entry point (certifyMargin and friends discard the out-param).
@@ -231,6 +248,11 @@ double DeepTVerifier::certifyMargin(const Zonotope &InputEmb,
       });
   Matrix Lo, Hi;
   Margin.bounds(Lo, Hi);
+  // Belt-and-braces: even with ValidateAbstractions off, a NaN margin
+  // must become a structured error, not a (vacuously false) comparison.
+  if (std::isnan(Lo.at(0, 0)))
+    throw support::Error(support::ErrorCode::UnsoundAbstraction,
+                         "verify.margin", "margin lower bound is NaN");
   return Lo.at(0, 0);
 }
 

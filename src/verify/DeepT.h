@@ -62,6 +62,13 @@ struct VerifierConfig {
   /// verify/Scheduler.h). Empty by default (no overhead beyond one
   /// branch per layer).
   std::function<void()> CancelCheck;
+  /// Run Zonotope::validate() on the intermediate zonotopes of
+  /// propagate() (layer inputs, attention scores and outputs, logits). A
+  /// violation -- a non-finite center or coefficient means the abstraction
+  /// no longer over-approximates anything -- throws
+  /// support::Error(UnsoundAbstraction), so it surfaces as a structured
+  /// job error and can never be reported as `certified`.
+  bool ValidateAbstractions = true;
 };
 
 /// Propagation statistics. The numbers live in the support::Metrics

@@ -3,6 +3,8 @@
 #include "verify/Scheduler.h"
 
 #include "crown/CrownVerifier.h"
+#include "support/Fault.h"
+#include "support/Io.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
 #include "support/Parallel.h"
@@ -13,6 +15,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <mutex>
 #include <new>
 #include <sstream>
@@ -292,6 +295,9 @@ std::string Scheduler::resultJsonLine(const JobResult &R) {
                   ",\"deadline_hit\":" + (R.DeadlineHit ? "true" : "false") +
                   ",\"seconds\":" + support::jsonNumber(R.Seconds) +
                   ",\"queue_ms\":" + support::jsonNumber(R.QueueMs);
+  if (R.Code != support::ErrorCode::Ok)
+    S += std::string(",\"error_code\":\"") + support::errorCodeName(R.Code) +
+         "\"";
   if (!R.Error.empty())
     S += ",\"error\":\"" + support::jsonEscape(R.Error) + "\"";
   return S + "}";
@@ -316,26 +322,86 @@ std::set<std::string> Scheduler::completedKeys(const std::string &Path) {
   return Keys;
 }
 
+std::set<std::string> Scheduler::recoverStore(const std::string &Path,
+                                              support::Error *Err) {
+  std::set<std::string> Keys;
+  uint64_t Size = 0;
+  if (!support::fileSize(Path, Size))
+    return Keys; // no store yet: nothing to recover
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    if (Err)
+      *Err = support::Error(support::ErrorCode::StoreCorrupt,
+                            "store.recover",
+                            "cannot read store '" + Path + "'");
+    return Keys;
+  }
+  std::string Contents((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+  In.close();
+
+  // Walk the newline-framed records tracking where each starts, so a torn
+  // tail (crash mid-append: missing newline, or a final line that is not
+  // valid JSON) can be cut at a byte offset. Interior malformed lines are
+  // tolerated exactly as completedKeys tolerates them.
+  uint64_t KeepBytes = 0; // end of the last intact record
+  size_t Pos = 0;
+  while (Pos < Contents.size()) {
+    size_t Nl = Contents.find('\n', Pos);
+    bool Terminated = Nl != std::string::npos;
+    size_t End = Terminated ? Nl : Contents.size();
+    std::string Line = Contents.substr(Pos, End - Pos);
+    bool Parsed = false;
+    if (!Line.empty()) {
+      support::JsonValue Doc;
+      if (support::parseJson(Line, Doc)) {
+        Parsed = true;
+        const support::JsonValue *Key = Doc.find("key");
+        if (Key && Key->K == support::JsonValue::Kind::String)
+          Keys.insert(Key->StringVal);
+      }
+    }
+    bool Last = !Terminated || Nl + 1 == Contents.size();
+    if (Terminated && (Parsed || !Last || Line.empty()))
+      KeepBytes = Nl + 1;
+    Pos = End + 1;
+  }
+  if (KeepBytes < Size) {
+    std::fprintf(stderr,
+                 "warning: result store '%s' has a torn trailing record; "
+                 "discarding %llu bytes (the job will re-run)\n",
+                 Path.c_str(),
+                 static_cast<unsigned long long>(Size - KeepBytes));
+    support::truncateFile(Path, KeepBytes, Err);
+  }
+  return Keys;
+}
+
 //===----------------------------------------------------------------------===//
 // Execution
 //===----------------------------------------------------------------------===//
 
 void Scheduler::executeOne(const JobSpec &Spec, JobMethod Method,
                            int64_t DeadlineMs, JobResult &R) const {
+  using support::Error;
+  using support::ErrorCode;
+  DEEPT_FAULT_POINT("sched.execute");
   if (Spec.Tokens.empty())
-    throw std::runtime_error("job has no tokens");
+    throw Error(ErrorCode::JobInvalid, "sched.job", "job has no tokens");
   if (Spec.Word >= Spec.Tokens.size())
-    throw std::runtime_error(
-        "word position " + std::to_string(Spec.Word) +
-        " out of range for a " + std::to_string(Spec.Tokens.size()) +
-        "-token sentence");
+    throw Error(ErrorCode::JobInvalid, "sched.job",
+                "word position " + std::to_string(Spec.Word) +
+                    " out of range for a " +
+                    std::to_string(Spec.Tokens.size()) + "-token sentence");
   if (Spec.TrueClass >= 2)
-    throw std::runtime_error("true class must be 0 or 1");
+    throw Error(ErrorCode::JobInvalid, "sched.job",
+                "true class must be 0 or 1");
   for (size_t T : Spec.Tokens)
     if (T >= Model.Config.VocabSize)
-      throw std::runtime_error("token id " + std::to_string(T) +
-                               " outside the vocabulary (" +
-                               std::to_string(Model.Config.VocabSize) + ")");
+      throw Error(ErrorCode::JobInvalid, "sched.job",
+                  "token id " + std::to_string(T) +
+                      " outside the vocabulary (" +
+                      std::to_string(Model.Config.VocabSize) + ")");
 
   Deadline D(DeadlineMs);
   auto MarginAt = [&](double Radius) -> double {
@@ -391,6 +457,7 @@ void Scheduler::executeWithDegradation(const JobSpec &Spec,
       executeOne(Spec, Method, DeadlineMs, R);
       R.Status =
           Method == Spec.Method ? JobStatus::Ok : JobStatus::Degraded;
+      R.Code = support::ErrorCode::Ok;
       return;
     } catch (const DeadlineExceeded &E) {
       DeadlineHits.add(1);
@@ -403,6 +470,7 @@ void Scheduler::executeWithDegradation(const JobSpec &Spec,
       }
       R.Status = JobStatus::Error;
       R.Error = E.what();
+      R.Code = support::ErrorCode::DeadlineExceeded;
       return;
     } catch (const std::bad_alloc &) {
       if (degrade(Method)) {
@@ -411,10 +479,18 @@ void Scheduler::executeWithDegradation(const JobSpec &Spec,
       }
       R.Status = JobStatus::Error;
       R.Error = "out of memory";
+      R.Code = support::ErrorCode::OutOfMemory;
       return;
     } catch (const std::exception &E) {
+      // A failed attempt must never leave the partial verdict of an
+      // aborted propagation behind (in particular an UnsoundAbstraction
+      // error can never coexist with Certified = true).
+      R.Certified = false;
+      R.Margin = 0.0;
+      R.Radius = 0.0;
       R.Status = JobStatus::Error;
       R.Error = E.what();
+      R.Code = support::codeOf(E);
       return;
     }
   }
@@ -432,16 +508,19 @@ std::vector<JobResult> Scheduler::run(const JobQueue &Queue) const {
   static support::Histogram &JobMs = M.histogram("sched.job_ms");
 
   std::set<std::string> Done;
-  if (Opts.Resume && !Opts.JsonlPath.empty())
-    Done = completedKeys(Opts.JsonlPath);
+  if (Opts.Resume && !Opts.JsonlPath.empty()) {
+    // Recovery (not just reading): a torn trailing record left by a
+    // crash mid-append is truncated away so only that job re-runs.
+    Done = recoverStore(Opts.JsonlPath);
+  }
 
-  std::ofstream Store;
+  support::AppendFile Store;
   std::mutex StoreMu;
+  bool StoreBroken = false;
   if (!Opts.JsonlPath.empty()) {
-    Store.open(Opts.JsonlPath, std::ios::app | std::ios::binary);
-    if (!Store)
-      throw std::runtime_error("cannot open result store '" +
-                               Opts.JsonlPath + "'");
+    support::Error Err;
+    if (!Store.open(Opts.JsonlPath, &Err))
+      throw Err;
   }
 
   size_t N = Queue.size();
@@ -470,11 +549,20 @@ std::vector<JobResult> Scheduler::run(const JobQueue &Queue) const {
         Degraded.add(1);
       else if (R.Status == JobStatus::Error)
         Errors.add(1);
-      if (Store.is_open()) {
-        std::string Line = resultJsonLine(R);
+      if (Store.isOpen()) {
+        std::string Line = resultJsonLine(R) + "\n";
         std::lock_guard<std::mutex> Lock(StoreMu);
-        Store << Line << '\n';
-        Store.flush();
+        support::Error Err;
+        if (!StoreBroken && !Store.append(Line, Opts.Fsync, &Err)) {
+          // Losing the store must not lose the batch: the results are
+          // still returned in memory, so warn once and keep going.
+          StoreBroken = true;
+          Store.close();
+          std::fprintf(stderr,
+                       "warning: result store write failed (%s); "
+                       "continuing without the store\n",
+                       Err.what());
+        }
       }
     }
   });

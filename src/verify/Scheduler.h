@@ -32,6 +32,7 @@
 #ifndef DEEPT_VERIFY_SCHEDULER_H
 #define DEEPT_VERIFY_SCHEDULER_H
 
+#include "support/Error.h"
 #include "verify/DeepT.h"
 #include "verify/RadiusSearch.h"
 
@@ -106,6 +107,9 @@ struct JobResult {
   JobMethod MethodUsed = JobMethod::Fast;
   bool DeadlineHit = false;
   std::string Error;
+  /// Taxonomy code of the failure (support::ErrorCode::Ok on success);
+  /// serialized as the JSONL `error_code` field.
+  support::ErrorCode Code = support::ErrorCode::Ok;
   /// Wall-clock seconds spent executing (all attempts).
   double Seconds = 0.0;
   /// Milliseconds between batch start and this job starting.
@@ -113,11 +117,15 @@ struct JobResult {
 };
 
 /// Thrown by the cooperative deadline checks (the VerifierConfig
-/// CancelCheck hook and the per-probe checks of the scheduler).
-class DeadlineExceeded : public std::runtime_error {
+/// CancelCheck hook and the per-probe checks of the scheduler). A
+/// support::Error with code DeadlineExceeded, so untyped catch sites and
+/// the JSONL store agree on the classification.
+class DeadlineExceeded : public support::Error {
 public:
   explicit DeadlineExceeded(int64_t Ms)
-      : std::runtime_error("deadline of " + std::to_string(Ms) +
+      : support::Error(support::ErrorCode::DeadlineExceeded,
+                       "sched.deadline",
+                       "deadline of " + std::to_string(Ms) +
                            " ms exceeded") {}
 };
 
@@ -161,6 +169,9 @@ struct SchedulerOptions {
   std::string JsonlPath;
   /// Skip jobs whose key already appears in the store.
   bool Resume = false;
+  /// fsync the store after every record, making each completed job
+  /// durable at the cost of one fsync per job.
+  bool Fsync = false;
 };
 
 /// The batch driver. One instance serves one model; run() may be called
@@ -193,6 +204,15 @@ public:
   /// the file does not exist. Malformed lines (e.g. a crash-truncated
   /// tail) are ignored.
   static std::set<std::string> completedKeys(const std::string &Path);
+
+  /// Crash recovery for a JSONL store: a torn trailing record (a line
+  /// without its newline, or an unparseable final line -- the footprint
+  /// of a crash mid-append) is truncated away so its job simply re-runs,
+  /// and the remaining completed keys are returned. Interior malformed
+  /// lines are tolerated (ignored) as completedKeys does. Resume runs
+  /// this instead of completedKeys.
+  static std::set<std::string> recoverStore(const std::string &Path,
+                                            support::Error *Err = nullptr);
 
 private:
   void executeWithDegradation(const JobSpec &Spec, JobResult &R) const;

@@ -57,12 +57,24 @@ LinearPiece intervalPiece(double FLo, double FHi) {
   return P;
 }
 
+/// Sound cover for bounds the precise constructions cannot handle (NaN
+/// or unbounded ranges): certification over such a range must fail, so a
+/// huge symmetric interval is returned instead of letting NaN leak into
+/// the coefficient matrices.
+LinearPiece unboundedPiece() {
+  LinearPiece P;
+  P.Lambda = 0.0;
+  P.Mu = 0.0;
+  P.BetaNew = 1e100;
+  return P;
+}
+
 constexpr double DegenerateWidth = 1e-9;
 
 } // namespace
 
 LinearPiece deept::zono::reluPiece(double L, double U) {
-  assert(L <= U && "invalid bounds");
+  assert(!(L > U) && "invalid bounds");
   LinearPiece P;
   if (U <= 0.0)
     return P; // y = 0.
@@ -70,6 +82,10 @@ LinearPiece deept::zono::reluPiece(double L, double U) {
     P.Lambda = 1.0;
     return P; // y = x.
   }
+  // A crossing range with a NaN or infinite endpoint would turn the
+  // minimal-area formula into NaN (inf/inf); cover it instead.
+  if (!std::isfinite(L) || !std::isfinite(U))
+    return unboundedPiece();
   // Minimal-area crossing case (paper Eq. 2).
   double Lambda = U / (U - L);
   double Mu = 0.5 * std::max(-Lambda * L, (1.0 - Lambda) * U);
@@ -80,7 +96,12 @@ LinearPiece deept::zono::reluPiece(double L, double U) {
 }
 
 LinearPiece deept::zono::tanhPiece(double L, double U) {
-  assert(L <= U && "invalid bounds");
+  assert(!(L > U) && "invalid bounds");
+  // tanh is bounded, so even NaN / infinite bounds admit an exact finite
+  // interval (tanh(+-inf) = +-1; a NaN endpoint widens to the limit).
+  if (!std::isfinite(L) || !std::isfinite(U))
+    return intervalPiece(std::isnan(L) ? -1.0 : std::tanh(L),
+                         std::isnan(U) ? 1.0 : std::tanh(U));
   if (U - L < DegenerateWidth)
     return intervalPiece(std::tanh(L), std::tanh(U));
   double TL = std::tanh(L), TU = std::tanh(U);
@@ -95,7 +116,9 @@ LinearPiece deept::zono::tanhPiece(double L, double U) {
 }
 
 LinearPiece deept::zono::expPiece(double L, double U, double Eps) {
-  assert(L <= U && "invalid bounds");
+  assert(!(L > U) && "invalid bounds");
+  if (std::isnan(L) || std::isnan(U))
+    return unboundedPiece();
   double EL = clampedExp(L), EU = clampedExp(U);
   if (U - L < DegenerateWidth)
     return intervalPiece(EL, EU);
@@ -110,7 +133,9 @@ LinearPiece deept::zono::expPiece(double L, double U, double Eps) {
 }
 
 LinearPiece deept::zono::recipPiece(double L, double U, double Eps) {
-  assert(L <= U && "invalid bounds");
+  assert(!(L > U) && "invalid bounds");
+  if (std::isnan(L) || std::isnan(U))
+    return unboundedPiece();
   // The transformer is only defined for positive inputs (the softmax
   // denominator is >= 1 by construction); clamp defensively.
   L = std::max(L, 1e-12);
@@ -133,7 +158,11 @@ LinearPiece deept::zono::recipPiece(double L, double U, double Eps) {
 }
 
 LinearPiece deept::zono::sqrtPiece(double L, double U) {
-  assert(L <= U && "invalid bounds");
+  assert(!(L > U) && "invalid bounds");
+  // sqrt is unbounded above and its tangent construction NaNs on infinite
+  // or NaN endpoints; cover them.
+  if (!std::isfinite(L) || !std::isfinite(U))
+    return unboundedPiece();
   L = std::max(L, 0.0);
   U = std::max(U, L);
   if (U - L < DegenerateWidth)

@@ -457,3 +457,36 @@ Matrix Zonotope::evaluate(const std::vector<double> &PhiVals,
   }
   return Out;
 }
+
+bool Zonotope::validate(std::string *Why) const {
+  auto Fail = [&](const std::string &Msg) {
+    if (Why)
+      *Why = Msg;
+    return false;
+  };
+  if (Center.rows() != NumRows || Center.cols() != NumCols)
+    return Fail("center shape does not match the view");
+  if (!PhiC.empty() && PhiC.cols() != numVars())
+    return Fail("phi coefficient matrix has " + std::to_string(PhiC.cols()) +
+                " columns for " + std::to_string(numVars()) + " variables");
+  if (!EpsC.empty() && EpsC.cols() != numVars())
+    return Fail("eps coefficient matrix has " + std::to_string(EpsC.cols()) +
+                " columns for " + std::to_string(numVars()) + " variables");
+  if (numPhi() > 0 && !(PhiP >= 1.0 || PhiP == Matrix::InfNorm))
+    return Fail("phi norm exponent " + std::to_string(PhiP) +
+                " is not >= 1 or InfNorm");
+  auto Finite = [](const Matrix &M) {
+    const double *D = M.data();
+    for (size_t I = 0, N = M.size(); I < N; ++I)
+      if (!std::isfinite(D[I]))
+        return false;
+    return true;
+  };
+  if (!Finite(Center))
+    return Fail("non-finite center entry");
+  if (!Finite(PhiC))
+    return Fail("non-finite phi coefficient");
+  if (!Finite(EpsC))
+    return Fail("non-finite eps coefficient");
+  return true;
+}

@@ -30,6 +30,7 @@
 
 #include "tensor/Matrix.h"
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -206,6 +207,15 @@ public:
   size_t coeffBytes() const {
     return (PhiC.size() + EpsC.size() + Center.size()) * sizeof(double);
   }
+
+  /// Cheap soundness check: the center and every coefficient must be
+  /// finite (a NaN or infinity means the abstraction no longer bounds
+  /// anything), coefficient matrices must have numVars() columns (or be
+  /// empty), and the phi norm must be a valid exponent. Returns false and
+  /// fills \p Why (optional) on the first violation. O(number of stored
+  /// doubles) with early exit; the verifier runs it after every abstract
+  /// transformer when VerifierConfig::ValidateAbstractions is set.
+  bool validate(std::string *Why = nullptr) const;
 
 private:
   size_t NumRows = 0;

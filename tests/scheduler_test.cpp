@@ -175,6 +175,20 @@ TEST(Scheduler, MixedBatchTagsAndDegradation) {
   EXPECT_EQ(R[7].Status, JobStatus::Error);
   EXPECT_NE(R[7].Error.find("out of range"), std::string::npos);
 
+  // Failures carry their taxonomy code, and the store line spells it out
+  // as the machine-readable error_code field.
+  EXPECT_EQ(R[6].Code, support::ErrorCode::DeadlineExceeded);
+  EXPECT_EQ(R[7].Code, support::ErrorCode::JobInvalid);
+  EXPECT_EQ(R[0].Code, support::ErrorCode::Ok);
+  EXPECT_NE(Scheduler::resultJsonLine(R[6]).find(
+                "\"error_code\":\"deadline_exceeded\""),
+            std::string::npos);
+  EXPECT_NE(Scheduler::resultJsonLine(R[7]).find(
+                "\"error_code\":\"job_invalid\""),
+            std::string::npos);
+  EXPECT_EQ(Scheduler::resultJsonLine(R[0]).find("error_code"),
+            std::string::npos);
+
   EXPECT_EQ(R[8].Status, JobStatus::Ok);
   EXPECT_EQ(R[8].MethodUsed, JobMethod::CrownBaF);
 
@@ -304,6 +318,127 @@ TEST(Scheduler, JobQueueFromJson) {
   Rejects(R"({"jobs":[{"seed":1,"norm":"l7"}]})");      // bad norm
   Rejects(R"({"jobs":[{"seed":1,"method":"magic"}]})"); // bad method
   Rejects(R"({"jobs":[{"seed":1,"eps":-1}]})");         // bad eps
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-safe store recovery
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeFileBytes(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+} // namespace
+
+TEST(Scheduler, RecoverStoreTruncatesTornTail) {
+  TempFile Store("scheduler_test_recover.jsonl");
+  const std::string Intact = "{\"key\":\"a\",\"status\":\"ok\"}\n"
+                             "not json but terminated: tolerated\n"
+                             "{\"key\":\"b\",\"status\":\"ok\"}\n";
+  writeFileBytes(Store.path(), Intact + "{\"key\":\"c\",\"stat");
+  auto Keys = Scheduler::recoverStore(Store.path());
+  EXPECT_EQ(Keys.count("a"), 1u);
+  EXPECT_EQ(Keys.count("b"), 1u);
+  EXPECT_EQ(Keys.count("c"), 0u);
+  // The torn record is physically gone, so a later append starts a clean
+  // line; interior junk stays (it is framed, just unparseable).
+  EXPECT_EQ(readFileBytes(Store.path()), Intact);
+  // Recovery of an already-clean store is a no-op.
+  auto Again = Scheduler::recoverStore(Store.path());
+  EXPECT_EQ(Again, Keys);
+  EXPECT_EQ(readFileBytes(Store.path()), Intact);
+}
+
+TEST(Scheduler, RecoverStoreDropsUnparseableFinalLine) {
+  TempFile Store("scheduler_test_recover2.jsonl");
+  // A final line that is newline-terminated but not JSON is also the
+  // footprint of a torn write (the crash landed inside the payload after
+  // a buffered newline); it must re-run, not be silently kept.
+  writeFileBytes(Store.path(),
+                 "{\"key\":\"a\"}\n{\"key\":\"b\",\"trunc\n");
+  auto Keys = Scheduler::recoverStore(Store.path());
+  EXPECT_EQ(Keys.count("a"), 1u);
+  EXPECT_EQ(Keys.size(), 1u);
+  EXPECT_EQ(readFileBytes(Store.path()), "{\"key\":\"a\"}\n");
+}
+
+TEST(Scheduler, RecoverStoreHandlesMissingFile) {
+  EXPECT_TRUE(
+      Scheduler::recoverStore("scheduler_test_no_such_store.jsonl").empty());
+}
+
+TEST(Scheduler, ResumeReRunsTornTrailingJob) {
+  TinySetup S;
+  TempFile Store("scheduler_test_torn.jsonl");
+  // One thread keeps the store's record order equal to queue order, so
+  // the torn tail deterministically belongs to job "c".
+  ScopedThreads T(1);
+
+  JobQueue Q;
+  JobSpec A = S.job(JobMethod::Fast, 0.02);
+  A.Id = "a";
+  JobSpec B = S.job(JobMethod::Fast, 0.05);
+  B.Id = "b";
+  JobSpec C = S.job(JobMethod::Precise, 0.05);
+  C.Id = "c";
+  Q.push(A);
+  Q.push(B);
+  Q.push(C);
+
+  SchedulerOptions Opts;
+  Opts.JsonlPath = Store.path();
+  Opts.Resume = true;
+  Scheduler Sched(S.Model, Opts);
+  std::vector<JobResult> First = Sched.run(Q);
+  for (const JobResult &R : First)
+    EXPECT_EQ(R.Status, JobStatus::Ok);
+
+  // Simulate a crash mid-append: chop the final record in half.
+  std::string Contents = readFileBytes(Store.path());
+  ASSERT_GT(Contents.size(), 10u);
+  writeFileBytes(Store.path(), Contents.substr(0, Contents.size() - 10));
+
+  // Resume truncates the torn tail and re-runs only job "c".
+  std::vector<JobResult> Second = Sched.run(Q);
+  ASSERT_EQ(Second.size(), 3u);
+  EXPECT_EQ(Second[0].Status, JobStatus::Skipped);
+  EXPECT_EQ(Second[1].Status, JobStatus::Skipped);
+  EXPECT_EQ(Second[2].Status, JobStatus::Ok);
+  EXPECT_EQ(Second[2].Margin, First[2].Margin);
+
+  // The repaired store is fully parseable again with all three keys.
+  auto Keys = Scheduler::completedKeys(Store.path());
+  EXPECT_EQ(Keys.size(), 3u);
+  EXPECT_EQ(Keys.count("c"), 1u);
+  std::ifstream In(Store.path());
+  std::string Line;
+  while (std::getline(In, Line)) {
+    support::JsonValue Doc;
+    EXPECT_TRUE(support::parseJson(Line, Doc)) << Line;
+  }
+}
+
+TEST(Scheduler, FsyncedStoreIsWellFormed) {
+  TinySetup S;
+  TempFile Store("scheduler_test_fsync.jsonl");
+  SchedulerOptions Opts;
+  Opts.JsonlPath = Store.path();
+  Opts.Fsync = true;
+  JobQueue Q;
+  Q.push(S.job(JobMethod::Fast));
+  std::vector<JobResult> R = Scheduler(S.Model, Opts).run(Q);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0].Status, JobStatus::Ok);
+  EXPECT_EQ(Scheduler::completedKeys(Store.path()).size(), 1u);
 }
 
 } // namespace

@@ -1,5 +1,7 @@
 //===- tests/support_test.cpp ---------------------------------*- C++ -*-===//
 
+#include "support/Error.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/Table.h"
 #include "support/Timer.h"
@@ -7,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <new>
+#include <stdexcept>
 
 using namespace deept::support;
 
@@ -121,4 +126,83 @@ TEST(Timer, ScopedAccumAddsElapsedTime) {
     ScopedAccum A(Acc);
   }
   EXPECT_GE(Acc, First); // accumulates across scopes
+}
+
+//===----------------------------------------------------------------------===//
+// JSON non-finite handling
+//===----------------------------------------------------------------------===//
+
+TEST(Json, NumberEmitsNullForNonFinite) {
+  const double NaN = std::numeric_limits<double>::quiet_NaN();
+  const double Inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(jsonNumber(NaN), "null");
+  EXPECT_EQ(jsonNumber(Inf), "null");
+  EXPECT_EQ(jsonNumber(-Inf), "null");
+  EXPECT_EQ(jsonNumber(1.5), "1.5");
+  // The emitted token always embeds into a parseable document -- the
+  // invariant every store writer relies on.
+  JsonValue Doc;
+  EXPECT_TRUE(parseJson("{\"margin\":" + jsonNumber(NaN) + "}", Doc));
+  EXPECT_TRUE(parseJson("{\"margin\":" + jsonNumber(-Inf) + "}", Doc));
+}
+
+TEST(Json, ParserRejectsBareNonFiniteTokens) {
+  // JSON has no non-finite literals; a writer that leaked one must be
+  // caught by every reader, not silently mis-parsed.
+  JsonValue Doc;
+  std::string Err;
+  EXPECT_FALSE(parseJson("{\"x\":nan}", Doc, &Err));
+  EXPECT_FALSE(parseJson("{\"x\":inf}", Doc));
+  EXPECT_FALSE(parseJson("{\"x\":-inf}", Doc));
+  EXPECT_FALSE(parseJson("[Infinity]", Doc));
+  EXPECT_FALSE(parseJson("[NaN]", Doc));
+}
+
+//===----------------------------------------------------------------------===//
+// Error taxonomy
+//===----------------------------------------------------------------------===//
+
+TEST(Error, NamesAreStableSnakeCase) {
+  EXPECT_STREQ(errorCodeName(ErrorCode::Ok), "ok");
+  EXPECT_STREQ(errorCodeName(ErrorCode::ModelCorrupt), "model_corrupt");
+  EXPECT_STREQ(errorCodeName(ErrorCode::StoreCorrupt), "store_corrupt");
+  EXPECT_STREQ(errorCodeName(ErrorCode::UnsoundAbstraction),
+               "unsound_abstraction");
+  EXPECT_STREQ(errorCodeName(ErrorCode::FaultInjected), "fault_injected");
+  EXPECT_STREQ(errorCodeName(ErrorCode::DeadlineExceeded),
+               "deadline_exceeded");
+}
+
+TEST(Error, ExitCodeClasses) {
+  EXPECT_EQ(exitCodeFor(ErrorCode::Ok), 0);
+  EXPECT_EQ(exitCodeFor(ErrorCode::BadArgument), 2);
+  EXPECT_EQ(exitCodeFor(ErrorCode::JobInvalid), 2);
+  EXPECT_EQ(exitCodeFor(ErrorCode::IoError), 3);
+  EXPECT_EQ(exitCodeFor(ErrorCode::ModelNotFound), 3);
+  EXPECT_EQ(exitCodeFor(ErrorCode::ModelCorrupt), 3);
+  EXPECT_EQ(exitCodeFor(ErrorCode::StoreCorrupt), 3);
+  EXPECT_EQ(exitCodeFor(ErrorCode::DeadlineExceeded), 4);
+  EXPECT_EQ(exitCodeFor(ErrorCode::OutOfMemory), 5);
+  EXPECT_EQ(exitCodeFor(ErrorCode::UnsoundAbstraction), 5);
+  EXPECT_EQ(exitCodeFor(ErrorCode::Internal), 5);
+}
+
+TEST(Error, WhatEmbedsCodeSiteAndMessage) {
+  Error E(ErrorCode::StoreCorrupt, "store.open", "boom happened");
+  std::string W = E.what();
+  EXPECT_NE(W.find("store_corrupt"), std::string::npos) << W;
+  EXPECT_NE(W.find("store.open"), std::string::npos) << W;
+  EXPECT_NE(W.find("boom happened"), std::string::npos) << W;
+  EXPECT_EQ(E.code(), ErrorCode::StoreCorrupt);
+  EXPECT_EQ(E.site(), "store.open");
+  // The default-constructed out-param form means "no error yet".
+  Error None;
+  EXPECT_EQ(None.code(), ErrorCode::Ok);
+}
+
+TEST(Error, CodeOfMapsExceptions) {
+  EXPECT_EQ(codeOf(Error(ErrorCode::JobInvalid, "sched.job", "x")),
+            ErrorCode::JobInvalid);
+  EXPECT_EQ(codeOf(std::bad_alloc()), ErrorCode::OutOfMemory);
+  EXPECT_EQ(codeOf(std::runtime_error("anything")), ErrorCode::Internal);
 }

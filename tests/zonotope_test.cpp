@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 using namespace deept;
 using namespace deept::zono;
@@ -309,6 +310,101 @@ TEST(Elementwise, PiecesEnvelopeFunctionOnGrid) {
       EXPECT_GE(Hi, Y - 1e-9);
     }
   }
+}
+
+TEST(Elementwise, NonFiniteBoundsFallBackSoundly) {
+  const double Inf = std::numeric_limits<double>::infinity();
+  const double NaN = std::numeric_limits<double>::quiet_NaN();
+  // relu and sqrt cannot build a finite relaxation over unbounded or NaN
+  // ranges: they must return the huge-interval cover (certification over
+  // such a range fails, but no NaN leaks into coefficient matrices).
+  for (LinearPiece P : {reluPiece(-Inf, 1.0), reluPiece(-1.0, NaN),
+                        sqrtPiece(NaN, Inf), sqrtPiece(0.0, Inf)}) {
+    EXPECT_EQ(P.Lambda, 0.0);
+    EXPECT_TRUE(std::isfinite(P.Mu));
+    EXPECT_GE(P.BetaNew, 1e99);
+  }
+  // NaN bounds poison exp / recip the same way.
+  for (LinearPiece P : {expPiece(NaN, 1.0), recipPiece(1.0, NaN)}) {
+    EXPECT_EQ(P.Lambda, 0.0);
+    EXPECT_GE(P.BetaNew, 1e99);
+  }
+  // Stable relu cases stay exact even with an unbounded far endpoint.
+  LinearPiece Neg = reluPiece(-Inf, -1.0);
+  EXPECT_EQ(Neg.Lambda, 0.0);
+  EXPECT_EQ(Neg.BetaNew, 0.0);
+  LinearPiece Pos = reluPiece(1.0, Inf);
+  EXPECT_EQ(Pos.Lambda, 1.0);
+  EXPECT_EQ(Pos.BetaNew, 0.0);
+  // tanh is bounded, so even unbounded or NaN inputs admit an exact
+  // finite interval inside [-1, 1].
+  for (LinearPiece P : {tanhPiece(-Inf, Inf), tanhPiece(NaN, NaN),
+                        tanhPiece(-Inf, 0.5), tanhPiece(NaN, 2.0)}) {
+    EXPECT_EQ(P.Lambda, 0.0);
+    EXPECT_TRUE(std::isfinite(P.Mu));
+    EXPECT_TRUE(std::isfinite(P.BetaNew));
+    EXPECT_LE(std::fabs(P.Mu) + P.BetaNew, 1.0 + 1e-12);
+  }
+  // The exp saturation fallback: a range deep in the clamped regime makes
+  // the convex construction invert, which must yield the huge interval
+  // rather than a negative radius or NaN.
+  LinearPiece Sat = expPiece(-Inf, 0.0);
+  EXPECT_TRUE(std::isfinite(Sat.Lambda));
+  EXPECT_TRUE(std::isfinite(Sat.Mu));
+  EXPECT_TRUE(std::isfinite(Sat.BetaNew));
+  EXPECT_GE(Sat.BetaNew, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Zonotope soundness validation
+//===----------------------------------------------------------------------===//
+
+TEST(Zonotope, ValidateAcceptsWellFormed) {
+  support::Rng Rng(321);
+  Zonotope Z = randomZonotope(3, 4, 2.0, 2, 3, Rng);
+  std::string Why;
+  EXPECT_TRUE(Z.validate(&Why)) << Why;
+  // A zonotope fresh off the input constructor validates too.
+  Matrix C = Matrix::randn(2, 5, Rng);
+  EXPECT_TRUE(Zonotope::lpBallOnRow(C, 0, 2.0, 0.1).validate(&Why)) << Why;
+}
+
+TEST(Zonotope, ValidateRejectsNonFiniteEntries) {
+  support::Rng Rng(322);
+  const double NaN = std::numeric_limits<double>::quiet_NaN();
+  const double Inf = std::numeric_limits<double>::infinity();
+  {
+    Zonotope Z = randomZonotope(3, 4, 2.0, 2, 3, Rng);
+    Z.center().at(1, 2) = NaN;
+    std::string Why;
+    EXPECT_FALSE(Z.validate(&Why));
+    EXPECT_NE(Why.find("center"), std::string::npos) << Why;
+  }
+  {
+    Zonotope Z = randomZonotope(3, 4, 2.0, 2, 3, Rng);
+    Z.phiCoeffs().at(0, 0) = Inf;
+    std::string Why;
+    EXPECT_FALSE(Z.validate(&Why));
+    EXPECT_NE(Why.find("phi"), std::string::npos) << Why;
+  }
+  {
+    Zonotope Z = randomZonotope(3, 4, 2.0, 2, 3, Rng);
+    Z.epsCoeffs().at(0, 0) = NaN;
+    std::string Why;
+    EXPECT_FALSE(Z.validate(&Why));
+    EXPECT_NE(Why.find("eps"), std::string::npos) << Why;
+  }
+}
+
+TEST(Zonotope, ValidateRejectsShapeMismatch) {
+  support::Rng Rng(323);
+  Zonotope Z = randomZonotope(3, 4, 2.0, 2, 3, Rng);
+  // A coefficient matrix whose column count disagrees with the variable
+  // count is exactly the bug class validate() exists to catch.
+  Z.phiCoeffs() = Matrix::randn(2, 5, Rng);
+  std::string Why;
+  EXPECT_FALSE(Z.validate(&Why));
+  EXPECT_NE(Why.find("column"), std::string::npos) << Why;
 }
 
 //===----------------------------------------------------------------------===//

@@ -2,7 +2,8 @@
 # ci_local.sh - run the GitHub CI pipeline stages on a developer machine.
 #
 # Usage: tools/ci_local.sh [STAGE...]
-#   Stages: tier1 tsan asan artifacts   (default: all four, in order)
+#   Stages: tier1 tsan asan robustness artifacts
+#   (default: all five, in order)
 #
 # Environment:
 #   BUILD_TYPE   CMake build type for tier1/artifacts (default Release)
@@ -20,7 +21,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 BUILD_TYPE="${BUILD_TYPE:-Release}"
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier1 tsan asan artifacts)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier1 tsan asan robustness artifacts)
 
 CMAKE_COMMON=()
 if command -v ccache >/dev/null 2>&1; then
@@ -36,6 +37,8 @@ TSAN_FILTER='ParallelFor.*:TiledGemm.*:Determinism.*'
 ASAN_FILTER='Zonotope.*:Elementwise.*:DotProduct.*:Softmax.*:Reduction.*'
 ASAN_FILTER+=':Norms/NormParamTest.*:Verify.*:Norms/VerifyNormTest.*'
 ASAN_FILTER+=':RadiusSearch*:FeedForwardVerifier.*:Scheduler.*'
+ROBUSTNESS_FILTER='Fault.*:Serialize.*:Io.*:Error.*:Json.*'
+ROBUSTNESS_FILTER+=':Scheduler.Recover*:Scheduler.Resume*:Scheduler.Fsync*'
 
 configure() { # dir, extra cmake args...
   local Dir="$1"; shift
@@ -65,6 +68,18 @@ stage_asan() {
   configure "$ROOT/build-ci/asan" -DDEEPT_SANITIZE=address
   cmake --build "$ROOT/build-ci/asan" -j "$JOBS" --target deept_tests
   "$ROOT/build-ci/asan/tests/deept_tests" --gtest_filter="$ASAN_FILTER"
+}
+
+stage_robustness() {
+  echo "== robustness: fault injection + corrupt corpus under ASan =="
+  configure "$ROOT/build-ci/asan" -DDEEPT_SANITIZE=address \
+            -DDEEPT_FAULT_INJECT=ON
+  cmake --build "$ROOT/build-ci/asan" -j "$JOBS" \
+        --target deept_tests deept_cli deept_json_validate
+  "$ROOT/build-ci/asan/tests/deept_tests" \
+      --gtest_filter="$ROBUSTNESS_FILTER"
+  ctest --test-dir "$ROOT/build-ci/asan" -R robustness_smoke \
+        --output-on-failure
 }
 
 stage_artifacts() {
@@ -109,8 +124,10 @@ for Stage in "${STAGES[@]}"; do
     tier1) stage_tier1 ;;
     tsan) stage_tsan ;;
     asan) stage_asan ;;
+    robustness) stage_robustness ;;
     artifacts) stage_artifacts ;;
-    *) echo "unknown stage '$Stage' (want tier1 tsan asan artifacts)" >&2
+    *) echo "unknown stage '$Stage'" \
+            "(want tier1 tsan asan robustness artifacts)" >&2
        exit 2 ;;
   esac
 done

@@ -20,6 +20,7 @@
 #include "nn/Serialize.h"
 #include "nn/Train.h"
 #include "support/ArgParse.h"
+#include "support/Error.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
 #include "support/Parallel.h"
@@ -54,12 +55,17 @@ int usage() {
       "  synonym  --model FILE [--corpus ...] [--count N]\n"
       "  attack   --model FILE [--corpus ...] [--norm l1|l2|linf] [--word N]\n"
       "  batch    --model FILE --jobs FILE.json --out FILE.jsonl\n"
-      "           [--corpus ...] [--deadline-ms N] [--resume]\n"
+      "           [--corpus ...] [--deadline-ms N] [--resume] [--fsync]\n"
       "           run a batch of certification jobs on the scheduler:\n"
       "           per-job deadlines, Precise->Fast degradation, results\n"
       "           appended to the JSONL store (one object per job);\n"
-      "           --resume skips jobs already present in the store\n"
+      "           --resume skips jobs already present in the store and\n"
+      "           repairs a crash-torn trailing record; --fsync makes\n"
+      "           each record durable before the next job commits\n"
       "  info     --model FILE\n"
+      "\n"
+      "exit codes: 0 success, 2 bad arguments, 3 model/store load\n"
+      "failure, 4 deadline exceeded, 5 internal error\n"
       "\n"
       "execution (any command):\n"
       "  --threads N             worker threads for the shared pool\n"
@@ -130,9 +136,10 @@ int cmdTrain(const ArgParse &Args) {
   std::printf("trained %zu-layer model in %.1f s, accuracy %.1f%%\n",
               Cfg.NumLayers, TrainSeconds,
               100.0 * nn::accuracy(Model, Test));
-  if (!nn::saveModel(Out, Model)) {
-    std::fprintf(stderr, "error: cannot write %s\n", Out.c_str());
-    return 1;
+  support::Error SaveErr;
+  if (!nn::saveModel(Out, Model, &SaveErr)) {
+    std::fprintf(stderr, "error: %s\n", SaveErr.what());
+    return support::exitCodeFor(SaveErr.code());
   }
   std::printf("saved to %s\n", Out.c_str());
   return 0;
@@ -140,10 +147,14 @@ int cmdTrain(const ArgParse &Args) {
 
 int loadModelOrFail(const ArgParse &Args, nn::TransformerModel &Model) {
   std::string Path = Args.get("model");
-  if (Path.empty() || !nn::loadModel(Path, Model)) {
-    std::fprintf(stderr, "error: cannot load model from '%s'\n",
-                 Path.c_str());
-    return 1;
+  if (Path.empty()) {
+    std::fprintf(stderr, "error: missing --model FILE\n");
+    return support::exitCodeFor(support::ErrorCode::BadArgument);
+  }
+  support::Error Err;
+  if (!nn::loadModel(Path, Model, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.what());
+    return support::exitCodeFor(Err.code());
   }
   return 0;
 }
@@ -276,7 +287,7 @@ int cmdBatch(const ArgParse &Args) {
   std::string Err;
   if (!verify::JobQueue::fromJsonFile(JobsPath, &Corpus, Queue, &Err)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
-    return 1;
+    return support::exitCodeFor(support::ErrorCode::BadArgument);
   }
 
   verify::SchedulerOptions SO;
@@ -289,6 +300,7 @@ int cmdBatch(const ArgParse &Args) {
   SO.DefaultDeadlineMs = DeadlineMs;
   SO.JsonlPath = OutPath;
   SO.Resume = Args.has("resume");
+  SO.Fsync = Args.has("fsync");
 
   verify::Scheduler Sched(Model, SO);
   support::Timer Timer;
@@ -297,7 +309,7 @@ int cmdBatch(const ArgParse &Args) {
     Results = Sched.run(Queue);
   } catch (const std::exception &E) {
     std::fprintf(stderr, "error: %s\n", E.what());
-    return 1;
+    return support::exitCodeFor(support::codeOf(E));
   }
   double Seconds = Timer.seconds();
 
@@ -371,7 +383,7 @@ bool writeStatsJson(const std::string &Path, const std::string &Cmd) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  ArgParse Args(Argc, Argv, {"std-layernorm", "robust", "resume"});
+  ArgParse Args(Argc, Argv, {"std-layernorm", "robust", "resume", "fsync"});
   if (Args.positional().empty())
     return usage();
   const std::string &Cmd = Args.positional().front();
@@ -390,7 +402,15 @@ int main(int Argc, char **Argv) {
     support::ThreadPool::global().setThreadCount(Threads);
   }
 
-  int Rc = dispatch(Cmd, Args);
+  int Rc;
+  try {
+    Rc = dispatch(Cmd, Args);
+  } catch (const std::exception &E) {
+    // Uncaught failures still leave with their taxonomy's exit class
+    // (5 for anything unclassified) instead of a crash.
+    std::fprintf(stderr, "error: %s\n", E.what());
+    Rc = support::exitCodeFor(support::codeOf(E));
+  }
 
   if (!TraceOut.empty()) {
     if (support::Trace::writeChromeJson(TraceOut))
