@@ -113,15 +113,24 @@ void Matrix::appendZeroRows(size_t Count) {
 
 Matrix &Matrix::operator+=(const Matrix &O) {
   assert(NumRows == O.NumRows && NumCols == O.NumCols && "shape mismatch");
-  for (size_t I = 0; I < Data.size(); ++I)
-    Data[I] += O.Data[I];
+  double *D = Data.data();
+  const double *S = O.Data.data();
+  // Elementwise with disjoint chunks: identical bits at any thread count.
+  support::parallelFor(0, Data.size(), 32768, [&](size_t I0, size_t I1) {
+    for (size_t I = I0; I < I1; ++I)
+      D[I] += S[I];
+  });
   return *this;
 }
 
 Matrix &Matrix::operator-=(const Matrix &O) {
   assert(NumRows == O.NumRows && NumCols == O.NumCols && "shape mismatch");
-  for (size_t I = 0; I < Data.size(); ++I)
-    Data[I] -= O.Data[I];
+  double *D = Data.data();
+  const double *S = O.Data.data();
+  support::parallelFor(0, Data.size(), 32768, [&](size_t I0, size_t I1) {
+    for (size_t I = I0; I < I1; ++I)
+      D[I] -= S[I];
+  });
   return *this;
 }
 
@@ -401,6 +410,53 @@ Matrix deept::tensor::matmulTransposedB(const Matrix &A, const Matrix &B) {
         }
       });
   return C;
+}
+
+void deept::tensor::dotKernelTransposedB(const double *A, size_t N,
+                                         const double *B, size_t M, size_t D,
+                                         double *C, bool Accumulate) {
+  // Mirrors the matmulTransposedB inner loops: four B rows share each
+  // loaded A element, ascending-k accumulation per output element.
+  for (size_t I = 0; I < N; ++I) {
+    const double *ARow = A + I * D;
+    double *CRow = C + I * M;
+    if (allZero(ARow, D))
+      continue;
+    size_t J = 0;
+    for (; J + 4 <= M; J += 4) {
+      const double *B0 = B + J * D, *B1 = B + (J + 1) * D;
+      const double *B2 = B + (J + 2) * D, *B3 = B + (J + 3) * D;
+      double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
+      for (size_t Kk = 0; Kk < D; ++Kk) {
+        double AV = ARow[Kk];
+        S0 += AV * B0[Kk];
+        S1 += AV * B1[Kk];
+        S2 += AV * B2[Kk];
+        S3 += AV * B3[Kk];
+      }
+      if (Accumulate) {
+        CRow[J] += S0;
+        CRow[J + 1] += S1;
+        CRow[J + 2] += S2;
+        CRow[J + 3] += S3;
+      } else {
+        CRow[J] = S0;
+        CRow[J + 1] = S1;
+        CRow[J + 2] = S2;
+        CRow[J + 3] = S3;
+      }
+    }
+    for (; J < M; ++J) {
+      const double *BRow = B + J * D;
+      double S = 0.0;
+      for (size_t Kk = 0; Kk < D; ++Kk)
+        S += ARow[Kk] * BRow[Kk];
+      if (Accumulate)
+        CRow[J] += S;
+      else
+        CRow[J] = S;
+    }
+  }
 }
 
 Matrix deept::tensor::matmulTransposedA(const Matrix &A, const Matrix &B) {

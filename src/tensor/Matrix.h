@@ -185,6 +185,16 @@ Matrix matmul(const Matrix &A, const Matrix &B);
 /// C = A * B^T (B is used transposed without materialising it).
 Matrix matmulTransposedB(const Matrix &A, const Matrix &B);
 
+/// Pointer-level row kernel of matmulTransposedB for callers that hold
+/// coefficient rows rather than Matrix objects (the zonotope noise-symbol
+/// planes): C[i*M + j] (+)= sum_k A[i*D + k] * B[j*D + k] with the
+/// contraction in ascending-k order per output element -- bit-identical to
+/// matmulTransposedB. Rows of A that are entirely zero are skipped at row
+/// granularity (when not accumulating the caller must pass zeroed C), so
+/// sparse noise-symbol rows cost O(D) instead of O(M * D).
+void dotKernelTransposedB(const double *A, size_t N, const double *B,
+                          size_t M, size_t D, double *C, bool Accumulate);
+
 /// C = A^T * B.
 Matrix matmulTransposedA(const Matrix &A, const Matrix &B);
 

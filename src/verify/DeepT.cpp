@@ -21,17 +21,6 @@ using tensor::Matrix;
 
 namespace {
 
-/// Replicates an N x 1 zonotope across \p Cols columns (linear, exact).
-Zonotope broadcastCol(const Zonotope &Z, size_t Cols) {
-  return Z.mapLinearPublic(Z.rows(), Cols, [Cols](const Matrix &X) {
-    Matrix Out(X.rows(), Cols);
-    for (size_t R = 0; R < X.rows(); ++R)
-      for (size_t C = 0; C < Cols; ++C)
-        Out.at(R, C) = X.at(R, 0);
-    return Out;
-  });
-}
-
 /// The abstract layer normalisation. The paper's default (Section 3.1)
 /// subtracts the row mean, scales and shifts -- all exact affine steps.
 /// The standard variant (Section 6.6) additionally divides by the
@@ -40,14 +29,17 @@ Zonotope broadcastCol(const Zonotope &Z, size_t Cols) {
 Zonotope abstractLayerNorm(const Zonotope &V, const Matrix &Gamma,
                            const Matrix &Beta, bool StdDiv, double LnEps,
                            const DotOptions &Mul, double ElementwiseEps) {
-  Zonotope Centered = V.subRowMean();
   if (StdDiv) {
+    Zonotope Centered = V.subRowMean();
     Zonotope Sq = mulElementwise(Centered, Centered, Mul);
     Zonotope Var = Sq.rowMeans().addConst(Matrix(V.rows(), 1, LnEps));
     Zonotope InvStd = applyRecip(applySqrt(Var), ElementwiseEps);
-    Centered = mulElementwise(Centered, broadcastCol(InvStd, V.cols()), Mul);
+    Centered = mulElementwise(Centered, InvStd.broadcastColTo(V.cols()), Mul);
+    return Centered.scaleColumns(Gamma).addRowBroadcast(Beta);
   }
-  return Centered.scaleColumns(Gamma).addRowBroadcast(Beta);
+  // Paper-default path: (x - mean) * gamma fused into one coefficient
+  // pass (bit-identical to subRowMean().scaleColumns()).
+  return V.subRowMeanScale(Gamma).addRowBroadcast(Beta);
 }
 
 } // namespace
@@ -83,10 +75,18 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
   // intermediate zonotope, so a corrupted abstraction is caught at the
   // first checkpoint after the corruption and surfaces as a structured
   // UnsoundAbstraction error instead of flowing into a verdict.
+  static support::Histogram &EpsBlocks = MR.histogram("zono.eps_blocks");
+  static support::Histogram &DiagFrac = MR.histogram("zono.diag_frac");
+  static support::Gauge &CoeffBytes = MR.gauge("zono.coeff_bytes");
   auto Track = [&](const Zonotope &Z, const char *Site) {
     Local.PeakEpsSymbols = std::max(Local.PeakEpsSymbols, Z.numEps());
     Local.PeakCoeffBytes = std::max(Local.PeakCoeffBytes, Z.coeffBytes());
     LayerPeakEps = std::max(LayerPeakEps, Z.numEps());
+    // Block-structure telemetry: how fragmented the eps storage is, how
+    // much of it stays structured, and the actual coefficient footprint.
+    EpsBlocks.observe(static_cast<double>(Z.epsBlockCount()));
+    DiagFrac.observe(Z.epsStructuredFraction());
+    CoeffBytes.recordMax(static_cast<double>(Z.coeffBytes()));
     if (Config.ValidateAbstractions) {
       std::string Why;
       if (!Z.validate(&Why))

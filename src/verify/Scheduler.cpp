@@ -11,6 +11,7 @@
 #include "support/Timer.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -251,7 +252,10 @@ std::string Scheduler::jobKey(const JobSpec &Spec) {
   if (!Spec.Id.empty())
     return Spec.Id;
   // FNV-1a over the query contents (not the deadline: re-running a batch
-  // under new latency constraints must still skip completed work).
+  // under new latency constraints must still skip completed work). The
+  // warm-start InitRadius hint is likewise excluded -- the digest hashes
+  // the spec's own search options only, so the key of a job is identical
+  // whether the batch runs cold or warm and Resume skips the same set.
   uint64_t H = 1469598103934665603ull;
   auto Mix = [&H](uint64_t V) {
     H ^= V;
@@ -381,8 +385,15 @@ std::set<std::string> Scheduler::recoverStore(const std::string &Path,
 // Execution
 //===----------------------------------------------------------------------===//
 
+std::map<std::pair<JobMethod, double>, double>
+Scheduler::warmStartHints() const {
+  std::lock_guard<std::mutex> Lock(WarmMu);
+  return WarmRadii;
+}
+
 void Scheduler::executeOne(const JobSpec &Spec, JobMethod Method,
-                           int64_t DeadlineMs, JobResult &R) const {
+                           int64_t DeadlineMs, JobResult &R,
+                           const WarmMap &Warm) const {
   using support::Error;
   using support::ErrorCode;
   DEEPT_FAULT_POINT("sched.execute");
@@ -434,8 +445,21 @@ void Scheduler::executeOne(const JobSpec &Spec, JobMethod Method,
 
   R.MethodUsed = Method;
   if (Spec.SearchRadius) {
+    static support::Counter &WarmStarts =
+        support::Metrics::global().counter("sched.warm_start_hints");
+    // Warm start: seed the first probe from the last certified radius of
+    // the same (method, norm) family. Only the probe sequence changes;
+    // the spec (and hence the job key) is untouched.
+    RadiusSearchOptions Search = Spec.Search;
+    auto Hint = Warm.find({Method, Spec.P});
+    if (Hint != Warm.end() && Hint->second > 0.0) {
+      Search.InitRadius =
+          std::min(std::max(Hint->second, Search.MinRadius),
+                   Search.MaxRadius);
+      WarmStarts.add(1);
+    }
     R.Radius = certifiedRadius(
-        [&](double Radius) { return MarginAt(Radius) > 0.0; }, Spec.Search);
+        [&](double Radius) { return MarginAt(Radius) > 0.0; }, Search);
     R.Certified = R.Radius > 0.0;
   } else {
     R.Margin = MarginAt(Spec.Epsilon);
@@ -443,8 +467,8 @@ void Scheduler::executeOne(const JobSpec &Spec, JobMethod Method,
   }
 }
 
-void Scheduler::executeWithDegradation(const JobSpec &Spec,
-                                       JobResult &R) const {
+void Scheduler::executeWithDegradation(const JobSpec &Spec, JobResult &R,
+                                       const WarmMap &Warm) const {
   static support::Counter &DeadlineHits =
       support::Metrics::global().counter("sched.deadline_hits");
   int64_t DeadlineMs =
@@ -454,7 +478,7 @@ void Scheduler::executeWithDegradation(const JobSpec &Spec,
   JobMethod Method = Spec.Method;
   for (;;) {
     try {
-      executeOne(Spec, Method, DeadlineMs, R);
+      executeOne(Spec, Method, DeadlineMs, R, Warm);
       R.Status =
           Method == Spec.Method ? JobStatus::Ok : JobStatus::Degraded;
       R.Code = support::ErrorCode::Ok;
@@ -525,6 +549,14 @@ std::vector<JobResult> Scheduler::run(const JobQueue &Queue) const {
 
   size_t N = Queue.size();
   std::vector<JobResult> Results(N);
+  // One snapshot of the warm-start hints for the whole batch: every job
+  // sees the same table no matter how the pool interleaves them, keeping
+  // search results independent of the thread count.
+  WarmMap Warm;
+  {
+    std::lock_guard<std::mutex> Lock(WarmMu);
+    Warm = WarmRadii;
+  }
   support::Timer BatchTimer;
   support::parallelFor(0, N, 1, [&](size_t Begin, size_t End) {
     for (size_t I = Begin; I < End; ++I) {
@@ -542,7 +574,7 @@ std::vector<JobResult> Scheduler::run(const JobQueue &Queue) const {
       R.QueueMs = BatchTimer.seconds() * 1e3;
       QueueLatencyMs.observe(R.QueueMs);
       support::Timer JobTimer;
-      executeWithDegradation(Spec, R);
+      executeWithDegradation(Spec, R, Warm);
       R.Seconds = JobTimer.seconds();
       JobMs.observe(R.Seconds * 1e3);
       if (R.Status == JobStatus::Degraded)
@@ -566,5 +598,18 @@ std::vector<JobResult> Scheduler::run(const JobQueue &Queue) const {
       }
     }
   });
+  // Fold the batch's certified radii back into the hint table in queue
+  // order (deterministic: later jobs of the queue win ties, independent
+  // of which worker finished first).
+  {
+    std::lock_guard<std::mutex> Lock(WarmMu);
+    for (size_t I = 0; I < N; ++I) {
+      const JobSpec &Spec = Queue.spec(I);
+      const JobResult &R = Results[I];
+      if (Spec.SearchRadius && R.Certified && R.Radius > 0.0 &&
+          (R.Status == JobStatus::Ok || R.Status == JobStatus::Degraded))
+        WarmRadii[{R.MethodUsed, Spec.P}] = R.Radius;
+    }
+  }
   return Results;
 }

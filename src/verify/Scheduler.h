@@ -37,6 +37,8 @@
 #include "verify/RadiusSearch.h"
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -176,6 +178,17 @@ struct SchedulerOptions {
 
 /// The batch driver. One instance serves one model; run() may be called
 /// repeatedly (each call is one batch).
+///
+/// Warm-started radius search: the scheduler remembers the last certified
+/// radius per (method, norm) pair across run() calls and seeds
+/// RadiusSearchOptions::InitRadius of later search jobs from it, so a
+/// follow-up batch starts probing near the answer instead of at the
+/// spec's default. Determinism: the hint table is snapshotted once at the
+/// start of each run(), so every job of a batch sees the same hints
+/// regardless of thread count or completion order, and the table is
+/// updated from the finished batch in queue order. The hint never enters
+/// jobKey (the JSONL digest hashes only the spec's own search options),
+/// so a warm-started batch skips resumed jobs exactly as a cold one does.
 class Scheduler {
 public:
   explicit Scheduler(const nn::TransformerModel &Model,
@@ -214,13 +227,24 @@ public:
   static std::set<std::string> recoverStore(const std::string &Path,
                                             support::Error *Err = nullptr);
 
+  /// The warm-start hint table: (method, lp norm) -> last certified
+  /// radius. Exposed for tests and diagnostics; a copy, not a reference.
+  std::map<std::pair<JobMethod, double>, double> warmStartHints() const;
+
 private:
-  void executeWithDegradation(const JobSpec &Spec, JobResult &R) const;
+  using WarmMap = std::map<std::pair<JobMethod, double>, double>;
+
+  void executeWithDegradation(const JobSpec &Spec, JobResult &R,
+                              const WarmMap &Warm) const;
   void executeOne(const JobSpec &Spec, JobMethod Method, int64_t DeadlineMs,
-                  JobResult &R) const;
+                  JobResult &R, const WarmMap &Warm) const;
 
   const nn::TransformerModel &Model;
   SchedulerOptions Opts;
+  /// Last certified radius per (method, norm); written after each batch,
+  /// snapshotted at the start of the next (see the class comment).
+  mutable WarmMap WarmRadii;
+  mutable std::mutex WarmMu;
 };
 
 } // namespace verify

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <deque>
 
 using namespace deept;
 using namespace deept::zono;
@@ -48,38 +49,44 @@ Matrix perVarSymbolNorms(const Matrix &Coeffs, double Q, size_t M, size_t D) {
   return Out;
 }
 
+/// A one-element block-view list over a dense coefficient matrix (used to
+/// feed the phi matrix through the block-aware cascade).
+std::vector<EpsBlockView> denseViews(const Matrix &Coeffs) {
+  std::vector<EpsBlockView> Views;
+  if (Coeffs.rows() > 0) {
+    EpsBlockView V;
+    V.Kind = EpsBlockKind::Dense;
+    V.Start = 0;
+    V.Syms = Coeffs.rows();
+    V.Dense = &Coeffs;
+    Views.push_back(V);
+  }
+  return Views;
+}
+
 /// The Eq. 5 cascade: bounds |(V xi1) . (W xi2)| for all (outer row, inner
-/// row) pairs. \p Outer holds the xi1 coefficients of an N x D view with
-/// norm POuter; \p Inner the xi2 coefficients of an M x D view with norm
-/// PInner. The dual norm is applied to the Inner side first (row norms),
-/// then the outer q-norm accumulates over Outer's symbols. Returns an
-/// N x M matrix U with |quad| <= U.
+/// row) pairs. \p Outer holds the xi1 coefficient blocks of an N x D view;
+/// \p InnerNorms is the M x D matrix of per-variable dual norms of the xi2
+/// coefficients (the inner dual norm is applied first), and \p QOuter the
+/// dual exponent accumulated over Outer's symbols. Returns an N x M matrix
+/// U with |quad| <= U.
 ///
 /// Parallel over the outer output rows: each row accumulates its symbol
-/// cascade independently, in ascending symbol order with ascending-d
-/// dots, so the result is bit-identical at any thread count.
-Matrix fastAbsBound(const Matrix &Outer, double POuter, size_t N,
-                    const Matrix &Inner, double PInner, size_t M, size_t D) {
-  double QInner = dualExponent(PInner);
-  double QOuter = dualExponent(POuter);
-  Matrix InnerNorms = perVarSymbolNorms(Inner, QInner, M, D);
+/// cascade independently, walking the blocks in ascending symbol order
+/// with ascending-d dots, so the result is bit-identical at any thread
+/// count. Zero and off-row Diag symbols contribute an exact +0.0 cascade
+/// term, which is an identity on the nonnegative accumulator, so skipping
+/// them preserves the dense kernel's bits.
+Matrix fastAbsBound(const std::vector<EpsBlockView> &Outer, size_t OuterSyms,
+                    double QOuter, size_t N, const Matrix &InnerNorms,
+                    size_t M, size_t D) {
   Matrix Acc(N, M, 0.0);
-  size_t NumS = Outer.rows();
-  parallelFor(0, N, grainForWork(NumS * M * D), [&](size_t I0, size_t I1) {
+  parallelFor(0, N, grainForWork(OuterSyms * M * D), [&](size_t I0,
+                                                         size_t I1) {
     std::vector<double> AbsS(D), TRow(M);
     for (size_t I = I0; I < I1; ++I) {
       double *AccRow = Acc.rowPtr(I);
-      for (size_t S = 0; S < NumS; ++S) {
-        const double *Slice = Outer.rowPtr(S) + I * D;
-        for (size_t K = 0; K < D; ++K)
-          AbsS[K] = std::fabs(Slice[K]);
-        for (size_t J = 0; J < M; ++J) {
-          const double *IN = InnerNorms.rowPtr(J);
-          double T = 0.0;
-          for (size_t K = 0; K < D; ++K)
-            T += AbsS[K] * IN[K];
-          TRow[J] = T;
-        }
+      auto Accumulate = [&]() {
         if (QOuter == 1.0) {
           for (size_t J = 0; J < M; ++J)
             AccRow[J] += TRow[J];
@@ -89,6 +96,39 @@ Matrix fastAbsBound(const Matrix &Outer, double POuter, size_t N,
         } else {
           for (size_t J = 0; J < M; ++J)
             AccRow[J] = std::max(AccRow[J], TRow[J]);
+        }
+      };
+      for (const EpsBlockView &BV : Outer) {
+        switch (BV.Kind) {
+        case EpsBlockKind::Zero:
+          break;
+        case EpsBlockKind::Diag:
+          for (size_t E = 0; E < BV.Syms; ++E) {
+            const auto &En = BV.Entries[E];
+            if (En.second == 0.0 || En.first / D != I)
+              continue;
+            size_t K0 = En.first % D;
+            double AbsC = std::fabs(En.second);
+            for (size_t J = 0; J < M; ++J)
+              TRow[J] = AbsC * InnerNorms.rowPtr(J)[K0];
+            Accumulate();
+          }
+          break;
+        case EpsBlockKind::Dense:
+          for (size_t S = 0; S < BV.Syms; ++S) {
+            const double *Slice = BV.Dense->rowPtr(S) + I * D;
+            for (size_t K = 0; K < D; ++K)
+              AbsS[K] = std::fabs(Slice[K]);
+            for (size_t J = 0; J < M; ++J) {
+              const double *IN = InnerNorms.rowPtr(J);
+              double T = 0.0;
+              for (size_t K = 0; K < D; ++K)
+                T += AbsS[K] * IN[K];
+              TRow[J] = T;
+            }
+            Accumulate();
+          }
+          break;
         }
       }
       if (QOuter == 2.0)
@@ -166,13 +206,16 @@ void preciseEpsBound(const Matrix &EA, size_t N, const Matrix &EB, size_t M,
 }
 
 /// Accumulates the four quadratic interaction blocks of dotRows into
-/// (QLo, QHi) according to \p Opts.
+/// (QLo, QHi) according to \p Opts. The Fast cascades consume the eps
+/// blocks directly; only the Precise Eq. 6 path densifies (serially, from
+/// this non-parallel context).
 void quadraticBounds(const Zonotope &A, const Zonotope &B, size_t N,
                      size_t M, size_t D, const DotOptions &Opts, Matrix &QLo,
                      Matrix &QHi) {
   QLo = Matrix(N, M, 0.0);
   QHi = Matrix(N, M, 0.0);
   double P = A.phiP();
+  double QP = dualExponent(P);
   bool InfFirst = Opts.Order == DualNormOrder::InfFirst;
 
   auto AccumulateSym = [&](const Matrix &U) {
@@ -182,30 +225,40 @@ void quadraticBounds(const Zonotope &A, const Zonotope &B, size_t N,
 
   bool HavePhi = A.numPhi() > 0;
   bool HaveEps = A.numEps() > 0;
+  auto APhi = denseViews(A.phiCoeffs());
+  auto BPhi = denseViews(B.phiCoeffs());
 
   if (HavePhi) {
     // phi-phi block; the order flag picks which operand is inner.
     if (InfFirst)
-      AccumulateSym(fastAbsBound(A.phiCoeffs(), P, N, B.phiCoeffs(), P, M, D));
+      AccumulateSym(fastAbsBound(APhi, A.numPhi(), QP, N,
+                                 perVarSymbolNorms(B.phiCoeffs(), QP, M, D),
+                                 M, D));
     else
-      AccumulateSym(fastAbsBound(B.phiCoeffs(), P, M, A.phiCoeffs(), P, N, D)
+      AccumulateSym(fastAbsBound(BPhi, B.numPhi(), QP, M,
+                                 perVarSymbolNorms(A.phiCoeffs(), QP, N, D),
+                                 N, D)
                         .transposed());
   }
   if (HavePhi && HaveEps) {
     // phi-eps and eps-phi mixed blocks. "InfFirst" makes the eps side the
     // inner one (its dual norm is applied first).
     if (InfFirst) {
-      AccumulateSym(fastAbsBound(A.phiCoeffs(), P, N, B.epsCoeffs(),
-                                 Matrix::InfNorm, M, D));
-      AccumulateSym(fastAbsBound(B.phiCoeffs(), P, M, A.epsCoeffs(),
-                                 Matrix::InfNorm, N, D)
+      AccumulateSym(fastAbsBound(APhi, A.numPhi(), QP, N,
+                                 B.epsColumnDualNorms(1.0).reshaped(M, D),
+                                 M, D));
+      AccumulateSym(fastAbsBound(BPhi, B.numPhi(), QP, M,
+                                 A.epsColumnDualNorms(1.0).reshaped(N, D),
+                                 N, D)
                         .transposed());
     } else {
-      AccumulateSym(fastAbsBound(B.epsCoeffs(), Matrix::InfNorm, M,
-                                 A.phiCoeffs(), P, N, D)
+      AccumulateSym(fastAbsBound(B.epsBlockViews(), B.numEps(), 1.0, M,
+                                 perVarSymbolNorms(A.phiCoeffs(), QP, N, D),
+                                 N, D)
                         .transposed());
-      AccumulateSym(fastAbsBound(A.epsCoeffs(), Matrix::InfNorm, N,
-                                 B.phiCoeffs(), P, M, D));
+      AccumulateSym(fastAbsBound(A.epsBlockViews(), A.numEps(), 1.0, N,
+                                 perVarSymbolNorms(B.phiCoeffs(), QP, M, D),
+                                 M, D));
     }
   }
   if (HaveEps) {
@@ -215,11 +268,13 @@ void quadraticBounds(const Zonotope &A, const Zonotope &B, size_t N,
       QLo += Lo;
       QHi += Hi;
     } else if (InfFirst) {
-      AccumulateSym(fastAbsBound(A.epsCoeffs(), Matrix::InfNorm, N,
-                                 B.epsCoeffs(), Matrix::InfNorm, M, D));
+      AccumulateSym(fastAbsBound(A.epsBlockViews(), A.numEps(), 1.0, N,
+                                 B.epsColumnDualNorms(1.0).reshaped(M, D),
+                                 M, D));
     } else {
-      AccumulateSym(fastAbsBound(B.epsCoeffs(), Matrix::InfNorm, M,
-                                 A.epsCoeffs(), Matrix::InfNorm, N, D)
+      AccumulateSym(fastAbsBound(B.epsBlockViews(), B.numEps(), 1.0, M,
+                                 A.epsColumnDualNorms(1.0).reshaped(N, D),
+                                 N, D)
                         .transposed());
     }
   }
@@ -260,28 +315,95 @@ Zonotope deept::zono::dotRows(const Zonotope &AIn, const Zonotope &BIn,
   Matrix PhiOut(A.numPhi(), N * M);
   parallelFor(0, A.numPhi(), SymGrain, [&](size_t S0, size_t S1) {
     for (size_t S = S0; S < S1; ++S) {
-      Matrix AS = A.phiCoeffs().rowSlice(S, S + 1).reshaped(N, D);
-      Matrix BS = B.phiCoeffs().rowSlice(S, S + 1).reshaped(M, D);
-      Matrix Coef = tensor::matmulTransposedB(CA, BS) +
-                    tensor::matmulTransposedB(AS, CB);
-      std::copy(Coef.data(), Coef.data() + Coef.size(), PhiOut.rowPtr(S));
+      // Coef = CA * BS^T + AS * CB^T via the pointer kernel: ascending-k
+      // per output element, so bit-identical to the Matrix GEMMs without
+      // the per-symbol temporaries.
+      double *OutRow = PhiOut.rowPtr(S);
+      tensor::dotKernelTransposedB(CA.data(), N, B.phiCoeffs().rowPtr(S), M,
+                                   D, OutRow, /*Accumulate=*/false);
+      tensor::dotKernelTransposedB(A.phiCoeffs().rowPtr(S), N, CB.data(), M,
+                                   D, OutRow, /*Accumulate=*/true);
     }
   });
-  Matrix EpsOut(A.numEps(), N * M);
-  parallelFor(0, A.numEps(), SymGrain, [&](size_t S0, size_t S1) {
-    for (size_t S = S0; S < S1; ++S) {
-      Matrix AS = A.epsCoeffs().rowSlice(S, S + 1).reshaped(N, D);
-      Matrix BS = B.epsCoeffs().rowSlice(S, S + 1).reshaped(M, D);
-      Matrix Coef = tensor::matmulTransposedB(CA, BS) +
-                    tensor::matmulTransposedB(AS, CB);
-      std::copy(Coef.data(), Coef.data() + Coef.size(), EpsOut.rowPtr(S));
+
+  // Eps planes, block-wise: a symbol carried by one Diag entry on either
+  // side contributes one scaled center row/column (O(N + M)) instead of
+  // two N x D x M GEMMs, and all-zero symbols pass through as Zero blocks.
+  // Runs of non-trivial symbols pack into Dense blocks filled in parallel
+  // (disjoint rows; B-side contribution first, exactly like the dense
+  // Coef = CA.BS^T + AS.CB^T kernel).
+  size_t E = A.numEps();
+  auto RefsA = flattenEpsViews(A.epsBlockViews(), E);
+  auto RefsB = flattenEpsViews(B.epsBlockViews(), E);
+  auto BothZero = [&](size_t S) {
+    return RefsA[S].Kind == EpsBlockKind::Zero &&
+           RefsB[S].Kind == EpsBlockKind::Zero;
+  };
+  std::deque<EpsBlock> EpsBlocks;
+  size_t S = 0;
+  while (S < E) {
+    size_t S1 = S + 1;
+    if (BothZero(S)) {
+      while (S1 < E && BothZero(S1))
+        ++S1;
+      EpsBlock Blk;
+      Blk.Kind = EpsBlockKind::Zero;
+      Blk.ZeroSyms = S1 - S;
+      EpsBlocks.push_back(std::move(Blk));
+      S = S1;
+      continue;
     }
-  });
+    size_t DenseSyms =
+        (RefsA[S].Kind == EpsBlockKind::Dense ||
+         RefsB[S].Kind == EpsBlockKind::Dense)
+            ? 1
+            : 0;
+    while (S1 < E && !BothZero(S1)) {
+      if (RefsA[S1].Kind == EpsBlockKind::Dense ||
+          RefsB[S1].Kind == EpsBlockKind::Dense)
+        ++DenseSyms;
+      ++S1;
+    }
+    size_t Len = S1 - S;
+    Matrix Run(Len, N * M, 0.0);
+    size_t RunWork =
+        (DenseSyms * 4 * N * M * D + (Len - DenseSyms) * (N + M + 8)) / Len +
+        1;
+    parallelFor(0, Len, grainForWork(RunWork), [&](size_t R0, size_t R1) {
+      for (size_t R = R0; R < R1; ++R) {
+        const EpsSymRef &RA = RefsA[S + R];
+        const EpsSymRef &RB = RefsB[S + R];
+        double *OutRow = Run.rowPtr(R);
+        if (RB.Kind == EpsBlockKind::Dense) {
+          tensor::dotKernelTransposedB(CA.data(), N, RB.Row, M, D, OutRow,
+                                       /*Accumulate=*/false);
+        } else if (RB.Kind == EpsBlockKind::Diag) {
+          size_t RowB = RB.Entry.first / D, ColB = RB.Entry.first % D;
+          for (size_t I = 0; I < N; ++I)
+            OutRow[I * M + RowB] = CA.at(I, ColB) * RB.Entry.second;
+        }
+        if (RA.Kind == EpsBlockKind::Dense) {
+          tensor::dotKernelTransposedB(RA.Row, N, CB.data(), M, D, OutRow,
+                                       RB.Kind != EpsBlockKind::Zero);
+        } else if (RA.Kind == EpsBlockKind::Diag) {
+          size_t RowA = RA.Entry.first / D, ColA = RA.Entry.first % D;
+          double *O = OutRow + RowA * M;
+          for (size_t J = 0; J < M; ++J)
+            O[J] += RA.Entry.second * CB.at(J, ColA);
+        }
+      }
+    });
+    EpsBlock Blk;
+    Blk.Kind = EpsBlockKind::Dense;
+    Blk.D = std::move(Run);
+    EpsBlocks.push_back(std::move(Blk));
+    S = S1;
+  }
 
   // Install the affine coefficients, then absorb the quadratic remainder
   // into fresh symbols.
   Zonotope Out = Zonotope::constant(Center, A.phiP());
-  Out.installCoeffs(std::move(PhiOut), std::move(EpsOut));
+  Out.installCoeffs(std::move(PhiOut), std::move(EpsBlocks));
 
   Matrix QLo, QHi;
   {
@@ -318,7 +440,9 @@ Zonotope deept::zono::mulElementwise(const Zonotope &AIn, const Zonotope &BIn,
   Zonotope::alignSpaces(A, B);
   size_t NumVars = A.numVars();
 
-  Matrix Center = hadamard(A.center(), B.center());
+  const Matrix &CA = A.center();
+  const Matrix &CB = B.center();
+  Matrix Center = hadamard(CA, CB);
   Zonotope Out = Zonotope::constant(Center.reshaped(A.rows(), A.cols()),
                                     A.phiP());
 
@@ -330,39 +454,137 @@ Zonotope deept::zono::mulElementwise(const Zonotope &AIn, const Zonotope &BIn,
       const double *BS = B.phiCoeffs().rowPtr(S);
       double *O = PhiOut.rowPtr(S);
       for (size_t V = 0; V < NumVars; ++V)
-        O[V] = A.center().flat(V) * BS[V] + B.center().flat(V) * AS[V];
+        O[V] = CA.flat(V) * BS[V] + CB.flat(V) * AS[V];
     }
   });
-  Matrix EpsOut(A.numEps(), NumVars);
-  parallelFor(0, A.numEps(), SymGrain, [&](size_t S0, size_t S1) {
-    for (size_t S = S0; S < S1; ++S) {
-      const double *AS = A.epsCoeffs().rowPtr(S);
-      const double *BS = B.epsCoeffs().rowPtr(S);
-      double *O = EpsOut.rowPtr(S);
-      for (size_t V = 0; V < NumVars; ++V)
-        O[V] = A.center().flat(V) * BS[V] + B.center().flat(V) * AS[V];
+
+  // Eps planes, block-wise. The output plane of symbol S is
+  //   CA * BS + CB * AS  (per variable);
+  // a symbol that is Diag on one side and Zero on the other stays Diag
+  // (one product), two Diag entries on the same variable stay Diag (two
+  // products), and everything else packs into Dense runs filled in
+  // parallel with the per-variable kernel above.
+  size_t E = A.numEps();
+  auto RefsA = flattenEpsViews(A.epsBlockViews(), E);
+  auto RefsB = flattenEpsViews(B.epsBlockViews(), E);
+  enum Cls : unsigned char { ClsZero, ClsDiag, ClsDense };
+  auto Classify = [&](size_t S) {
+    const EpsSymRef &RA = RefsA[S];
+    const EpsSymRef &RB = RefsB[S];
+    if (RA.Kind == EpsBlockKind::Dense || RB.Kind == EpsBlockKind::Dense)
+      return ClsDense;
+    if (RA.Kind == EpsBlockKind::Zero && RB.Kind == EpsBlockKind::Zero)
+      return ClsZero;
+    if (RA.Kind == EpsBlockKind::Diag && RB.Kind == EpsBlockKind::Diag &&
+        RA.Entry.first != RB.Entry.first)
+      return ClsDense;
+    return ClsDiag;
+  };
+  std::deque<EpsBlock> EpsBlocks;
+  auto PushZero = [&](size_t Syms) {
+    if (!EpsBlocks.empty() && EpsBlocks.back().Kind == EpsBlockKind::Zero) {
+      EpsBlocks.back().ZeroSyms += Syms;
+    } else {
+      EpsBlock Blk;
+      Blk.Kind = EpsBlockKind::Zero;
+      Blk.ZeroSyms = Syms;
+      EpsBlocks.push_back(std::move(Blk));
     }
-  });
-  Out.installCoeffs(PhiOut, EpsOut);
+  };
+  auto PushDiag = [&](size_t Var, double Coef) {
+    if (EpsBlocks.empty() || EpsBlocks.back().Kind != EpsBlockKind::Diag) {
+      EpsBlock Blk;
+      Blk.Kind = EpsBlockKind::Diag;
+      EpsBlocks.push_back(std::move(Blk));
+    }
+    EpsBlocks.back().Entries.emplace_back(Var, Coef);
+  };
+  size_t S = 0;
+  while (S < E) {
+    Cls C = Classify(S);
+    size_t S1 = S + 1;
+    while (S1 < E && Classify(S1) == C)
+      ++S1;
+    size_t Len = S1 - S;
+    switch (C) {
+    case ClsZero:
+      PushZero(Len);
+      break;
+    case ClsDiag:
+      for (size_t T = S; T < S1; ++T) {
+        const EpsSymRef &RA = RefsA[T];
+        const EpsSymRef &RB = RefsB[T];
+        if (RA.Kind == EpsBlockKind::Zero) {
+          PushDiag(RB.Entry.first,
+                   CA.flat(RB.Entry.first) * RB.Entry.second);
+        } else if (RB.Kind == EpsBlockKind::Zero) {
+          PushDiag(RA.Entry.first,
+                   CB.flat(RA.Entry.first) * RA.Entry.second);
+        } else {
+          size_t V = RA.Entry.first;
+          PushDiag(V, CA.flat(V) * RB.Entry.second +
+                          CB.flat(V) * RA.Entry.second);
+        }
+      }
+      break;
+    case ClsDense: {
+      Matrix Run(Len, NumVars, 0.0);
+      parallelFor(0, Len, SymGrain, [&](size_t R0, size_t R1) {
+        for (size_t R = R0; R < R1; ++R) {
+          const EpsSymRef &RA = RefsA[S + R];
+          const EpsSymRef &RB = RefsB[S + R];
+          double *O = Run.rowPtr(R);
+          if (RA.Kind == EpsBlockKind::Dense &&
+              RB.Kind == EpsBlockKind::Dense) {
+            for (size_t V = 0; V < NumVars; ++V)
+              O[V] = CA.flat(V) * RB.Row[V] + CB.flat(V) * RA.Row[V];
+          } else if (RB.Kind == EpsBlockKind::Dense) {
+            for (size_t V = 0; V < NumVars; ++V)
+              O[V] = CA.flat(V) * RB.Row[V];
+            if (RA.Kind == EpsBlockKind::Diag)
+              O[RA.Entry.first] +=
+                  CB.flat(RA.Entry.first) * RA.Entry.second;
+          } else if (RA.Kind == EpsBlockKind::Dense) {
+            for (size_t V = 0; V < NumVars; ++V)
+              O[V] = CB.flat(V) * RA.Row[V];
+            if (RB.Kind == EpsBlockKind::Diag)
+              O[RB.Entry.first] +=
+                  CA.flat(RB.Entry.first) * RB.Entry.second;
+          } else {
+            // Two Diag entries on different variables.
+            O[RB.Entry.first] = CA.flat(RB.Entry.first) * RB.Entry.second;
+            O[RA.Entry.first] += CB.flat(RA.Entry.first) * RA.Entry.second;
+          }
+        }
+      });
+      EpsBlock Blk;
+      Blk.Kind = EpsBlockKind::Dense;
+      Blk.D = std::move(Run);
+      EpsBlocks.push_back(std::move(Blk));
+      break;
+    }
+    }
+    S = S1;
+  }
+  Out.installCoeffs(std::move(PhiOut), std::move(EpsBlocks));
 
   // Quadratic remainder per variable: the D = 1 specialisation of the
   // dot-product bounds, where Eq. 5 factorises into a product of column
-  // dual norms.
+  // dual norms. The norms are precomputed block-wise (ascending symbol
+  // order per variable, bit-identical to the per-variable scan) so the
+  // Fast path never touches a dense eps matrix; the Precise Eq. 6 scan is
+  // the sanctioned densification site, hoisted before the parallel loop.
   double P = A.phiP();
   double QP = dualExponent(P);
-  auto ColNorm = [&](const Matrix &Coeffs, double Q, size_t V) {
-    double Acc = 0.0;
-    for (size_t S = 0; S < Coeffs.rows(); ++S) {
-      double X = std::fabs(Coeffs.at(S, V));
-      if (Q == 1.0)
-        Acc += X;
-      else if (Q == 2.0)
-        Acc += X * X;
-      else
-        Acc = std::max(Acc, X);
-    }
-    return Q == 2.0 ? std::sqrt(Acc) : Acc;
-  };
+  Matrix PhiNA = perVarSymbolNorms(A.phiCoeffs(), QP, A.rows(), A.cols());
+  Matrix PhiNB = perVarSymbolNorms(B.phiCoeffs(), QP, A.rows(), A.cols());
+  Matrix EpsNA = A.epsColumnDualNorms(1.0);
+  Matrix EpsNB = B.epsColumnDualNorms(1.0);
+  const Matrix *EA = nullptr, *EB = nullptr;
+  if (Opts.Method == DotMethod::Precise && A.numEps() > 0) {
+    EA = &A.epsCoeffs();
+    EB = &B.epsCoeffs();
+  }
 
   // Per-variable pass, parallel over variable chunks. Each chunk collects
   // its fresh-symbol candidates separately; merging the chunk vectors in
@@ -375,21 +597,21 @@ Zonotope deept::zono::mulElementwise(const Zonotope &AIn, const Zonotope &BIn,
     auto &Fresh = ChunkFresh[V0 / VarGrain];
     for (size_t V = V0; V < V1; ++V) {
       double Lo = 0.0, Hi = 0.0;
-      double PhiA = ColNorm(A.phiCoeffs(), QP, V);
-      double PhiB = ColNorm(B.phiCoeffs(), QP, V);
-      double EpsA1 = ColNorm(A.epsCoeffs(), 1.0, V);
-      double EpsB1 = ColNorm(B.epsCoeffs(), 1.0, V);
+      double PhiA = PhiNA.flat(V);
+      double PhiB = PhiNB.flat(V);
+      double EpsA1 = EpsNA.flat(V);
+      double EpsB1 = EpsNB.flat(V);
       double Sym = PhiA * PhiB + PhiA * EpsB1 + EpsA1 * PhiB;
-      if (Opts.Method == DotMethod::Precise && A.numEps() > 0) {
-        for (size_t S = 0; S < A.numEps(); ++S) {
-          double AS = A.epsCoeffs().at(S, V);
+      if (EA) {
+        for (size_t T = 0; T < EA->rows(); ++T) {
+          double AS = EA->at(T, V);
           if (AS == 0.0)
             continue;
-          for (size_t T = 0; T < B.numEps(); ++T) {
-            double G = AS * B.epsCoeffs().at(T, V);
+          for (size_t U = 0; U < EB->rows(); ++U) {
+            double G = AS * EB->at(U, V);
             if (G == 0.0)
               continue;
-            if (S == T) {
+            if (T == U) {
               if (G > 0.0)
                 Hi += G;
               else

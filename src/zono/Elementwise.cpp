@@ -205,10 +205,24 @@ Zonotope deept::zono::applyRelu(const Zonotope &Z) {
                             [](double L, double U) { return reluPiece(L, U); });
 }
 
+Zonotope deept::zono::applyRelu(Zonotope &&Z) {
+  static support::Counter &Calls = elementwiseCalls("relu");
+  Calls.add(1);
+  return applyElementwiseFn(std::move(Z),
+                            [](double L, double U) { return reluPiece(L, U); });
+}
+
 Zonotope deept::zono::applyTanh(const Zonotope &Z) {
   static support::Counter &Calls = elementwiseCalls("tanh");
   Calls.add(1);
   return applyElementwiseFn(Z,
+                            [](double L, double U) { return tanhPiece(L, U); });
+}
+
+Zonotope deept::zono::applyTanh(Zonotope &&Z) {
+  static support::Counter &Calls = elementwiseCalls("tanh");
+  Calls.add(1);
+  return applyElementwiseFn(std::move(Z),
                             [](double L, double U) { return tanhPiece(L, U); });
 }
 
@@ -219,6 +233,13 @@ Zonotope deept::zono::applyExp(const Zonotope &Z, double Eps) {
       Z, [Eps](double L, double U) { return expPiece(L, U, Eps); });
 }
 
+Zonotope deept::zono::applyExp(Zonotope &&Z, double Eps) {
+  static support::Counter &Calls = elementwiseCalls("exp");
+  Calls.add(1);
+  return applyElementwiseFn(
+      std::move(Z), [Eps](double L, double U) { return expPiece(L, U, Eps); });
+}
+
 Zonotope deept::zono::applyRecip(const Zonotope &Z, double Eps) {
   static support::Counter &Calls = elementwiseCalls("recip");
   Calls.add(1);
@@ -226,9 +247,24 @@ Zonotope deept::zono::applyRecip(const Zonotope &Z, double Eps) {
       Z, [Eps](double L, double U) { return recipPiece(L, U, Eps); });
 }
 
+Zonotope deept::zono::applyRecip(Zonotope &&Z, double Eps) {
+  static support::Counter &Calls = elementwiseCalls("recip");
+  Calls.add(1);
+  return applyElementwiseFn(
+      std::move(Z),
+      [Eps](double L, double U) { return recipPiece(L, U, Eps); });
+}
+
 Zonotope deept::zono::applySqrt(const Zonotope &Z) {
   static support::Counter &Calls = elementwiseCalls("sqrt");
   Calls.add(1);
   return applyElementwiseFn(Z,
+                            [](double L, double U) { return sqrtPiece(L, U); });
+}
+
+Zonotope deept::zono::applySqrt(Zonotope &&Z) {
+  static support::Counter &Calls = elementwiseCalls("sqrt");
+  Calls.add(1);
+  return applyElementwiseFn(std::move(Z),
                             [](double L, double U) { return sqrtPiece(L, U); });
 }

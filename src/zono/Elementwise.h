@@ -63,8 +63,10 @@ LinearPiece sqrtPiece(double L, double U);
 /// per-variable loop runs on the thread pool, so PieceFn must be pure.
 /// Fresh symbols are collected per chunk and merged in ascending chunk
 /// order, reproducing the serial ascending-variable order exactly.
-template <typename PieceFnT>
-Zonotope applyElementwiseFn(const Zonotope &Z, PieceFnT &&PieceFn) {
+/// \p Z is a forwarding reference: rvalue inputs donate their coefficient
+/// storage to the result instead of being deep-copied.
+template <typename ZT, typename PieceFnT>
+Zonotope applyElementwiseFn(ZT &&Z, PieceFnT &&PieceFn) {
   DEEPT_TRACE_SPAN("zono.elementwise");
   Matrix Lo, Hi;
   Z.bounds(Lo, Hi);
@@ -98,7 +100,7 @@ Zonotope applyElementwiseFn(const Zonotope &Z, PieceFnT &&PieceFn) {
   std::vector<std::pair<size_t, double>> Fresh;
   for (auto &C : ChunkFresh)
     Fresh.insert(Fresh.end(), C.begin(), C.end());
-  Zonotope Out = Z;
+  Zonotope Out = std::forward<ZT>(Z);
   Out.scalePerVarInPlace(Lambda);
   Out.shiftCenterInPlace(Mu);
   Out.appendFreshEps(Fresh);
@@ -111,17 +113,23 @@ Zonotope
 applyElementwise(const Zonotope &Z,
                  const std::function<LinearPiece(double, double)> &PieceFn);
 
-/// ReLU / tanh abstract transformers (paper 4.3, 4.4).
+/// ReLU / tanh abstract transformers (paper 4.3, 4.4). The rvalue
+/// overloads reuse the argument's coefficient storage.
 Zonotope applyRelu(const Zonotope &Z);
+Zonotope applyRelu(Zonotope &&Z);
 Zonotope applyTanh(const Zonotope &Z);
+Zonotope applyTanh(Zonotope &&Z);
 
 /// Exponential / reciprocal / sqrt abstract transformers (paper 4.5, 4.6).
 /// These take the positivity epsilon explicitly.
 Zonotope applyExp(const Zonotope &Z,
                   double Eps = ElementwiseEpsilonDefault);
+Zonotope applyExp(Zonotope &&Z, double Eps = ElementwiseEpsilonDefault);
 Zonotope applyRecip(const Zonotope &Z,
                     double Eps = ElementwiseEpsilonDefault);
+Zonotope applyRecip(Zonotope &&Z, double Eps = ElementwiseEpsilonDefault);
 Zonotope applySqrt(const Zonotope &Z);
+Zonotope applySqrt(Zonotope &&Z);
 
 } // namespace zono
 } // namespace deept

@@ -18,50 +18,21 @@ Zonotope softmaxStable(const Zonotope &Z, const SoftmaxOptions &Opts) {
   size_t R = Z.rows(), C = Z.cols();
   // Differences tensor: var ((r, j), j') = z[r][j'] - z[r][j]. This is a
   // linear map of the score variables, so it is exact (Theorem 2) and the
-  // noise symbols shared between z[r][j'] and z[r][j] cancel.
-  Zonotope Dif = Z.mapLinearPublic(R * C, C, [R, C](const Matrix &X) {
-    Matrix Out(R * C, C);
-    for (size_t Row = 0; Row < R; ++Row)
-      for (size_t J = 0; J < C; ++J)
-        for (size_t JP = 0; JP < C; ++JP)
-          Out.at(Row * C + J, JP) = X.at(Row, JP) - X.at(Row, J);
-    return Out;
-  });
-  Zonotope Exped = applyExp(Dif, Opts.ElementwiseEps);
-  // Row sums back to an R x C tensor of softmax denominators.
-  Zonotope Denom =
-      Exped.mapLinearPublic(R, C, [R, C](const Matrix &X) {
-        Matrix Out(R, C);
-        for (size_t Row = 0; Row < R; ++Row)
-          for (size_t J = 0; J < C; ++J) {
-            double S = 0.0;
-            for (size_t JP = 0; JP < C; ++JP)
-              S += X.at(Row * C + J, JP);
-            Out.at(Row, J) = S;
-          }
-        return Out;
-      });
-  return applyRecip(Denom, Opts.ElementwiseEps);
+  // noise symbols shared between z[r][j'] and z[r][j] cancel. The
+  // structure-preserving transformer keeps Diag eps blocks Diag-free of
+  // densification (one entry fans out to O(C) outputs).
+  Zonotope Exped = applyExp(Z.pairwiseDiffExpand(), Opts.ElementwiseEps);
+  // Row sums back to an R x C tensor of softmax denominators; Diag blocks
+  // stay Diag (each input row feeds exactly one output variable).
+  return applyRecip(Exped.rowSumsTo(R, C), Opts.ElementwiseEps);
 }
 
 /// Naive composition used by the CROWN baselines (Section 5.4):
 /// exp -> row sum -> reciprocal -> multiplication.
 Zonotope softmaxNaive(const Zonotope &Z, const SoftmaxOptions &Opts) {
-  size_t R = Z.rows(), C = Z.cols();
   Zonotope Exped = applyExp(Z, Opts.ElementwiseEps);
   // Row sums broadcast back to shape R x C.
-  Zonotope SumBcast = Exped.mapLinearPublic(R, C, [R, C](const Matrix &X) {
-    Matrix Out(R, C);
-    for (size_t Row = 0; Row < R; ++Row) {
-      double S = 0.0;
-      for (size_t J = 0; J < C; ++J)
-        S += X.at(Row, J);
-      for (size_t J = 0; J < C; ++J)
-        Out.at(Row, J) = S;
-    }
-    return Out;
-  });
-  Zonotope Recip = applyRecip(SumBcast, Opts.ElementwiseEps);
+  Zonotope Recip = applyRecip(Exped.rowSumBroadcast(), Opts.ElementwiseEps);
   return mulElementwise(Exped, Recip, Opts.Mul);
 }
 

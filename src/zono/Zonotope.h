@@ -23,13 +23,25 @@
 /// all binary operations align the eps spaces by zero-padding the shorter
 /// one (symbols are allocated append-only between noise reductions).
 ///
+/// Eps storage is block structured (EpsBlocks.h): a distinguished leading
+/// dense block plus an append-only tail of typed blocks (Dense / Diag /
+/// Zero). The affine transformers, bounds(), and the dual-norm kernels
+/// consume the blocks directly, skipping structural zeros; epsCoeffs()
+/// densifies on demand for the transformers that genuinely mix symbols
+/// (mapLinear, the Eq. 6 Precise cascade, noise reduction, refinement).
+/// Densification mutates the (logically const) cached storage, so it is
+/// NOT safe inside a parallel region: hoist `const Matrix &E =
+/// Z.epsCoeffs();` before any parallelFor that needs the dense view.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DEEPT_ZONO_ZONOTOPE_H
 #define DEEPT_ZONO_ZONOTOPE_H
 
 #include "tensor/Matrix.h"
+#include "zono/EpsBlocks.h"
 
+#include <deque>
 #include <string>
 #include <utility>
 #include <vector>
@@ -71,15 +83,46 @@ public:
   size_t cols() const { return NumCols; }
   size_t numVars() const { return NumRows * NumCols; }
   size_t numPhi() const { return PhiC.rows(); }
-  size_t numEps() const { return EpsC.rows(); }
+  size_t numEps() const { return EpsDense.rows() + TailSyms; }
   double phiP() const { return PhiP; }
 
   const Matrix &center() const { return Center; }
   Matrix &center() { return Center; }
   const Matrix &phiCoeffs() const { return PhiC; }
   Matrix &phiCoeffs() { return PhiC; }
-  const Matrix &epsCoeffs() const { return EpsC; }
-  Matrix &epsCoeffs() { return EpsC; }
+
+  /// The dense numEps() x numVars() eps coefficient matrix. Densifies the
+  /// block tail on first access (counted in zono.densify_count); not safe
+  /// to call for the first time inside a parallel region -- hoist the
+  /// reference before dispatching workers.
+  const Matrix &epsCoeffs() const {
+    densifyEps();
+    return EpsDense;
+  }
+  Matrix &epsCoeffs() {
+    densifyEps();
+    return EpsDense;
+  }
+
+  /// The eps storage as an ordered list of typed block views (the leading
+  /// dense block first when non-empty). Views are invalidated by any
+  /// mutation of the zonotope, including epsCoeffs().
+  std::vector<EpsBlockView> epsBlockViews() const;
+
+  /// Number of stored eps blocks (leading dense block included).
+  size_t epsBlockCount() const {
+    return (EpsDense.rows() > 0 ? 1 : 0) + EpsTail.size();
+  }
+
+  /// Fraction of eps symbols stored in Diag or Zero (structured) blocks;
+  /// 0 when there are no eps symbols.
+  double epsStructuredFraction() const;
+
+  /// Per-variable q-norm over the eps symbol axis (1 x numVars), computed
+  /// block-wise with zero skipping. Accumulation per variable runs in
+  /// ascending symbol order, so the result is bit-identical to the dense
+  /// kernel at any thread count. Q follows Matrix::InfNorm conventions.
+  Matrix epsColumnDualNorms(double Q) const;
 
   /// Computes per-variable concrete bounds (Theorem 1): for variable k,
   ///   l_k = c_k - ||alpha_k||_q - ||beta_k||_1,
@@ -98,11 +141,14 @@ public:
   /// this - O.
   Zonotope sub(const Zonotope &O) const;
 
-  /// this + constant tensor.
-  Zonotope addConst(const Matrix &C) const;
+  /// this + constant tensor. The rvalue overload reuses this zonotope's
+  /// storage instead of deep-copying the coefficient planes.
+  Zonotope addConst(const Matrix &C) const &;
+  Zonotope addConst(const Matrix &C) &&;
 
-  /// this * scalar.
-  Zonotope scale(double S) const;
+  /// this * scalar (rvalue overload scales in place).
+  Zonotope scale(double S) const &;
+  Zonotope scale(double S) &&;
 
   /// View (Rows x Cols) multiplied on the right by constant W (Cols x D).
   Zonotope matmulRightConst(const Matrix &W) const;
@@ -114,14 +160,21 @@ public:
   /// normalization without division by the standard deviation).
   Zonotope subRowMean() const;
 
+  /// Fused subRowMean().scaleColumns(Gamma) -- the layer-norm affine core
+  /// in one pass over the coefficient planes, bit-identical to the
+  /// two-step composition.
+  Zonotope subRowMeanScale(const Matrix &Gamma) const;
+
   /// Row means as a Rows x 1 zonotope.
   Zonotope rowMeans() const;
 
   /// y[i][j] = Gamma[j] * x[i][j] (Gamma is 1 x Cols).
   Zonotope scaleColumns(const Matrix &Gamma) const;
 
-  /// y[i][j] = x[i][j] + Bias[j] (Bias is 1 x Cols).
-  Zonotope addRowBroadcast(const Matrix &Bias) const;
+  /// y[i][j] = x[i][j] + Bias[j] (Bias is 1 x Cols). The rvalue overload
+  /// shifts the center in place (the coefficients are untouched).
+  Zonotope addRowBroadcast(const Matrix &Bias) const &;
+  Zonotope addRowBroadcast(const Matrix &Bias) &&;
 
   /// Row \p R as a 1 x Cols zonotope.
   Zonotope selectRow(size_t R) const;
@@ -135,12 +188,30 @@ public:
   /// Reshape of the view; element count preserved.
   Zonotope reshapedView(size_t Rows, size_t Cols) const;
 
+  /// Broadcast of a Rows x 1 view to Rows x Cols: y[i][j] = x[i][0].
+  Zonotope broadcastColTo(size_t Cols) const;
+
+  /// The pairwise-difference expansion used by the stable softmax rewrite:
+  /// maps a Rows x Cols view to a (Rows*Cols) x Cols view with
+  /// y[(r, j)][j'] = x[r][j'] - x[r][j] (exact, Theorem 2).
+  Zonotope pairwiseDiffExpand() const;
+
+  /// Row sums of a (Rows*Cols) x InCols view folded back to Rows x Cols:
+  /// y[r][j] = sum_{j'} x[(r, j)][j']. The inverse companion of
+  /// pairwiseDiffExpand; preserves Diag blocks.
+  Zonotope rowSumsTo(size_t Rows, size_t Cols) const;
+
+  /// Per row i: y[i][j] = sum_j' x[i][j'] (row sums broadcast back to the
+  /// row, used by the naive softmax composition).
+  Zonotope rowSumBroadcast() const;
+
   /// Horizontal concatenation of zonotopes with equal row counts.
   static Zonotope concatCols(const std::vector<Zonotope> &Parts);
 
   /// Applies an arbitrary linear map \p Fn of the view to the center and
   /// to every coefficient row (exact, Theorem 2). Fn must map a Rows x
-  /// Cols matrix to a NewRows x NewCols matrix and be linear.
+  /// Cols matrix to a NewRows x NewCols matrix and be linear. Densifies
+  /// the eps storage (the map is opaque, so no structure survives).
   Zonotope
   mapLinearPublic(size_t NewRows, size_t NewCols,
                   const std::function<Matrix(const Matrix &)> &Fn) const {
@@ -153,6 +224,9 @@ public:
   /// equal numVars()). Used by transformers that compute coefficients
   /// symbol by symbol.
   void installCoeffs(Matrix Phi, Matrix Eps);
+
+  /// Replaces the phi matrix and installs block-structured eps storage.
+  void installCoeffs(Matrix Phi, std::deque<EpsBlock> EpsBlocks);
 
   /// Pads the eps space with zero coefficient rows up to \p Count symbols.
   void padEpsTo(size_t Count);
@@ -203,10 +277,10 @@ public:
   Matrix evaluate(const std::vector<double> &PhiVals,
                   const std::vector<double> &EpsVals) const;
 
-  /// Approximate memory footprint of the coefficient matrices in bytes.
-  size_t coeffBytes() const {
-    return (PhiC.size() + EpsC.size() + Center.size()) * sizeof(double);
-  }
+  /// Memory footprint of the coefficient storage in bytes: the phi matrix,
+  /// the center, the leading dense eps block, and the actual payload of
+  /// every tail block (entries for Diag, rows for Dense, headers for all).
+  size_t coeffBytes() const;
 
   /// Cheap soundness check: the center and every coefficient must be
   /// finite (a NaN or infinity means the abstraction no longer bounds
@@ -214,7 +288,8 @@ public:
   /// empty), and the phi norm must be a valid exponent. Returns false and
   /// fills \p Why (optional) on the first violation. O(number of stored
   /// doubles) with early exit; the verifier runs it after every abstract
-  /// transformer when VerifierConfig::ValidateAbstractions is set.
+  /// transformer when VerifierConfig::ValidateAbstractions is set. Never
+  /// densifies.
   bool validate(std::string *Why = nullptr) const;
 
 private:
@@ -223,13 +298,45 @@ private:
   Matrix Center;                       // NumRows x NumCols
   double PhiP = Matrix::InfNorm;       // p of the phi symbols
   Matrix PhiC;                         // numPhi x numVars
-  Matrix EpsC;                         // numEps x numVars
+  /// Leading dense eps block; epsCoeffs() folds the tail into it, so its
+  /// identity (and reference stability) matches the old monolithic EpsC.
+  mutable Matrix EpsDense;
+  /// Typed tail blocks in symbol order (std::deque: stable references
+  /// under push_back) and their cached total symbol count.
+  mutable std::deque<EpsBlock> EpsTail;
+  mutable size_t TailSyms = 0;
+
+  /// Folds the tail into EpsDense (no-op when the tail is empty). Bumps
+  /// zono.densify_count.
+  void densifyEps() const;
+
+  /// Replaces the eps storage with \p Blocks (a leading Dense block is
+  /// promoted into EpsDense).
+  void installEpsBlocks(std::deque<EpsBlock> Blocks);
 
   /// Applies a linear map of the flattened variables to center and every
-  /// coefficient row: NewVars = Fn(OldVarsViewedRowsxCols).
+  /// coefficient row: NewVars = Fn(OldVarsViewedRowsxCols). Densifies.
   Zonotope
   mapLinear(size_t NewRows, size_t NewCols,
             const std::function<Matrix(const Matrix &)> &Fn) const;
+
+  /// Shared skeleton of the structure-preserving affine transformers:
+  /// BlockFn maps any dense S x numVars coefficient block (and the center,
+  /// viewed as 1 x numVars) to its S x NewVars image; DiagFn maps one Diag
+  /// entry to the single output entry of the same symbol.
+  template <typename BlockFnT, typename DiagFnT>
+  Zonotope epsMapDiag(size_t NewRows, size_t NewCols, const BlockFnT &BlockFn,
+                      const DiagFnT &DiagFn) const;
+
+  /// Shared skeleton of the scattering affine transformers: like
+  /// epsMapDiag, but a Diag entry expands to a sparse set of output
+  /// variables, written by ScatterFn(Var, Coef, OutRow) into a
+  /// zero-initialised row (Diag blocks become Dense blocks of the same
+  /// symbol range, computed in O(nnz) instead of a GEMM).
+  template <typename BlockFnT, typename ScatterFnT>
+  Zonotope epsMapScatter(size_t NewRows, size_t NewCols,
+                         const BlockFnT &BlockFn,
+                         const ScatterFnT &ScatterFn) const;
 };
 
 } // namespace zono

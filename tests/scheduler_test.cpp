@@ -10,6 +10,7 @@
 #include "data/SyntheticCorpus.h"
 #include "nn/Transformer.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Rng.h"
 #include "verify/Scheduler.h"
@@ -425,6 +426,79 @@ TEST(Scheduler, ResumeReRunsTornTrailingJob) {
     support::JsonValue Doc;
     EXPECT_TRUE(support::parseJson(Line, Doc)) << Line;
   }
+}
+
+TEST(Scheduler, WarmStartSeedsLaterBatchesAndKeepsKeysStable) {
+  TinySetup S;
+  JobSpec Search = S.job(JobMethod::Fast);
+  Search.SearchRadius = true;
+  Search.Search.InitRadius = 0.05;
+  Search.Search.BisectSteps = 3;
+  Search.Search.MaxRadius = 8.0;
+  JobQueue Q;
+  Q.push(Search);
+
+  Scheduler Sched(S.Model);
+  EXPECT_TRUE(Sched.warmStartHints().empty());
+  std::vector<JobResult> First = Sched.run(Q);
+  ASSERT_EQ(First.size(), 1u);
+  ASSERT_EQ(First[0].Status, JobStatus::Ok);
+  ASSERT_GT(First[0].Radius, 0.0);
+
+  // The certified radius is recorded for (method, norm).
+  auto Hints = Sched.warmStartHints();
+  auto It = Hints.find({JobMethod::Fast, 2.0});
+  ASSERT_NE(It, Hints.end());
+  EXPECT_EQ(It->second, First[0].Radius);
+
+  // A warm second batch probes the hint first (fewer probes than cold),
+  // still certifies, and derives the exact same store key -- the hint is
+  // not part of the digest.
+  double ColdProbes =
+      support::Metrics::global().counterValue("verify.radius_search.probes");
+  std::vector<JobResult> Second = Sched.run(Q);
+  ASSERT_EQ(Second.size(), 1u);
+  EXPECT_EQ(Second[0].Status, JobStatus::Ok);
+  EXPECT_GT(Second[0].Radius, 0.0);
+  EXPECT_EQ(Second[0].Key, First[0].Key);
+  double WarmProbes =
+      support::Metrics::global().counterValue("verify.radius_search.probes") -
+      ColdProbes;
+  EXPECT_GT(WarmProbes, 0.0);
+  EXPECT_GT(
+      support::Metrics::global().counterValue("sched.warm_start_hints"), 0.0);
+}
+
+TEST(Scheduler, WarmStartedBatchBitIdenticalAcrossThreadCounts) {
+  TinySetup S;
+  JobQueue Q;
+  for (double Init : {0.05, 0.02, 0.08}) {
+    JobSpec Search = S.job(JobMethod::Fast);
+    Search.SearchRadius = true;
+    Search.Search.InitRadius = Init;
+    Search.Search.BisectSteps = 3;
+    Search.Search.MaxRadius = 8.0;
+    Q.push(Search);
+  }
+
+  // Warm each scheduler identically, then run the batch again under
+  // different thread counts: the hint snapshot is taken at run() start,
+  // so the searched radii must agree bit-for-bit.
+  std::vector<std::vector<double>> PerThreadRadii;
+  for (size_t Threads : {1u, 2u, 8u}) {
+    ScopedThreads T(Threads);
+    Scheduler Sched(S.Model);
+    Sched.run(Q); // cold batch populates the hints
+    std::vector<JobResult> R = Sched.run(Q);
+    std::vector<double> Radii;
+    for (const JobResult &J : R) {
+      EXPECT_EQ(J.Status, JobStatus::Ok);
+      Radii.push_back(J.Radius);
+    }
+    PerThreadRadii.push_back(std::move(Radii));
+  }
+  for (size_t I = 1; I < PerThreadRadii.size(); ++I)
+    EXPECT_EQ(PerThreadRadii[0], PerThreadRadii[I]);
 }
 
 TEST(Scheduler, FsyncedStoreIsWellFormed) {

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Compare benchmark reports against a committed baseline.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+                        [--min-time SECONDS]
+
+Two input formats are recognised:
+
+* google-benchmark JSON (``--benchmark_out``): entries are keyed by the
+  benchmark ``name``. Repetition rows are collected and reduced to their
+  median ``real_time``; pre-aggregated rows (``run_type == "aggregate"``)
+  are ignored so the median is recomputed uniformly on both sides.
+
+* deept bench table JSON (``bench/Common.h`` ``writeBenchJson``): every
+  column whose header contains ``t[s]`` is a time metric; a row is keyed
+  by its remaining cells, so reordering rows does not break the match.
+
+A metric regresses when ``current > baseline * (1 + threshold)``; any
+regression fails the run (exit 1). Metrics present on only one side are
+reported but never fail, so adding or retiring benchmarks does not need
+a lockstep baseline update. ``--min-time`` skips metrics whose baseline
+value is below the floor (sub-millisecond timers are dominated by noise).
+
+Baselines live in bench/baselines/ and record the machine they came
+from; regenerate them (see bench/baselines/README.md) when hardware or
+intentional performance changes make them stale.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_metrics(path):
+    """Returns {metric name: median time} for either input format."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    samples = {}
+    if "benchmarks" in doc:
+        for entry in doc["benchmarks"]:
+            if entry.get("run_type") == "aggregate":
+                continue
+            name = entry.get("name")
+            time = entry.get("real_time")
+            if name is None or time is None:
+                continue
+            samples.setdefault(name, []).append(float(time))
+    elif "columns" in doc:
+        cols = doc.get("columns", [])
+        time_idx = [i for i, c in enumerate(cols) if "t[s]" in c]
+        key_idx = [i for i in range(len(cols)) if i not in time_idx]
+        prefix = doc.get("bench", "table")
+        for row in doc.get("rows", []):
+            key = "/".join(str(row[i]) for i in key_idx if i < len(row))
+            for i in time_idx:
+                if i >= len(row):
+                    continue
+                try:
+                    val = float(row[i])
+                except (TypeError, ValueError):
+                    continue
+                name = "%s/%s/%s" % (prefix, key, cols[i])
+                samples.setdefault(name, []).append(val)
+    else:
+        raise ValueError(
+            "%s: neither a google-benchmark report nor a bench table" % path
+        )
+    return {name: statistics.median(vals) for name, vals in samples.items()}
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed fractional slowdown before failing (default 0.15)",
+    )
+    ap.add_argument(
+        "--min-time",
+        type=float,
+        default=0.0,
+        help="ignore metrics whose baseline value is below this floor",
+    )
+    args = ap.parse_args(argv)
+
+    base = load_metrics(args.baseline)
+    cur = load_metrics(args.current)
+
+    regressions = []
+    compared = 0
+    for name in sorted(base):
+        if name not in cur:
+            print("  [gone]     %s" % name)
+            continue
+        if base[name] < args.min_time or base[name] <= 0.0:
+            continue
+        compared += 1
+        ratio = cur[name] / base[name]
+        tag = "ok"
+        if ratio > 1.0 + args.threshold:
+            tag = "REGRESSED"
+            regressions.append((name, ratio))
+        elif ratio < 1.0 - args.threshold:
+            tag = "improved"
+        print(
+            "  [%-9s] %s: %.6g -> %.6g (%+.1f%%)"
+            % (tag, name, base[name], cur[name], 100.0 * (ratio - 1.0))
+        )
+    for name in sorted(set(cur) - set(base)):
+        print("  [new]      %s" % name)
+
+    if not compared:
+        print("bench_compare: no overlapping metrics between %s and %s"
+              % (args.baseline, args.current))
+        return 1
+    if regressions:
+        print(
+            "bench_compare: %d metric(s) regressed beyond %.0f%%:"
+            % (len(regressions), 100.0 * args.threshold)
+        )
+        for name, ratio in regressions:
+            print("  %s: %.1f%% slower" % (name, 100.0 * (ratio - 1.0)))
+        return 1
+    print(
+        "bench_compare: %d metric(s) within %.0f%% of baseline"
+        % (compared, 100.0 * args.threshold)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

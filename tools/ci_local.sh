@@ -2,8 +2,8 @@
 # ci_local.sh - run the GitHub CI pipeline stages on a developer machine.
 #
 # Usage: tools/ci_local.sh [STAGE...]
-#   Stages: tier1 tsan asan robustness artifacts
-#   (default: all five, in order)
+#   Stages: tier1 tsan asan robustness artifacts perf
+#   (default: all six, in order)
 #
 # Environment:
 #   BUILD_TYPE   CMake build type for tier1/artifacts (default Release)
@@ -21,7 +21,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 BUILD_TYPE="${BUILD_TYPE:-Release}"
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier1 tsan asan robustness artifacts)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier1 tsan asan robustness artifacts perf)
 
 CMAKE_COMMON=()
 if command -v ccache >/dev/null 2>&1; then
@@ -119,6 +119,29 @@ EOF
   echo "artifacts in $Out"
 }
 
+stage_perf() {
+  echo "== perf: bench regression gate vs bench/baselines =="
+  configure "$ROOT/build-ci/tier1"
+  cmake --build "$ROOT/build-ci/tier1" -j "$JOBS" \
+        --target micro_ops table1_sst_fast_vs_baf
+  local Out="$ROOT/build-ci/perf"
+  mkdir -p "$Out"
+  "$ROOT/build-ci/tier1/bench/micro_ops" \
+      --benchmark_repetitions=3 \
+      --benchmark_out="$Out/BENCH_micro_ops.json" \
+      --benchmark_out_format=json
+  ( cd "$Out" && DEEPT_MODEL_CACHE="$ROOT/deept-model-cache" \
+      "$ROOT/build-ci/tier1/bench/table1_sst_fast_vs_baf" )
+  # Sub-microsecond timers (micro_ops reports ns) and sub-half-second
+  # table cells are noise-dominated; the floors exclude them.
+  python3 "$ROOT/tools/bench_compare.py" \
+      "$ROOT/bench/baselines/BENCH_micro_ops.json" \
+      "$Out/BENCH_micro_ops.json" --min-time 1000
+  python3 "$ROOT/tools/bench_compare.py" \
+      "$ROOT/bench/baselines/BENCH_table1_sst_fast_vs_baf.json" \
+      "$Out/BENCH_table1_sst_fast_vs_baf.json" --min-time 0.5
+}
+
 for Stage in "${STAGES[@]}"; do
   case "$Stage" in
     tier1) stage_tier1 ;;
@@ -126,8 +149,9 @@ for Stage in "${STAGES[@]}"; do
     asan) stage_asan ;;
     robustness) stage_robustness ;;
     artifacts) stage_artifacts ;;
+    perf) stage_perf ;;
     *) echo "unknown stage '$Stage'" \
-            "(want tier1 tsan asan robustness artifacts)" >&2
+            "(want tier1 tsan asan robustness artifacts perf)" >&2
        exit 2 ;;
   esac
 done
