@@ -1,0 +1,76 @@
+//===- support/FlightRecorder.cpp -----------------------------*- C++ -*-===//
+
+#include "support/FlightRecorder.h"
+
+#include "support/Io.h"
+#include "support/Json.h"
+
+using namespace deept;
+using namespace deept::support;
+
+FlightRecorder::FlightRecorder(size_t Capacity)
+    : Cap(Capacity ? Capacity : 1), Start(std::chrono::steady_clock::now()) {}
+
+double FlightRecorder::nowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+void FlightRecorder::record(const std::string &Kind, const std::string &Detail,
+                            double A, double B, double C) {
+  Event E;
+  E.TMs = nowMs();
+  E.Kind = Kind;
+  E.Detail = Detail;
+  E.A = A;
+  E.B = B;
+  E.C = C;
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Events.size() >= Cap) {
+    Events.pop_front();
+    Dropped++;
+  }
+  Events.push_back(std::move(E));
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events.size();
+}
+
+uint64_t FlightRecorder::droppedCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Dropped;
+}
+
+std::string FlightRecorder::toJson(const std::string &JobKey) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out = "{\"job\":\"" + jsonEscape(JobKey) +
+                    "\",\"capacity\":" + std::to_string(Cap) +
+                    ",\"dropped\":" + std::to_string(Dropped) +
+                    ",\"events\":[";
+  bool First = true;
+  for (const Event &E : Events) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "{\"t_ms\":" + jsonNumber(E.TMs) + ",\"kind\":\"" +
+           jsonEscape(E.Kind) + "\",\"detail\":\"" + jsonEscape(E.Detail) +
+           "\",\"a\":" + jsonNumber(E.A) + ",\"b\":" + jsonNumber(E.B) +
+           ",\"c\":" + jsonNumber(E.C) + "}";
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool FlightRecorder::dumpJson(const std::string &Path,
+                              const std::string &JobKey,
+                              std::string *Err) const {
+  Error E;
+  if (atomicWriteFile(Path, toJson(JobKey) + "\n", &E))
+    return true;
+  if (Err)
+    *Err = E.what();
+  return false;
+}

@@ -6,6 +6,7 @@
 #include "support/Table.h"
 
 #include <algorithm>
+#include <cmath>
 
 using namespace deept;
 using namespace deept::support;
@@ -19,18 +20,59 @@ void Histogram::observe(double V) {
     S.Min = std::min(S.Min, V);
     S.Max = std::max(S.Max, V);
   }
+  // Deterministic decimation: keep every Stride-th observation; at
+  // capacity, drop every other retained sample and double the stride.
+  if (S.Count % Stride == 0) {
+    if (Samples.size() >= SampleCap) {
+      size_t Out = 0;
+      for (size_t I = 0; I < Samples.size(); I += 2)
+        Samples[Out++] = Samples[I];
+      Samples.resize(Out);
+      Stride *= 2;
+    }
+    if (S.Count % Stride == 0)
+      Samples.push_back(V);
+  }
   S.Count++;
   S.Sum += V;
 }
 
+double Histogram::quantileSorted(const std::vector<double> &Sorted,
+                                 double Q) const {
+  // Nearest rank; an empty histogram reports 0 (never NaN) so the JSON
+  // emitters always get a finite number.
+  if (Sorted.empty())
+    return 0.0;
+  double Rank = std::ceil(Q * static_cast<double>(Sorted.size())) - 1.0;
+  size_t I = Rank <= 0.0 ? 0 : static_cast<size_t>(Rank);
+  return Sorted[std::min(I, Sorted.size() - 1)];
+}
+
 Histogram::Stats Histogram::stats() const {
   std::lock_guard<std::mutex> Lock(Mu);
-  return S;
+  Stats Out = S;
+  if (!Samples.empty()) {
+    std::vector<double> Sorted = Samples;
+    std::sort(Sorted.begin(), Sorted.end());
+    Out.P50 = quantileSorted(Sorted, 0.50);
+    Out.P90 = quantileSorted(Sorted, 0.90);
+    Out.P99 = quantileSorted(Sorted, 0.99);
+  }
+  return Out;
+}
+
+double Histogram::quantile(double Q) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<double> Sorted = Samples;
+  std::sort(Sorted.begin(), Sorted.end());
+  return quantileSorted(Sorted, Q);
 }
 
 void Histogram::reset() {
   std::lock_guard<std::mutex> Lock(Mu);
   S = Stats();
+  Samples.clear();
+  Stride = 1;
 }
 
 Metrics &Metrics::global() {
@@ -90,6 +132,30 @@ void Metrics::reset() {
     H->reset();
 }
 
+std::map<std::string, double> Metrics::counterSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::map<std::string, double> Out;
+  for (const auto &[Name, C] : Counters)
+    Out[Name] = C->value();
+  return Out;
+}
+
+std::map<std::string, double> Metrics::gaugeSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::map<std::string, double> Out;
+  for (const auto &[Name, G] : Gauges)
+    Out[Name] = G->value();
+  return Out;
+}
+
+std::map<std::string, Histogram::Stats> Metrics::histogramSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::map<std::string, Histogram::Stats> Out;
+  for (const auto &[Name, H] : Histograms)
+    Out[Name] = H->stats();
+  return Out;
+}
+
 std::string Metrics::toJson() const {
   std::lock_guard<std::mutex> Lock(Mu);
   std::string Out = "{\"counters\":{";
@@ -119,7 +185,9 @@ std::string Metrics::toJson() const {
            jsonNumber(static_cast<double>(S.Count)) +
            ",\"sum\":" + jsonNumber(S.Sum) + ",\"min\":" + jsonNumber(S.Min) +
            ",\"max\":" + jsonNumber(S.Max) +
-           ",\"mean\":" + jsonNumber(S.mean()) + "}";
+           ",\"mean\":" + jsonNumber(S.mean()) +
+           ",\"p50\":" + jsonNumber(S.P50) + ",\"p90\":" + jsonNumber(S.P90) +
+           ",\"p99\":" + jsonNumber(S.P99) + "}";
   }
   Out += "}}";
   return Out;

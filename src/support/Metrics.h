@@ -36,6 +36,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace deept {
 namespace support {
@@ -74,7 +75,12 @@ private:
   std::atomic<double> Val{0.0};
 };
 
-/// Count/sum/min/max aggregate over observed samples.
+/// Count/sum/min/max aggregate over observed samples, plus approximate
+/// quantiles from a bounded, deterministically decimated sample buffer:
+/// every Stride-th observation is retained, and when the buffer fills the
+/// stride doubles and every other retained sample is dropped. The
+/// retained set is a pure function of the observation sequence (no
+/// randomness), so exports are reproducible.
 class Histogram {
 public:
   struct Stats {
@@ -82,16 +88,30 @@ public:
     double Sum = 0.0;
     double Min = 0.0;
     double Max = 0.0;
+    /// Nearest-rank quantiles over the retained sample. An empty
+    /// histogram reports exactly 0 for all of these (never NaN), so the
+    /// JSON / Prometheus emitters always have a finite number to print.
+    double P50 = 0.0;
+    double P90 = 0.0;
+    double P99 = 0.0;
     double mean() const { return Count ? Sum / static_cast<double>(Count) : 0.0; }
   };
 
   void observe(double V);
   Stats stats() const;
+  /// Approximate \p Q quantile (nearest rank over the retained sample);
+  /// 0 on an empty histogram. Q in [0, 1].
+  double quantile(double Q) const;
   void reset();
 
 private:
+  /// Retained-sample capacity; compaction halves the buffer at this size.
+  static constexpr size_t SampleCap = 512;
+  double quantileSorted(const std::vector<double> &Sorted, double Q) const;
   mutable std::mutex Mu;
   Stats S;
+  std::vector<double> Samples;
+  uint64_t Stride = 1;
 };
 
 /// The named-instrument registry. Instruments are created on first use and
@@ -116,10 +136,17 @@ public:
   /// all cached references) valid. Scopes the registry to one run.
   void reset();
 
+  /// Sorted name -> value snapshots of the registry, the enumeration
+  /// surface the exporters (Metrics JSON, Prometheus text) build on.
+  /// std::map keys keep the output ordering deterministic.
+  std::map<std::string, double> counterSnapshot() const;
+  std::map<std::string, double> gaugeSnapshot() const;
+  std::map<std::string, Histogram::Stats> histogramSnapshot() const;
+
   /// The whole registry as a JSON object:
   ///   {"counters":{...},"gauges":{...},
   ///    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
-  ///                          "mean":..}}}
+  ///                          "mean":..,"p50":..,"p90":..,"p99":..}}}
   std::string toJson() const;
 
   /// Human-readable dump (one aligned table per instrument kind).

@@ -1,0 +1,131 @@
+//===- support/Prometheus.cpp ---------------------------------*- C++ -*-===//
+
+#include "support/Prometheus.h"
+
+#include "support/Json.h"
+#include "support/Metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace deept;
+using namespace deept::support;
+
+std::string deept::support::prometheusName(const std::string &Name) {
+  std::string Out = "deept_";
+  Out.reserve(Out.size() + Name.size());
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out += Ok ? C : '_';
+  }
+  return Out;
+}
+
+std::string deept::support::prometheusEscapeLabel(const std::string &Value) {
+  std::string Out;
+  Out.reserve(Value.size());
+  for (char C : Value) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+std::string deept::support::prometheusNumber(double V) {
+  if (std::isnan(V))
+    return "NaN";
+  if (std::isinf(V))
+    return V > 0 ? "+Inf" : "-Inf";
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+namespace {
+
+void emitCounter(std::string &Out, const std::string &Name, double V) {
+  std::string P = prometheusName(Name);
+  Out += "# TYPE " + P + " counter\n" + P + " " + prometheusNumber(V) + "\n";
+}
+
+void emitGauge(std::string &Out, const std::string &Name, double V) {
+  std::string P = prometheusName(Name);
+  Out += "# TYPE " + P + " gauge\n" + P + " " + prometheusNumber(V) + "\n";
+}
+
+void emitSummary(std::string &Out, const std::string &Name,
+                 const Histogram::Stats &S) {
+  std::string P = prometheusName(Name);
+  Out += "# TYPE " + P + " summary\n";
+  Out += P + "{quantile=\"0.5\"} " + prometheusNumber(S.P50) + "\n";
+  Out += P + "{quantile=\"0.9\"} " + prometheusNumber(S.P90) + "\n";
+  Out += P + "{quantile=\"0.99\"} " + prometheusNumber(S.P99) + "\n";
+  Out += P + "_sum " + prometheusNumber(S.Sum) + "\n";
+  Out += P + "_count " + prometheusNumber(static_cast<double>(S.Count)) +
+         "\n";
+  Out += "# TYPE " + P + "_min gauge\n" + P + "_min " +
+         prometheusNumber(S.Min) + "\n";
+  Out += "# TYPE " + P + "_max gauge\n" + P + "_max " +
+         prometheusNumber(S.Max) + "\n";
+}
+
+} // namespace
+
+std::string deept::support::prometheusText(const Metrics &M) {
+  std::string Out;
+  for (const auto &[Name, V] : M.counterSnapshot())
+    emitCounter(Out, Name, V);
+  for (const auto &[Name, V] : M.gaugeSnapshot())
+    emitGauge(Out, Name, V);
+  for (const auto &[Name, S] : M.histogramSnapshot())
+    emitSummary(Out, Name, S);
+  return Out;
+}
+
+bool deept::support::prometheusFromStatsJson(const JsonValue &Doc,
+                                             std::string &Out,
+                                             std::string *Err) {
+  // Accept either the full --stats-json document ({"command":..,
+  // "metrics":{...}}) or the bare registry object.
+  const JsonValue *Reg = Doc.find("metrics");
+  if (!Reg)
+    Reg = &Doc;
+  const JsonValue *Counters = Reg->find("counters");
+  const JsonValue *Gauges = Reg->find("gauges");
+  const JsonValue *Histograms = Reg->find("histograms");
+  if (!Counters && !Gauges && !Histograms) {
+    if (Err)
+      *Err = "not a stats document (no counters/gauges/histograms object)";
+    return false;
+  }
+  auto Num = [](const JsonValue *V) {
+    return V && V->K == JsonValue::Kind::Number ? V->NumberVal : 0.0;
+  };
+  Out.clear();
+  if (Counters && Counters->isObject())
+    for (const auto &[Name, V] : Counters->Members)
+      emitCounter(Out, Name, V.NumberVal);
+  if (Gauges && Gauges->isObject())
+    for (const auto &[Name, V] : Gauges->Members)
+      emitGauge(Out, Name, V.NumberVal);
+  if (Histograms && Histograms->isObject())
+    for (const auto &[Name, H] : Histograms->Members) {
+      Histogram::Stats S;
+      S.Count = static_cast<uint64_t>(Num(H.find("count")));
+      S.Sum = Num(H.find("sum"));
+      S.Min = Num(H.find("min"));
+      S.Max = Num(H.find("max"));
+      S.P50 = Num(H.find("p50"));
+      S.P90 = Num(H.find("p90"));
+      S.P99 = Num(H.find("p99"));
+      emitSummary(Out, Name, S);
+    }
+  return true;
+}

@@ -1,0 +1,59 @@
+//===- support/Prometheus.h - Metrics registry text exporter ---*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prometheus text exposition (format 0.0.4) of the support::Metrics
+/// registry -- the export surface a serving daemon mounts at /metrics and
+/// the `deept_cli metrics` command prints. Counters and gauges map
+/// directly; histograms are rendered as Prometheus summaries with
+/// quantile{0.5,0.9,0.99} series plus _sum/_count, and their min/max as
+/// companion _min/_max gauges.
+///
+/// Instrument names use the registry's dotted taxonomy
+/// ("zono.dot.fast.calls"); prometheusName() sanitizes them into legal
+/// metric names ("deept_zono_dot_fast_calls"). Output is deterministic:
+/// instruments are emitted in sorted name order, each exactly once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_SUPPORT_PROMETHEUS_H
+#define DEEPT_SUPPORT_PROMETHEUS_H
+
+#include <string>
+
+namespace deept {
+namespace support {
+
+class Metrics;
+struct JsonValue;
+
+/// Sanitizes a registry instrument name into a legal Prometheus metric
+/// name: prefixes "deept_", maps every character outside [a-zA-Z0-9_:]
+/// to '_'. The mapping is stable (equal inputs give equal outputs).
+std::string prometheusName(const std::string &Name);
+
+/// Escapes a label value for embedding between double quotes
+/// (backslash, double quote, newline).
+std::string prometheusEscapeLabel(const std::string &Value);
+
+/// Renders a floating point sample value the way Prometheus expects
+/// ("NaN", "+Inf", "-Inf" for non-finite values).
+std::string prometheusNumber(double V);
+
+/// The whole registry in Prometheus text exposition format.
+std::string prometheusText(const Metrics &M);
+
+/// Re-exports a deept_cli --stats-json artifact (or its bare "metrics"
+/// registry object) as Prometheus text, so a recorded run can be scraped
+/// offline. Returns false and fills \p Err when \p Doc does not look
+/// like a stats document.
+bool prometheusFromStatsJson(const JsonValue &Doc, std::string &Out,
+                             std::string *Err = nullptr);
+
+} // namespace support
+} // namespace deept
+
+#endif // DEEPT_SUPPORT_PROMETHEUS_H

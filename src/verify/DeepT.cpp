@@ -4,15 +4,20 @@
 
 #include "support/Error.h"
 #include "support/Fault.h"
+#include "support/FlightRecorder.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
+#include "verify/Profile.h"
 #include "zono/Elementwise.h"
+#include "zono/Provenance.h"
 #include "zono/Reduction.h"
 #include "zono/Refinement.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <optional>
 
 using namespace deept;
 using namespace deept::verify;
@@ -78,6 +83,11 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
   static support::Histogram &EpsBlocks = MR.histogram("zono.eps_blocks");
   static support::Histogram &DiagFrac = MR.histogram("zono.diag_frac");
   static support::Gauge &CoeffBytes = MR.gauge("zono.coeff_bytes");
+  // Checkpoint context for the precision profile / flight recorder; the
+  // layer and head loops below keep these current.
+  int CurLayer = -1;
+  int CurHead = -1;
+  auto LastCp = std::chrono::steady_clock::now();
   auto Track = [&](const Zonotope &Z, const char *Site) {
     Local.PeakEpsSymbols = std::max(Local.PeakEpsSymbols, Z.numEps());
     Local.PeakCoeffBytes = std::max(Local.PeakCoeffBytes, Z.coeffBytes());
@@ -87,6 +97,19 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
     EpsBlocks.observe(static_cast<double>(Z.epsBlockCount()));
     DiagFrac.observe(Z.epsStructuredFraction());
     CoeffBytes.recordMax(static_cast<double>(Z.coeffBytes()));
+    if (Config.Recorder)
+      Config.Recorder->record("checkpoint", Site,
+                              static_cast<double>(Z.numEps()),
+                              static_cast<double>(Z.epsBlockCount()),
+                              static_cast<double>(Z.coeffBytes()));
+    if (Config.Profile) {
+      auto Now = std::chrono::steady_clock::now();
+      double SinceMs =
+          std::chrono::duration<double, std::milli>(Now - LastCp).count();
+      LastCp = Now;
+      profileCheckpoint(*Config.Profile, Z, Site, CurLayer, CurHead,
+                        SinceMs);
+    }
     if (Config.ValidateAbstractions) {
       std::string Why;
       if (!Z.validate(&Why))
@@ -111,6 +134,7 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
     support::TraceSpan LayerSpan("deept.layer", L);
     double EpsCreatedBefore = MR.counterValue("zono.eps_symbols.created");
     LayerPeakEps = 0;
+    CurLayer = static_cast<int>(L);
     const nn::TransformerLayer &Layer = Model.Layers[L];
     bool LastLayer = L + 1 == Model.Layers.size();
 
@@ -125,6 +149,7 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
     // single tensor is live, so re-indexing the eps space is safe.
     {
       DEEPT_TRACE_SPAN("deept.noise_reduction");
+      ProvenanceGroup PG(L, "noise_reduction");
       size_t Budget = Config.NoiseReductionBudget;
       if (LastLayer && Config.NoiseReductionBudgetLastLayer > 0)
         Budget = Config.NoiseReductionBudgetLastLayer;
@@ -145,22 +170,26 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
     std::vector<Zonotope> Heads;
     for (size_t H = 0; H < A; ++H) {
       DEEPT_TRACE_SPAN("deept.attention.head");
+      CurHead = static_cast<int>(H);
       Zonotope Qh = Q.selectColRange(H * Dk, (H + 1) * Dk);
       Zonotope Kh = K.selectColRange(H * Dk, (H + 1) * Dk);
       Zonotope Vh = V.selectColRange(H * Dk, (H + 1) * Dk);
       Zonotope Scores;
       {
         DEEPT_TRACE_SPAN("deept.attention.scores");
+        ProvenanceGroup PG(L, "attention.scores");
         Scores = dotRows(Qh, Kh, Dot).scale(Scale);
       }
       Track(Scores, "verify.attention.scores");
       Zonotope Probs;
       {
         DEEPT_TRACE_SPAN("deept.attention.softmax");
+        ProvenanceGroup PG(L, "softmax");
         Probs = applySoftmax(Scores, SoftOpts);
       }
       if (Config.SoftmaxSumRefinement) {
         DEEPT_TRACE_SPAN("deept.attention.refine");
+        ProvenanceGroup PG(L, "softmax");
         // Symbol-range rewrites must reach every tensor still in use --
         // including the already-sliced value tensor Vh that the
         // attention output multiplies Probs with.
@@ -174,13 +203,16 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
       // dotted with columns of Vh, i.e. rows of Vh transposed.
       {
         DEEPT_TRACE_SPAN("deept.attention.output");
+        ProvenanceGroup PG(L, "attention.output");
         Heads.push_back(dotRows(Probs, Vh.transposedView(), Dot));
       }
       Track(Heads.back(), "verify.attention.output");
     }
+    CurHead = -1;
     Zonotope X1;
     {
       DEEPT_TRACE_SPAN("deept.attention.proj_norm");
+      ProvenanceGroup PG(L, "layer_norm");
       Zonotope Concat = Zonotope::concatCols(Heads);
       Zonotope Z =
           Concat.matmulRightConst(Layer.Wo).addRowBroadcast(Layer.Bo);
@@ -193,6 +225,7 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
     // Feed-forward block with its residual connection.
     {
       DEEPT_TRACE_SPAN("deept.ffn");
+      ProvenanceGroup PG(L, "ffn");
       Zonotope Hid = applyRelu(
           X1.matmulRightConst(Layer.W1).addRowBroadcast(Layer.B1));
       Zonotope F = Hid.matmulRightConst(Layer.W2).addRowBroadcast(Layer.B2);
@@ -210,9 +243,11 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
   }
 
   // Pooling (first output embedding), tanh layer, binary classifier.
+  CurLayer = -1;
   Zonotope Logits;
   {
     DEEPT_TRACE_SPAN("deept.pooler");
+    ProvenanceGroup PG("pooler");
     Zonotope Pooled = X.selectRow(0);
     Zonotope T = applyTanh(
         Pooled.matmulRightConst(Model.PoolW).addRowBroadcast(Model.PoolB));
@@ -236,6 +271,16 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
 double DeepTVerifier::certifyMargin(const Zonotope &InputEmb,
                                     size_t TrueClass) const {
   assert(TrueClass < 2 && "binary classification");
+  // With a profile attached, a provenance session tags every fresh eps
+  // symbol created during this propagation with its originating
+  // layer/op; the session must outlive the margin construction below so
+  // the final symbol space can be attributed.
+  std::optional<ProvenanceSession> Session;
+  auto T0 = std::chrono::steady_clock::now();
+  if (Config.Profile) {
+    Config.Profile->resetMeasurements();
+    Session.emplace();
+  }
   Zonotope Logits = propagate(InputEmb);
   // The margin is an affine combination of the logit variables; computing
   // it inside the domain keeps the shared-noise cancellation (an interval
@@ -253,6 +298,13 @@ double DeepTVerifier::certifyMargin(const Zonotope &InputEmb,
   if (std::isnan(Lo.at(0, 0)))
     throw support::Error(support::ErrorCode::UnsoundAbstraction,
                          "verify.margin", "margin lower bound is NaN");
+  if (Config.Profile) {
+    profileMargin(*Config.Profile, Margin, Session->provenance(),
+                  Lo.at(0, 0), Hi.at(0, 0));
+    Config.Profile->TotalMs = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - T0)
+                                  .count();
+  }
   return Lo.at(0, 0);
 }
 

@@ -32,7 +32,14 @@
 #include <functional>
 
 namespace deept {
+
+namespace support {
+class FlightRecorder;
+} // namespace support
+
 namespace verify {
+
+struct PrecisionProfile;
 
 using zono::Zonotope;
 
@@ -69,6 +76,16 @@ struct VerifierConfig {
   /// support::Error(UnsoundAbstraction), so it surfaces as a structured
   /// job error and can never be reported as `certified`.
   bool ValidateAbstractions = true;
+  /// Optional per-query precision profile (see verify/Profile.h). When
+  /// set, propagate() appends width/shape/timing checkpoints and
+  /// certifyMargin() fills the noise-symbol attribution and margin
+  /// fields. Null (the default) costs one branch per checkpoint.
+  PrecisionProfile *Profile = nullptr;
+  /// Optional flight recorder (see support/FlightRecorder.h). When set,
+  /// propagate() records cheap per-checkpoint events (eps-symbol and
+  /// block counts, coefficient bytes -- no width computation) so a failed
+  /// job's artifact shows where the propagation was when it died.
+  support::FlightRecorder *Recorder = nullptr;
 };
 
 /// Propagation statistics. The numbers live in the support::Metrics

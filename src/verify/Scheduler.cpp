@@ -4,12 +4,14 @@
 
 #include "crown/CrownVerifier.h"
 #include "support/Fault.h"
+#include "support/FlightRecorder.h"
 #include "support/Io.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
+#include "verify/Profile.h"
 
 #include <algorithm>
 #include <cmath>
@@ -19,6 +21,7 @@
 #include <iterator>
 #include <mutex>
 #include <new>
+#include <optional>
 #include <sstream>
 
 using namespace deept;
@@ -80,6 +83,19 @@ bool parseNormToken(const std::string &Name, double &Out) {
   else
     return false;
   return true;
+}
+
+/// Job keys become file names for recorder artifacts; anything outside
+/// the derived-key alphabet (explicit Ids are free-form) maps to '_'.
+std::string fileSafe(const std::string &Key) {
+  std::string Out = Key;
+  for (char &C : Out) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '-' || C == '_' || C == '.';
+    if (!Ok)
+      C = '_';
+  }
+  return Out;
 }
 
 } // namespace
@@ -393,7 +409,9 @@ Scheduler::warmStartHints() const {
 
 void Scheduler::executeOne(const JobSpec &Spec, JobMethod Method,
                            int64_t DeadlineMs, JobResult &R,
-                           const WarmMap &Warm) const {
+                           const WarmMap &Warm,
+                           support::FlightRecorder *Rec,
+                           PrecisionProfile *Prof) const {
   using support::Error;
   using support::ErrorCode;
   DEEPT_FAULT_POINT("sched.execute");
@@ -417,6 +435,8 @@ void Scheduler::executeOne(const JobSpec &Spec, JobMethod Method,
   Deadline D(DeadlineMs);
   auto MarginAt = [&](double Radius) -> double {
     D.check(); // per-probe check (covers the CROWN paths too)
+    if (Rec)
+      Rec->record("probe", jobMethodName(Method), Radius);
     if (Method == JobMethod::CrownBaF ||
         Method == JobMethod::CrownBackward) {
       crown::CrownConfig CC;
@@ -437,6 +457,8 @@ void Scheduler::executeOne(const JobSpec &Spec, JobMethod Method,
     if (Method == JobMethod::Combined)
       VC.PreciseLastLayerOnly = true;
     VC.CancelCheck = [&D] { D.check(); };
+    VC.Recorder = Rec;
+    VC.Profile = Prof;
     DeepTVerifier V(Model, VC);
     Matrix X = Model.embed(Spec.Tokens);
     Zonotope In = Zonotope::lpBallOnRow(X, Spec.Word, Spec.P, Radius);
@@ -457,6 +479,8 @@ void Scheduler::executeOne(const JobSpec &Spec, JobMethod Method,
           std::min(std::max(Hint->second, Search.MinRadius),
                    Search.MaxRadius);
       WarmStarts.add(1);
+      if (Rec)
+        Rec->record("warm_start", normToken(Spec.P), Search.InitRadius);
     }
     R.Radius = certifiedRadius(
         [&](double Radius) { return MarginAt(Radius) > 0.0; }, Search);
@@ -468,7 +492,9 @@ void Scheduler::executeOne(const JobSpec &Spec, JobMethod Method,
 }
 
 void Scheduler::executeWithDegradation(const JobSpec &Spec, JobResult &R,
-                                       const WarmMap &Warm) const {
+                                       const WarmMap &Warm,
+                                       support::FlightRecorder *Rec,
+                                       PrecisionProfile *Prof) const {
   static support::Counter &DeadlineHits =
       support::Metrics::global().counter("sched.deadline_hits");
   int64_t DeadlineMs =
@@ -478,7 +504,17 @@ void Scheduler::executeWithDegradation(const JobSpec &Spec, JobResult &R,
   JobMethod Method = Spec.Method;
   for (;;) {
     try {
-      executeOne(Spec, Method, DeadlineMs, R, Warm);
+      uint64_t FaultsBefore = support::fault::injectedCount();
+      if (Rec)
+        Rec->record("attempt_start", jobMethodName(Method),
+                    static_cast<double>(DeadlineMs));
+      executeOne(Spec, Method, DeadlineMs, R, Warm, Rec, Prof);
+      if (Rec) {
+        uint64_t Faults = support::fault::injectedCount() - FaultsBefore;
+        if (Faults > 0)
+          Rec->record("fault", "injected during attempt",
+                      static_cast<double>(Faults));
+      }
       R.Status =
           Method == Spec.Method ? JobStatus::Ok : JobStatus::Degraded;
       R.Code = support::ErrorCode::Ok;
@@ -489,23 +525,34 @@ void Scheduler::executeWithDegradation(const JobSpec &Spec, JobResult &R,
       if (degrade(Method)) {
         // The deadline is already blown; a degraded-but-complete answer
         // beats a second miss, so the retry runs without one.
+        if (Rec)
+          Rec->record("degrade", E.what(),
+                      static_cast<double>(DeadlineMs));
         DeadlineMs = -1;
         continue;
       }
+      if (Rec)
+        Rec->record("deadline", E.what(), static_cast<double>(DeadlineMs));
       R.Status = JobStatus::Error;
       R.Error = E.what();
       R.Code = support::ErrorCode::DeadlineExceeded;
       return;
     } catch (const std::bad_alloc &) {
       if (degrade(Method)) {
+        if (Rec)
+          Rec->record("degrade", "out of memory");
         DeadlineMs = -1;
         continue;
       }
+      if (Rec)
+        Rec->record("oom", "out of memory");
       R.Status = JobStatus::Error;
       R.Error = "out of memory";
       R.Code = support::ErrorCode::OutOfMemory;
       return;
     } catch (const std::exception &E) {
+      if (Rec)
+        Rec->record("error", E.what());
       // A failed attempt must never leave the partial verdict of an
       // aborted propagation behind (in particular an UnsoundAbstraction
       // error can never coexist with Certified = true).
@@ -546,6 +593,13 @@ std::vector<JobResult> Scheduler::run(const JobQueue &Queue) const {
     if (!Store.open(Opts.JsonlPath, &Err))
       throw Err;
   }
+  support::AppendFile ProfileStore;
+  std::mutex ProfileMu;
+  if (!Opts.ProfileJsonlPath.empty()) {
+    support::Error Err;
+    if (!ProfileStore.open(Opts.ProfileJsonlPath, &Err))
+      throw Err;
+  }
 
   size_t N = Queue.size();
   std::vector<JobResult> Results(N);
@@ -569,18 +623,53 @@ std::vector<JobResult> Scheduler::run(const JobQueue &Queue) const {
         Skipped.add(1);
         continue;
       }
-      support::TraceSpan JobSpan("sched.job", I);
+      // The span carries the job key (not the queue index) so trace
+      // files join against JSONL rows and recorder artifacts offline.
+      support::TraceSpan JobSpan("sched.job", R.Key);
       Jobs.add(1);
       R.QueueMs = BatchTimer.seconds() * 1e3;
       QueueLatencyMs.observe(R.QueueMs);
+      std::optional<support::FlightRecorder> Rec;
+      if (!Opts.RecorderDir.empty())
+        Rec.emplace(Opts.RecorderCapacity);
+      std::optional<PrecisionProfile> Prof;
+      if (ProfileStore.isOpen()) {
+        Prof.emplace();
+        Prof->Query = R.Key;
+        Prof->Norm = normToken(Spec.P);
+        Prof->Eps = Spec.Epsilon;
+      }
       support::Timer JobTimer;
-      executeWithDegradation(Spec, R, Warm);
+      executeWithDegradation(Spec, R, Warm, Rec ? &*Rec : nullptr,
+                             Prof ? &*Prof : nullptr);
       R.Seconds = JobTimer.seconds();
       JobMs.observe(R.Seconds * 1e3);
       if (R.Status == JobStatus::Degraded)
         Degraded.add(1);
       else if (R.Status == JobStatus::Error)
         Errors.add(1);
+      // Profiles stream for every job the verifier actually profiled
+      // (CROWN baselines and failed attempts leave no checkpoints);
+      // recorder artifacts persist only for jobs that ended badly --
+      // success discards the ring.
+      if (Prof && !Prof->Checkpoints.empty()) {
+        Prof->Method = jobMethodName(R.MethodUsed);
+        std::string Line = Prof->toJsonLine() + "\n";
+        std::lock_guard<std::mutex> Lock(ProfileMu);
+        support::Error Err;
+        ProfileStore.append(Line, Opts.Fsync, &Err);
+      }
+      if (Rec && (R.Status == JobStatus::Error || R.DeadlineHit)) {
+        Rec->record("final", jobStatusName(R.Status),
+                    R.Certified ? 1.0 : 0.0, R.Seconds * 1e3);
+        std::string Path =
+            Opts.RecorderDir + "/recorder-" + fileSafe(R.Key) + ".json";
+        std::string DumpErr;
+        if (!Rec->dumpJson(Path, R.Key, &DumpErr))
+          std::fprintf(stderr,
+                       "warning: flight-recorder dump to '%s' failed: %s\n",
+                       Path.c_str(), DumpErr.c_str());
+      }
       if (Store.isOpen()) {
         std::string Line = resultJsonLine(R) + "\n";
         std::lock_guard<std::mutex> Lock(StoreMu);

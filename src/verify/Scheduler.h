@@ -174,6 +174,18 @@ struct SchedulerOptions {
   /// fsync the store after every record, making each completed job
   /// durable at the cost of one fsync per job.
   bool Fsync = false;
+  /// Per-job precision profiles (verify/Profile.h), one JSONL line per
+  /// executed DeepT job, appended here; empty disables profiling (the
+  /// default -- profiles cost width computations at every checkpoint).
+  /// Search jobs record the profile of their final probe.
+  std::string ProfileJsonlPath;
+  /// Flight-recorder artifact directory: every executed job records into
+  /// a bounded event ring (support/FlightRecorder.h), dumped to
+  /// "<RecorderDir>/recorder-<key>.json" when the job ends in error or
+  /// hit its deadline, and discarded on clean success. Empty disables.
+  std::string RecorderDir;
+  /// Event capacity of each job's ring buffer.
+  size_t RecorderCapacity = 256;
 };
 
 /// The batch driver. One instance serves one model; run() may be called
@@ -235,9 +247,13 @@ private:
   using WarmMap = std::map<std::pair<JobMethod, double>, double>;
 
   void executeWithDegradation(const JobSpec &Spec, JobResult &R,
-                              const WarmMap &Warm) const;
+                              const WarmMap &Warm,
+                              support::FlightRecorder *Rec,
+                              PrecisionProfile *Prof) const;
   void executeOne(const JobSpec &Spec, JobMethod Method, int64_t DeadlineMs,
-                  JobResult &R, const WarmMap &Warm) const;
+                  JobResult &R, const WarmMap &Warm,
+                  support::FlightRecorder *Rec,
+                  PrecisionProfile *Prof) const;
 
   const nn::TransformerModel &Model;
   SchedulerOptions Opts;

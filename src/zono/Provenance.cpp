@@ -1,0 +1,50 @@
+//===- zono/Provenance.cpp ------------------------------------*- C++ -*-===//
+
+#include "zono/Provenance.h"
+
+#include <cassert>
+
+using namespace deept;
+using namespace deept::zono;
+
+thread_local SymbolProvenance *SymbolProvenance::Active = nullptr;
+
+SymbolProvenance::SymbolProvenance() {
+  Names.push_back("input");
+  NameIds["input"] = 0;
+}
+
+SymbolProvenance *SymbolProvenance::active() { return Active; }
+
+uint32_t SymbolProvenance::pushGroup(const std::string &Name) {
+  uint32_t Prev = CurGroup;
+  auto [It, Inserted] =
+      NameIds.emplace(Name, static_cast<uint32_t>(Names.size()));
+  if (Inserted)
+    Names.push_back(Name);
+  CurGroup = It->second;
+  return Prev;
+}
+
+void SymbolProvenance::noteFresh(size_t First, size_t Count) {
+  if (Count == 0)
+    return;
+  if (Tags.size() < First + Count)
+    Tags.resize(First + Count, 0); // gap indices default to "input"
+  for (size_t I = First; I < First + Count; ++I)
+    Tags[I] = CurGroup;
+}
+
+void SymbolProvenance::noteReduction(const std::vector<size_t> &KeptOld) {
+  std::vector<uint32_t> NewTags(KeptOld.size(), 0);
+  for (size_t I = 0; I < KeptOld.size(); ++I)
+    if (KeptOld[I] < Tags.size())
+      NewTags[I] = Tags[KeptOld[I]];
+  Tags = std::move(NewTags);
+}
+
+const std::string &SymbolProvenance::groupOf(size_t Sym) const {
+  uint32_t Id = Sym < Tags.size() ? Tags[Sym] : 0;
+  assert(Id < Names.size() && "corrupt provenance tag");
+  return Names[Id];
+}

@@ -2,6 +2,8 @@
 
 #include "zono/Reduction.h"
 
+#include "zono/Provenance.h"
+
 #include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Trace.h"
@@ -81,6 +83,14 @@ size_t deept::zono::reduceEpsSymbols(Zonotope &Z, size_t Keep) {
         }
       });
 
+  if (SymbolProvenance *P = SymbolProvenance::active()) {
+    std::vector<size_t> KeptOld;
+    KeptOld.reserve(Keep);
+    for (size_t S = 0; S < NumEps; ++S)
+      if (Kept[S])
+        KeptOld.push_back(S);
+    P->noteReduction(KeptOld);
+  }
   Z.installCoeffs(Matrix(Z.phiCoeffs()), std::move(NewEps));
   std::vector<std::pair<size_t, double>> Fresh;
   for (size_t V = 0; V < NumVars; ++V)

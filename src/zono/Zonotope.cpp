@@ -2,6 +2,8 @@
 
 #include "zono/Zonotope.h"
 
+#include "zono/Provenance.h"
+
 #include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Rng.h"
@@ -1137,6 +1139,8 @@ size_t Zonotope::appendFreshEps(
   size_t First = numEps();
   if (Entries.empty())
     return First;
+  if (SymbolProvenance *P = SymbolProvenance::active())
+    P->noteFresh(First, Entries.size());
 #ifndef NDEBUG
   for (const auto &E : Entries)
     assert(E.first < numVars() && "fresh eps var out of range");

@@ -1,0 +1,176 @@
+//===- tests/prometheus_test.cpp - Prometheus exporter tests ---*- C++ -*-===//
+//
+// Tests of support/Prometheus: metric-name sanitization, label escaping,
+// non-finite number rendering, the summary rendering of histograms
+// (quantile lines, _sum/_count, companion _min/_max gauges), deterministic
+// sorted output with every registry instrument appearing exactly once, and
+// the offline --stats-json re-export path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+using namespace deept::support;
+
+namespace {
+
+/// Number of (non-overlapping) occurrences of \p Needle in \p Text.
+size_t countOccurrences(const std::string &Text, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t At = Text.find(Needle); At != std::string::npos;
+       At = Text.find(Needle, At + Needle.size()))
+    ++N;
+  return N;
+}
+
+TEST(PrometheusName, SanitizesDottedTaxonomy) {
+  EXPECT_EQ(prometheusName("zono.dot.fast.calls"),
+            "deept_zono_dot_fast_calls");
+  EXPECT_EQ(prometheusName("sched.jobs"), "deept_sched_jobs");
+  // Legal characters pass through, including colons and underscores.
+  EXPECT_EQ(prometheusName("a:b_C9"), "deept_a:b_C9");
+  // Everything else maps to '_'.
+  EXPECT_EQ(prometheusName("a-b c/d%e"), "deept_a_b_c_d_e");
+  // Stable: equal inputs give equal outputs.
+  EXPECT_EQ(prometheusName("profile.margin_width"),
+            prometheusName("profile.margin_width"));
+}
+
+TEST(PrometheusName, EmptyInputIsJustThePrefix) {
+  EXPECT_EQ(prometheusName(""), "deept_");
+}
+
+TEST(PrometheusEscapeLabel, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(prometheusEscapeLabel("plain"), "plain");
+  EXPECT_EQ(prometheusEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheusEscapeLabel("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheusEscapeLabel("two\nlines"), "two\\nlines");
+}
+
+TEST(PrometheusNumber, RendersNonFiniteValues) {
+  EXPECT_EQ(prometheusNumber(std::numeric_limits<double>::quiet_NaN()),
+            "NaN");
+  EXPECT_EQ(prometheusNumber(std::numeric_limits<double>::infinity()),
+            "+Inf");
+  EXPECT_EQ(prometheusNumber(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+  // Finite values round-trip through the %.17g rendering.
+  EXPECT_EQ(std::stod(prometheusNumber(0.1)), 0.1);
+  EXPECT_EQ(std::stod(prometheusNumber(-3.0)), -3.0);
+  EXPECT_EQ(prometheusNumber(0.0), "0");
+}
+
+TEST(PrometheusText, CountersAndGauges) {
+  Metrics M;
+  M.counter("test.calls").add(3);
+  M.gauge("test.peak").set(7.5);
+  std::string Out = prometheusText(M);
+  EXPECT_NE(Out.find("# TYPE deept_test_calls counter\n"
+                     "deept_test_calls 3\n"),
+            std::string::npos);
+  EXPECT_NE(Out.find("# TYPE deept_test_peak gauge\n"
+                     "deept_test_peak 7.5\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, HistogramRendersAsSummaryWithMinMaxGauges) {
+  Metrics M;
+  Histogram &H = M.histogram("test.ms");
+  for (int I = 1; I <= 100; ++I)
+    H.observe(static_cast<double>(I));
+  std::string Out = prometheusText(M);
+  EXPECT_NE(Out.find("# TYPE deept_test_ms summary\n"), std::string::npos);
+  EXPECT_NE(Out.find("deept_test_ms{quantile=\"0.5\"} "), std::string::npos);
+  EXPECT_NE(Out.find("deept_test_ms{quantile=\"0.9\"} "), std::string::npos);
+  EXPECT_NE(Out.find("deept_test_ms{quantile=\"0.99\"} "), std::string::npos);
+  EXPECT_NE(Out.find("deept_test_ms_sum 5050\n"), std::string::npos);
+  EXPECT_NE(Out.find("deept_test_ms_count 100\n"), std::string::npos);
+  EXPECT_NE(Out.find("# TYPE deept_test_ms_min gauge\n"
+                     "deept_test_ms_min 1\n"),
+            std::string::npos);
+  EXPECT_NE(Out.find("# TYPE deept_test_ms_max gauge\n"
+                     "deept_test_ms_max 100\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, EmptyHistogramEmitsFiniteZeros) {
+  Metrics M;
+  M.histogram("test.empty");
+  std::string Out = prometheusText(M);
+  // An empty histogram must never leak NaN into the exposition.
+  EXPECT_EQ(Out.find("NaN"), std::string::npos);
+  EXPECT_NE(Out.find("deept_test_empty{quantile=\"0.5\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(Out.find("deept_test_empty_count 0\n"), std::string::npos);
+  EXPECT_NE(Out.find("deept_test_empty_sum 0\n"), std::string::npos);
+}
+
+TEST(PrometheusText, DeterministicSortedEachInstrumentOnce) {
+  Metrics M;
+  // Register out of order; snapshots sort by name.
+  M.counter("test.z").add(1);
+  M.counter("test.a").add(2);
+  M.gauge("test.m").set(3);
+  M.histogram("test.h").observe(4);
+  std::string Out = prometheusText(M);
+  EXPECT_EQ(Out, prometheusText(M)); // reproducible
+  EXPECT_LT(Out.find("deept_test_a"), Out.find("deept_test_z"));
+  // Exactly one TYPE header per instrument (histograms add _min/_max
+  // companion gauges, counted separately).
+  EXPECT_EQ(countOccurrences(Out, "# TYPE deept_test_a counter"), 1u);
+  EXPECT_EQ(countOccurrences(Out, "# TYPE deept_test_z counter"), 1u);
+  EXPECT_EQ(countOccurrences(Out, "# TYPE deept_test_m gauge"), 1u);
+  EXPECT_EQ(countOccurrences(Out, "# TYPE deept_test_h summary"), 1u);
+  EXPECT_EQ(countOccurrences(Out, "# TYPE deept_test_h_min gauge"), 1u);
+  EXPECT_EQ(countOccurrences(Out, "# TYPE deept_test_h_max gauge"), 1u);
+}
+
+TEST(PrometheusFromStatsJson, RoundTripsTheRegistryJson) {
+  Metrics M;
+  M.counter("rt.calls").add(5);
+  M.gauge("rt.peak").set(2.25);
+  Histogram &H = M.histogram("rt.width");
+  H.observe(1.0);
+  H.observe(3.0);
+
+  // The bare registry object (what Metrics::toJson emits) is accepted.
+  JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(parseJson(M.toJson(), Doc, &Err)) << Err;
+  std::string Out;
+  ASSERT_TRUE(prometheusFromStatsJson(Doc, Out, &Err)) << Err;
+  EXPECT_EQ(Out, prometheusText(M));
+}
+
+TEST(PrometheusFromStatsJson, AcceptsFullStatsDocument) {
+  Metrics M;
+  M.counter("rt.calls").add(1);
+  std::string Wrapped = "{\"command\":\"certify\",\"metrics\":" + M.toJson() +
+                        "}";
+  JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(parseJson(Wrapped, Doc, &Err)) << Err;
+  std::string Out;
+  ASSERT_TRUE(prometheusFromStatsJson(Doc, Out, &Err)) << Err;
+  EXPECT_NE(Out.find("deept_rt_calls 1\n"), std::string::npos);
+}
+
+TEST(PrometheusFromStatsJson, RejectsNonStatsDocuments) {
+  JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(parseJson("{\"traceEvents\":[]}", Doc, &Err)) << Err;
+  std::string Out;
+  std::string Why;
+  EXPECT_FALSE(prometheusFromStatsJson(Doc, Out, &Why));
+  EXPECT_FALSE(Why.empty());
+}
+
+} // namespace

@@ -110,6 +110,25 @@ TEST_F(TraceTest, ChromeJsonParsesAndContainsSpans) {
   }
 }
 
+TEST_F(TraceTest, StringTaggedSpansFormatAsNameTag) {
+  Trace::setEnabled(true);
+  {
+    // The scheduler tags job spans with the result-store key.
+    TraceSpan Span("sched.job", std::string("expire-precise"));
+  }
+  JsonValue Doc;
+  ASSERT_TRUE(parseJson(Trace::toChromeJson(), Doc));
+  EXPECT_NE(findEvent(Doc, "sched.job[expire-precise]"), nullptr);
+}
+
+TEST_F(TraceTest, StringTaggedSpansRecordNothingWhenDisabled) {
+  ASSERT_FALSE(Trace::enabled());
+  {
+    TraceSpan Span("sched.job", std::string("k"));
+  }
+  EXPECT_EQ(Trace::eventCount(), 0u);
+}
+
 TEST_F(TraceTest, SelfTimeExcludesChildTime) {
   Trace::setEnabled(true);
   {

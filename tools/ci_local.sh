@@ -2,8 +2,8 @@
 # ci_local.sh - run the GitHub CI pipeline stages on a developer machine.
 #
 # Usage: tools/ci_local.sh [STAGE...]
-#   Stages: tier1 tsan asan robustness artifacts perf
-#   (default: all six, in order)
+#   Stages: tier1 tsan asan robustness artifacts observability perf
+#   (default: all seven, in order)
 #
 # Environment:
 #   BUILD_TYPE   CMake build type for tier1/artifacts (default Release)
@@ -21,7 +21,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 BUILD_TYPE="${BUILD_TYPE:-Release}"
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier1 tsan asan robustness artifacts perf)
+[ ${#STAGES[@]} -eq 0 ] && \
+  STAGES=(tier1 tsan asan robustness artifacts observability perf)
 
 CMAKE_COMMON=()
 if command -v ccache >/dev/null 2>&1; then
@@ -119,6 +120,64 @@ EOF
   echo "artifacts in $Out"
 }
 
+stage_observability() {
+  echo "== observability: profiles, flight recorder, Prometheus export =="
+  configure "$ROOT/build-ci/tier1"
+  cmake --build "$ROOT/build-ci/tier1" -j "$JOBS" \
+        --target deept_cli deept_json_validate
+  local Cli="$ROOT/build-ci/tier1/tools/deept_cli"
+  local Validate="$ROOT/build-ci/tier1/tools/deept_json_validate"
+  local Out="$ROOT/build-ci/observability"
+  mkdir -p "$Out"
+
+  # A falsified fixed-eps certification (eps 5 is far past the radius of
+  # the cached model) must stream a precision profile whose attribution
+  # decomposes the margin width.
+  rm -f "$Out/profiles.jsonl"
+  DEEPT_MODEL_CACHE="$ROOT/deept-model-cache" \
+    "$Cli" certify --model "$ROOT/deept-model-cache/sst_m12.dptm" \
+      --sentences 1 --eps 5 --profile-out "$Out/profiles.jsonl" \
+      --stats-json "$Out/stats.json"
+  "$Validate" --jsonl --schema profile "$Out/profiles.jsonl"
+  # The validator also reads stdin ("-"), the shape a scrape pipe uses.
+  "$Validate" --jsonl --schema profile - < "$Out/profiles.jsonl"
+  grep -q '"falsified":true' "$Out/profiles.jsonl" || {
+    echo "observability: expected a falsified profile at eps 5" >&2
+    exit 1
+  }
+
+  # A batch with one clean job and one forced deadline expiry: the
+  # expired job must leave a schema-valid flight-recorder artifact, the
+  # clean one must not.
+  cat > "$Out/jobs.json" <<'EOF'
+{"jobs":[
+  {"id":"ok","seed":3,"word":0,"norm":"l2","eps":0.02,"method":"fast"},
+  {"id":"expire","seed":3,"word":0,"method":"precise","deadline_ms":0}
+]}
+EOF
+  rm -rf "$Out/recorder" "$Out/results.jsonl" "$Out/batch_profiles.jsonl"
+  mkdir -p "$Out/recorder"
+  DEEPT_MODEL_CACHE="$ROOT/deept-model-cache" \
+    "$Cli" batch --model "$ROOT/deept-model-cache/sst_m3.dptm" \
+      --jobs "$Out/jobs.json" --out "$Out/results.jsonl" \
+      --profile-out "$Out/batch_profiles.jsonl" \
+      --recorder-dir "$Out/recorder"
+  "$Validate" --schema recorder "$Out/recorder/recorder-expire.json"
+  [ ! -e "$Out/recorder/recorder-ok.json" ] || {
+    echo "observability: clean job must not leave a recorder dump" >&2
+    exit 1
+  }
+  "$Validate" --jsonl --schema profile "$Out/batch_profiles.jsonl"
+  "$Validate" --jsonl --require-key key "$Out/results.jsonl"
+
+  # The saved stats document re-exports as Prometheus text.
+  DEEPT_MODEL_CACHE="$ROOT/deept-model-cache" \
+    "$Cli" metrics --from "$Out/stats.json" > "$Out/metrics.prom"
+  grep -q '^deept_profile_queries ' "$Out/metrics.prom"
+  grep -q '^# TYPE deept_profile_margin_width summary$' "$Out/metrics.prom"
+  echo "observability artifacts in $Out"
+}
+
 stage_perf() {
   echo "== perf: bench regression gate vs bench/baselines =="
   configure "$ROOT/build-ci/tier1"
@@ -149,9 +208,11 @@ for Stage in "${STAGES[@]}"; do
     asan) stage_asan ;;
     robustness) stage_robustness ;;
     artifacts) stage_artifacts ;;
+    observability) stage_observability ;;
     perf) stage_perf ;;
     *) echo "unknown stage '$Stage'" \
-            "(want tier1 tsan asan robustness artifacts perf)" >&2
+            "(want tier1 tsan asan robustness artifacts observability" \
+            "perf)" >&2
        exit 2 ;;
   esac
 done

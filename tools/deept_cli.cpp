@@ -21,19 +21,25 @@
 #include "nn/Train.h"
 #include "support/ArgParse.h"
 #include "support/Error.h"
+#include "support/Io.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
 #include "support/Parallel.h"
+#include "support/Prometheus.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 #include "verify/DeepT.h"
+#include "verify/Profile.h"
 #include "verify/RadiusSearch.h"
 #include "verify/Scheduler.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <sys/stat.h>
 
 using namespace deept;
 using support::ArgParse;
@@ -52,16 +58,31 @@ int usage() {
       "  certify  --model FILE [--corpus ...] [--norm l1|l2|linf]\n"
       "           [--word N] [--sentences N]\n"
       "           [--verifier fast|precise|combined|crown-baf|crown-backward]\n"
+      "           [--eps R] certify one fixed radius R (prints the margin;\n"
+      "           a non-positive margin means falsified) instead of binary-\n"
+      "           searching the largest certifiable radius\n"
+      "           [--profile-out FILE.jsonl] per-query precision profiles\n"
+      "           (checkpoint width/growth stats + noise-symbol\n"
+      "           attribution; DeepT verifiers only, one line per margin\n"
+      "           computation)\n"
       "  synonym  --model FILE [--corpus ...] [--count N]\n"
       "  attack   --model FILE [--corpus ...] [--norm l1|l2|linf] [--word N]\n"
       "  batch    --model FILE --jobs FILE.json --out FILE.jsonl\n"
       "           [--corpus ...] [--deadline-ms N] [--resume] [--fsync]\n"
+      "           [--profile-out FILE.jsonl] [--recorder-dir DIR]\n"
       "           run a batch of certification jobs on the scheduler:\n"
       "           per-job deadlines, Precise->Fast degradation, results\n"
       "           appended to the JSONL store (one object per job);\n"
       "           --resume skips jobs already present in the store and\n"
       "           repairs a crash-torn trailing record; --fsync makes\n"
-      "           each record durable before the next job commits\n"
+      "           each record durable before the next job commits;\n"
+      "           --profile-out streams per-job precision profiles and\n"
+      "           --recorder-dir keeps a flight-recorder artifact\n"
+      "           (recorder-<key>.json) for each job that errors or hits\n"
+      "           its deadline\n"
+      "  metrics  [--from stats.json]  print the metrics registry (or a\n"
+      "           saved --stats-json artifact) in Prometheus text\n"
+      "           exposition format\n"
       "  info     --model FILE\n"
       "\n"
       "exit codes: 0 success, 2 bad arguments, 3 model/store load\n"
@@ -169,14 +190,40 @@ int cmdCertify(const ArgParse &Args) {
   size_t Word = Args.getInt("word", 0);
   size_t Count = Args.getInt("sentences", 3);
   std::string Verifier = Args.get("verifier", "fast");
+  double FixedEps = Args.getDouble("eps", 0.0);
+  bool IsCrown = Verifier == "crown-baf" || Verifier == "crown-backward";
 
-  auto Certify = [&](const data::Sentence &S, double R) -> bool {
-    if (Verifier == "crown-baf" || Verifier == "crown-backward") {
+  std::string ProfileOut = Args.get("profile-out");
+  if (!ProfileOut.empty() && IsCrown) {
+    std::fprintf(stderr, "error: --profile-out needs a DeepT verifier "
+                         "(fast, precise or combined)\n");
+    return 2;
+  }
+  support::AppendFile ProfileFile;
+  if (!ProfileOut.empty()) {
+    support::Error Err;
+    if (!ProfileFile.open(ProfileOut, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.what());
+      return support::exitCodeFor(Err.code());
+    }
+  }
+  verify::PrecisionProfile Prof;
+  Prof.Norm = Args.get("norm", "l2");
+  Prof.Method = Verifier;
+
+  size_t SentenceIdx = 0;
+  // Margin of one query; every DeepT margin computation appends a
+  // profile line when --profile-out is set (search mode profiles each
+  // probe, so the JSONL shows how precision evolves along the search).
+  auto MarginAt = [&](const data::Sentence &S, double R) -> double {
+    if (IsCrown) {
       crown::CrownConfig Cfg;
       Cfg.Mode = Verifier == "crown-baf" ? crown::CrownMode::BaF
                                          : crown::CrownMode::Backward;
-      return crown::CrownVerifier(Model, Cfg)
-          .certifyLpBall(S.Tokens, Word, P, R, S.Label);
+      crown::CrownOutcome O =
+          crown::CrownVerifier(Model, Cfg)
+              .certifyMarginLpBall(S.Tokens, Word, P, R, S.Label);
+      return O.OutOfMemory ? -HUGE_VAL : O.MarginLowerBound;
     }
     verify::VerifierConfig Cfg;
     Cfg.NoiseReductionBudget = 600;
@@ -184,8 +231,19 @@ int cmdCertify(const ArgParse &Args) {
       Cfg.Method = zono::DotMethod::Precise;
     if (Verifier == "combined")
       Cfg.PreciseLastLayerOnly = true;
-    return verify::DeepTVerifier(Model, Cfg)
-        .certifyLpBall(S.Tokens, Word, P, R, S.Label);
+    if (ProfileFile.isOpen())
+      Cfg.Profile = &Prof;
+    verify::DeepTVerifier V(Model, Cfg);
+    tensor::Matrix X = Model.embed(S.Tokens);
+    zono::Zonotope In = zono::Zonotope::lpBallOnRow(X, Word, P, R);
+    double M = V.certifyMargin(In, S.Label);
+    if (ProfileFile.isOpen()) {
+      Prof.Query = "s" + std::to_string(SentenceIdx) + "-w" +
+                   std::to_string(Word);
+      Prof.Eps = R;
+      ProfileFile.append(Prof.toJsonLine() + "\n", false);
+    }
+    return M;
   };
 
   support::Rng Rng(Args.getInt("seed", 2));
@@ -195,12 +253,27 @@ int cmdCertify(const ArgParse &Args) {
     if (Model.classify(S.Tokens) != S.Label || Word >= S.Tokens.size())
       continue;
     ++Done;
+    SentenceIdx = Done;
     double Seconds = 0.0;
+    if (FixedEps > 0.0) {
+      double M;
+      {
+        support::ScopedAccum A(Seconds);
+        M = MarginAt(S, FixedEps);
+      }
+      std::printf("sentence %zu (%zu words, %s): margin %.5g at %s eps "
+                  "%.5g around word %zu -> %s  (%.2f s, verifier %s)\n",
+                  Done, S.Tokens.size(), S.Label ? "positive" : "negative",
+                  M, Args.get("norm", "l2").c_str(), FixedEps, Word,
+                  M > 0.0 ? "CERTIFIED" : "falsified", Seconds,
+                  Verifier.c_str());
+      continue;
+    }
     double R;
     {
       support::ScopedAccum A(Seconds);
       R = verify::certifiedRadius(
-          [&](double Radius) { return Certify(S, Radius); });
+          [&](double Radius) { return MarginAt(S, Radius) > 0.0; });
     }
     std::printf("sentence %zu (%zu words, %s): certified %s radius %.5g "
                 "around word %zu  (%.2f s, verifier %s)\n",
@@ -301,6 +374,10 @@ int cmdBatch(const ArgParse &Args) {
   SO.JsonlPath = OutPath;
   SO.Resume = Args.has("resume");
   SO.Fsync = Args.has("fsync");
+  SO.ProfileJsonlPath = Args.get("profile-out");
+  SO.RecorderDir = Args.get("recorder-dir");
+  if (!SO.RecorderDir.empty())
+    ::mkdir(SO.RecorderDir.c_str(), 0755); // existing directory is fine
 
   verify::Scheduler Sched(Model, SO);
   support::Timer Timer;
@@ -352,6 +429,37 @@ int cmdInfo(const ArgParse &Args) {
   return 0;
 }
 
+int cmdMetrics(const ArgParse &Args) {
+  std::string From = Args.get("from");
+  if (From.empty()) {
+    // The live registry of this process -- the same text a serving
+    // daemon would mount at /metrics.
+    std::fputs(support::prometheusText(support::Metrics::global()).c_str(),
+               stdout);
+    return 0;
+  }
+  std::ifstream In(From, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", From.c_str());
+    return support::exitCodeFor(support::ErrorCode::IoError);
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  support::JsonValue Doc;
+  std::string Err;
+  if (!support::parseJson(Buf.str(), Doc, &Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", From.c_str(), Err.c_str());
+    return support::exitCodeFor(support::ErrorCode::BadArgument);
+  }
+  std::string Text;
+  if (!support::prometheusFromStatsJson(Doc, Text, &Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", From.c_str(), Err.c_str());
+    return support::exitCodeFor(support::ErrorCode::BadArgument);
+  }
+  std::fputs(Text.c_str(), stdout);
+  return 0;
+}
+
 int dispatch(const std::string &Cmd, const ArgParse &Args) {
   if (Cmd == "train")
     return cmdTrain(Args);
@@ -363,6 +471,8 @@ int dispatch(const std::string &Cmd, const ArgParse &Args) {
     return cmdAttack(Args);
   if (Cmd == "batch")
     return cmdBatch(Args);
+  if (Cmd == "metrics")
+    return cmdMetrics(Args);
   if (Cmd == "info")
     return cmdInfo(Args);
   return usage();

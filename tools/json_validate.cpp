@@ -5,16 +5,24 @@
 // Validates that each argument file parses as standard JSON (RFC 8259),
 // using the same support/Json parser the tests use. The smoke tests run
 // it over deept_cli's --trace-out / --stats-json artifacts, the bench
-// BENCH_*.json reports, and the scheduler's JSONL result stores.
+// BENCH_*.json reports, the scheduler's JSONL result stores, and the
+// precision-observability artifacts (--profile-out JSONL and
+// flight-recorder dumps).
 //
 //   deept_json_validate FILE [FILE...]
 //   deept_json_validate --require-key traceEvents FILE
 //   deept_json_validate --jsonl --require-key key results.jsonl
+//   deept_json_validate --jsonl --schema profile profiles.jsonl
+//   deept_json_validate --schema recorder recorder-k.json
+//   cat profiles.jsonl | deept_json_validate --jsonl --schema profile -
 //
 // --require-key KEY additionally demands a top-level object member named
 // KEY in every following file. --jsonl switches to line-delimited mode
 // for the following files: every non-empty line must parse as one JSON
-// document (and satisfy --require-key individually).
+// document (and satisfy --require-key individually). --schema NAME
+// checks the document shape of the named artifact: "profile" (query,
+// margin_width, checkpoints[], attribution[]) or "recorder" (job,
+// events[] with t_ms and kind per event). "-" reads a file from stdin.
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +31,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -30,26 +39,85 @@ using namespace deept;
 
 namespace {
 
+/// Shape check for one parsed artifact document; fills \p Why on failure.
+bool checkSchema(const support::JsonValue &Doc, const std::string &Schema,
+                 std::string &Why) {
+  auto Need = [&](const char *Key, const support::JsonValue **Out =
+                                       nullptr) {
+    const support::JsonValue *V = Doc.find(Key);
+    if (!V) {
+      Why = std::string("missing key \"") + Key + "\"";
+      return false;
+    }
+    if (Out)
+      *Out = V;
+    return true;
+  };
+  if (Schema == "profile") {
+    const support::JsonValue *Checkpoints = nullptr, *Attr = nullptr;
+    if (!Need("query") || !Need("margin_width") ||
+        !Need("checkpoints", &Checkpoints) ||
+        !Need("attribution", &Attr))
+      return false;
+    if (!Checkpoints->isArray()) {
+      Why = "\"checkpoints\" must be an array";
+      return false;
+    }
+    if (!Attr->isArray()) {
+      Why = "\"attribution\" must be an array";
+      return false;
+    }
+    for (const support::JsonValue &C : Checkpoints->Items)
+      if (!C.find("site") || !C.find("mean_width")) {
+        Why = "checkpoint entries need \"site\" and \"mean_width\"";
+        return false;
+      }
+    for (const support::JsonValue &G : Attr->Items)
+      if (!G.find("group") || !G.find("width")) {
+        Why = "attribution entries need \"group\" and \"width\"";
+        return false;
+      }
+    return true;
+  }
+  if (Schema == "recorder") {
+    const support::JsonValue *Events = nullptr;
+    if (!Need("job") || !Need("events", &Events))
+      return false;
+    if (!Events->isArray()) {
+      Why = "\"events\" must be an array";
+      return false;
+    }
+    for (const support::JsonValue &E : Events->Items)
+      if (!E.find("t_ms") || !E.find("kind")) {
+        Why = "recorder events need \"t_ms\" and \"kind\"";
+        return false;
+      }
+    return true;
+  }
+  Why = "unknown schema \"" + Schema + "\" (want profile or recorder)";
+  return false;
+}
+
 bool checkDoc(const char *Path, const std::string &Text,
-              const std::string &RequiredKey, size_t LineNo) {
+              const std::string &RequiredKey, const std::string &Schema,
+              size_t LineNo) {
+  auto Complain = [&](const std::string &Msg) {
+    if (LineNo)
+      std::fprintf(stderr, "%s:%zu: %s\n", Path, LineNo, Msg.c_str());
+    else
+      std::fprintf(stderr, "%s: %s\n", Path, Msg.c_str());
+    return false;
+  };
   support::JsonValue Doc;
   std::string Err;
-  if (!support::parseJson(Text, Doc, &Err)) {
-    if (LineNo)
-      std::fprintf(stderr, "%s:%zu: invalid JSON: %s\n", Path, LineNo,
-                   Err.c_str());
-    else
-      std::fprintf(stderr, "%s: invalid JSON: %s\n", Path, Err.c_str());
-    return false;
-  }
-  if (!RequiredKey.empty() && !Doc.find(RequiredKey)) {
-    if (LineNo)
-      std::fprintf(stderr, "%s:%zu: missing key \"%s\"\n", Path, LineNo,
-                   RequiredKey.c_str());
-    else
-      std::fprintf(stderr, "%s: missing top-level key \"%s\"\n", Path,
-                   RequiredKey.c_str());
-    return false;
+  if (!support::parseJson(Text, Doc, &Err))
+    return Complain("invalid JSON: " + Err);
+  if (!RequiredKey.empty() && !Doc.find(RequiredKey))
+    return Complain("missing key \"" + RequiredKey + "\"");
+  if (!Schema.empty()) {
+    std::string Why;
+    if (!checkSchema(Doc, Schema, Why))
+      return Complain("schema " + Schema + ": " + Why);
   }
   return true;
 }
@@ -58,6 +126,7 @@ bool checkDoc(const char *Path, const std::string &Text,
 
 int main(int Argc, char **Argv) {
   std::string RequiredKey;
+  std::string Schema;
   bool Jsonl = false;
   int Checked = 0;
   for (int I = 1; I < Argc; ++I) {
@@ -69,15 +138,29 @@ int main(int Argc, char **Argv) {
       RequiredKey = Argv[I];
       continue;
     }
+    if (std::strcmp(Argv[I], "--schema") == 0) {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --schema needs an argument\n");
+        return 2;
+      }
+      Schema = Argv[I];
+      continue;
+    }
     if (std::strcmp(Argv[I], "--jsonl") == 0) {
       Jsonl = true;
       continue;
     }
-    std::ifstream In(Argv[I], std::ios::binary);
-    if (!In) {
-      std::fprintf(stderr, "%s: cannot open\n", Argv[I]);
-      return 1;
+    bool Stdin = std::strcmp(Argv[I], "-") == 0;
+    const char *Name = Stdin ? "<stdin>" : Argv[I];
+    std::ifstream File;
+    if (!Stdin) {
+      File.open(Argv[I], std::ios::binary);
+      if (!File) {
+        std::fprintf(stderr, "%s: cannot open\n", Argv[I]);
+        return 1;
+      }
     }
+    std::istream &In = Stdin ? std::cin : File;
     if (Jsonl) {
       std::string Line;
       size_t LineNo = 0, Docs = 0;
@@ -85,29 +168,29 @@ int main(int Argc, char **Argv) {
         ++LineNo;
         if (Line.empty())
           continue;
-        if (!checkDoc(Argv[I], Line, RequiredKey, LineNo))
+        if (!checkDoc(Name, Line, RequiredKey, Schema, LineNo))
           return 1;
         ++Docs;
       }
       if (Docs == 0) {
-        std::fprintf(stderr, "%s: no JSON documents (empty JSONL)\n",
-                     Argv[I]);
+        std::fprintf(stderr, "%s: no JSON documents (empty JSONL)\n", Name);
         return 1;
       }
-      std::printf("%s: valid JSONL (%zu documents)\n", Argv[I], Docs);
+      std::printf("%s: valid JSONL (%zu documents)\n", Name, Docs);
     } else {
       std::ostringstream Buf;
       Buf << In.rdbuf();
       std::string Text = Buf.str();
-      if (!checkDoc(Argv[I], Text, RequiredKey, 0))
+      if (!checkDoc(Name, Text, RequiredKey, Schema, 0))
         return 1;
-      std::printf("%s: valid JSON (%zu bytes)\n", Argv[I], Text.size());
+      std::printf("%s: valid JSON (%zu bytes)\n", Name, Text.size());
     }
     ++Checked;
   }
   if (Checked == 0) {
-    std::fprintf(stderr, "usage: deept_json_validate [--jsonl] "
-                         "[--require-key KEY] FILE...\n");
+    std::fprintf(stderr,
+                 "usage: deept_json_validate [--jsonl] [--require-key KEY] "
+                 "[--schema profile|recorder] FILE|-...\n");
     return 2;
   }
   return 0;
