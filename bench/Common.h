@@ -26,6 +26,7 @@
 #include "support/Parallel.h"
 #include "support/Table.h"
 #include "support/Timer.h"
+#include "tensor/Kernels.h"
 #include "verify/RadiusSearch.h"
 #include "verify/Scheduler.h"
 
@@ -43,19 +44,29 @@ using tensor::Matrix;
 
 /// Applies the shared execution flags every bench binary accepts:
 /// --threads N overrides the pool size (DEEPT_THREADS and the core count
-/// remain the defaults); 0, negative, or non-numeric values abort with a
-/// clear error. Call first thing in main.
+/// remain the defaults) and --isa overrides the SIMD kernel table
+/// (DEEPT_ISA and CPU detection remain the defaults); malformed or
+/// unavailable values abort with a clear error. Call first thing in main.
 inline void applyThreadFlags(int Argc, char **Argv) {
   support::ArgParse Args(Argc, Argv);
-  if (!Args.has("threads"))
-    return;
-  size_t Threads = 0;
-  std::string Err;
-  if (!support::parseThreadCount(Args.get("threads"), Threads, &Err)) {
-    std::fprintf(stderr, "error: --threads %s\n", Err.c_str());
-    std::exit(2);
+  if (Args.has("threads")) {
+    size_t Threads = 0;
+    std::string Err;
+    if (!support::parseThreadCount(Args.get("threads"), Threads, &Err)) {
+      std::fprintf(stderr, "error: --threads %s\n", Err.c_str());
+      std::exit(2);
+    }
+    support::ThreadPool::global().setThreadCount(Threads);
   }
-  support::ThreadPool::global().setThreadCount(Threads);
+  if (Args.has("isa")) {
+    tensor::Isa I = tensor::Isa::Scalar;
+    std::string Err;
+    if (!tensor::parseIsa(Args.get("isa"), I, &Err) ||
+        !tensor::setIsa(I, &Err)) {
+      std::fprintf(stderr, "error: --isa %s\n", Err.c_str());
+      std::exit(2);
+    }
+  }
 }
 
 /// The scaled-down counterpart of the paper's "standard" networks
@@ -285,7 +296,8 @@ inline bool writeBenchJson(const std::string &Id, const support::Table &T) {
     Out << "]";
   }
   Out << "],\"threads\":" << support::ThreadPool::global().threadCount()
-      << ",\"metrics\":" << support::Metrics::global().toJson() << "}\n";
+      << ",\"isa\":\"" << tensor::isaName(tensor::currentIsa())
+      << "\",\"metrics\":" << support::Metrics::global().toJson() << "}\n";
   if (!Out)
     return false;
   std::printf("\n[wrote %s]\n", Path.c_str());

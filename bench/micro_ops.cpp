@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Parallel.h"
+#include "tensor/Kernels.h"
 #include "support/Rng.h"
 #include "support/Trace.h"
 #include "tensor/Matrix.h"
@@ -223,4 +224,15 @@ BENCHMARK(BM_DotProductFastTracingOff)->Arg(128)->Arg(512);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the report's context records the kernel ISA
+// it ran under -- bench_compare refuses cross-ISA comparisons.
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::AddCustomContext(
+      "isa", deept::tensor::isaName(deept::tensor::currentIsa()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- support/Fp.h - Reduced-precision execution mode ---------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The floating-point precision mode of the current thread. In F32 mode
+/// the dual-norm reduction kernels (the bounds()/radii() hot spots)
+/// accumulate coefficient magnitudes in single precision and convert the
+/// result back with an upward correction that over-approximates every
+/// rounding the narrower accumulation could have committed, so interval
+/// bounds stay sound: the F32-mode interval always encloses the F64-mode
+/// interval (see DESIGN.md "SIMD execution layer"). Coefficient storage
+/// and centers stay double precision throughout.
+///
+/// The mode is thread-local; parallelFor captures the submitting thread's
+/// mode and re-establishes it inside every chunk, so a propagation that
+/// fans out over the pool keeps its precision on the workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_SUPPORT_FP_H
+#define DEEPT_SUPPORT_FP_H
+
+#include <string>
+
+namespace deept {
+namespace support {
+
+enum class FpPrecision : unsigned char {
+  F64 = 0, ///< Full double-precision kernels (the default).
+  F32 = 1, ///< Sound single-precision dual-norm accumulation.
+};
+
+namespace detail {
+inline thread_local FpPrecision CurrentFp = FpPrecision::F64;
+} // namespace detail
+
+/// The calling thread's current precision mode.
+inline FpPrecision fpPrecision() { return detail::CurrentFp; }
+
+/// RAII precision scope: sets the calling thread's mode for the lifetime
+/// of the object and restores the previous mode on destruction.
+class FpScope {
+public:
+  explicit FpScope(FpPrecision Mode) : Prev(detail::CurrentFp) {
+    detail::CurrentFp = Mode;
+  }
+  ~FpScope() { detail::CurrentFp = Prev; }
+  FpScope(const FpScope &) = delete;
+  FpScope &operator=(const FpScope &) = delete;
+
+private:
+  FpPrecision Prev;
+};
+
+/// Strict parse of a precision name: exactly "f64" or "f32". Returns
+/// false and fills \p Err for anything else (the --precision flag goes
+/// through this, so typos fail loudly instead of silently running f64).
+inline bool parseFpPrecision(const std::string &Text, FpPrecision &Out,
+                             std::string *Err = nullptr) {
+  if (Text == "f64") {
+    Out = FpPrecision::F64;
+    return true;
+  }
+  if (Text == "f32") {
+    Out = FpPrecision::F32;
+    return true;
+  }
+  if (Err)
+    *Err = "expects 'f32' or 'f64', got '" + Text + "'";
+  return false;
+}
+
+/// Canonical name of a precision mode.
+inline const char *fpPrecisionName(FpPrecision P) {
+  return P == FpPrecision::F32 ? "f32" : "f64";
+}
+
+} // namespace support
+} // namespace deept
+
+#endif // DEEPT_SUPPORT_FP_H

@@ -87,9 +87,9 @@ struct ThreadPool::Impl {
 
   Counter &Tasks = Metrics::global().counter("pool.tasks");
   Counter &IdleNs = Metrics::global().counter("pool.steal_idle_ns");
-  // Registered up front so the instrument appears in metrics snapshots
-  // even when every GEMM stayed under the parallel threshold.
-  Histogram &TileMs = Metrics::global().histogram("gemm.tile_ms");
+  // The per-ISA gemm.tile_ms.<isa> histogram is pre-registered by the
+  // kernel dispatcher (tensor/Kernels.cpp) when a table is selected; the
+  // support layer cannot name it without depending on tensor.
 
   void runChunks(Job *J) {
     InWorkerRegion = true;

@@ -33,6 +33,8 @@
 #ifndef DEEPT_SUPPORT_PARALLEL_H
 #define DEEPT_SUPPORT_PARALLEL_H
 
+#include "support/Fp.h"
+
 #include <algorithm>
 #include <cstddef>
 #include <string>
@@ -95,7 +97,12 @@ void parallelFor(size_t Begin, size_t End, size_t Grain, FnT &&Fn) {
   if (Grain == 0)
     Grain = 1;
   size_t NumChunks = (End - Begin + Grain - 1) / Grain;
+  // Thread-local state the submitting thread expects inside Fn must be
+  // re-established on the pool workers: capture the caller's precision
+  // mode and scope it around every chunk (a no-op store in F64 mode).
+  const FpPrecision CallerFp = fpPrecision();
   auto RunChunk = [&](size_t Chunk) {
+    FpScope Scope(CallerFp);
     size_t B = Begin + Chunk * Grain;
     size_t E = std::min(End, B + Grain);
     Fn(B, E);
@@ -120,6 +127,19 @@ inline size_t grainForWork(size_t WorkPerIndex, size_t TargetWork = 16384) {
   if (WorkPerIndex == 0)
     return TargetWork;
   return std::max<size_t>(1, TargetWork / WorkPerIndex);
+}
+
+/// A grain size for column-blocked symbol-axis reductions (columnDualNorms
+/// and friends), which call an accumulator kernel once per symbol row per
+/// chunk: chunks must be wide enough to amortize those calls -- a
+/// work-proportional grain would shrink to single-digit widths on large
+/// symbol counts and drown in call overhead -- while still splitting into
+/// a few chunks per pool thread for load balance. Chunk boundaries do not
+/// affect results (each column accumulates independently), so the
+/// thread-count dependence here preserves the determinism contract.
+inline size_t reductionGrain(size_t NumVars) {
+  size_t Chunks = 4 * ThreadPool::global().threadCount();
+  return std::max<size_t>(256, (NumVars + Chunks - 1) / Chunks);
 }
 
 } // namespace support

@@ -1,0 +1,317 @@
+//===- tensor/KernelsAvx512.cpp - AVX-512 kernel table ---------*- C++ -*-===//
+//
+// Compiled with -mavx512f -mavx512dq -mavx512vl -ffp-contract=off. Same
+// shape as the AVX2 table with L = 8: elementwise kernels stay mul-then-add
+// (bit-identical to scalar), reductions are lane-ordered FMA with the
+// 512 -> 256 -> 128 pairwise-halving horizontal sum that detail::dotLanes
+// emulates for Lanes == 8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/Kernels.h"
+
+#if DEEPT_HAVE_AVX512
+
+#include <algorithm>
+#include <cmath>
+#include <immintrin.h>
+
+namespace deept {
+namespace tensor {
+namespace detail {
+namespace {
+
+constexpr size_t L = 8; // doubles per __m512d
+
+/// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)): halve 512 -> 256, then reuse the
+/// 4-lane cascade, matching detail::dotLanes for Lanes == 8.
+inline double reduceLanes(__m512d V) {
+  __m256d Half = _mm256_add_pd(_mm512_castpd512_pd256(V),
+                               _mm512_extractf64x4_pd(V, 1));
+  __m128d Lo = _mm256_castpd256_pd128(Half);
+  __m128d Hi = _mm256_extractf128_pd(Half, 1);
+  __m128d S = _mm_add_pd(Lo, Hi);
+  return _mm_cvtsd_f64(S) + _mm_cvtsd_f64(_mm_unpackhi_pd(S, S));
+}
+
+bool allZeroRow(const double *P, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    if (P[I] != 0.0)
+      return false;
+  return true;
+}
+
+void avx512DotTransposedB(const double *A, size_t N, const double *B,
+                          size_t M, size_t D, double *C, bool Accumulate) {
+  const size_t DV = D - D % L;
+  for (size_t I = 0; I < N; ++I) {
+    const double *ARow = A + I * D;
+    double *CRow = C + I * M;
+    if (allZeroRow(ARow, D)) {
+      // Zero row: the output row is exactly zero, so fill it (callers may
+      // pass uninitialized C) unless accumulating (+0 is an identity).
+      if (!Accumulate)
+        std::fill(CRow, CRow + M, 0.0);
+      continue;
+    }
+    size_t J = 0;
+    for (; J + 4 <= M; J += 4) {
+      const double *B0 = B + J * D, *B1 = B + (J + 1) * D;
+      const double *B2 = B + (J + 2) * D, *B3 = B + (J + 3) * D;
+      double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
+      if (DV) {
+        __m512d A0 = _mm512_setzero_pd(), A1 = _mm512_setzero_pd();
+        __m512d A2 = _mm512_setzero_pd(), A3 = _mm512_setzero_pd();
+        for (size_t K = 0; K < DV; K += L) {
+          __m512d AV = _mm512_loadu_pd(ARow + K);
+          A0 = _mm512_fmadd_pd(AV, _mm512_loadu_pd(B0 + K), A0);
+          A1 = _mm512_fmadd_pd(AV, _mm512_loadu_pd(B1 + K), A1);
+          A2 = _mm512_fmadd_pd(AV, _mm512_loadu_pd(B2 + K), A2);
+          A3 = _mm512_fmadd_pd(AV, _mm512_loadu_pd(B3 + K), A3);
+        }
+        S0 = reduceLanes(A0);
+        S1 = reduceLanes(A1);
+        S2 = reduceLanes(A2);
+        S3 = reduceLanes(A3);
+      }
+      for (size_t K = DV; K < D; ++K) {
+        double AV = ARow[K];
+        S0 = std::fma(AV, B0[K], S0);
+        S1 = std::fma(AV, B1[K], S1);
+        S2 = std::fma(AV, B2[K], S2);
+        S3 = std::fma(AV, B3[K], S3);
+      }
+      if (Accumulate) {
+        CRow[J] += S0;
+        CRow[J + 1] += S1;
+        CRow[J + 2] += S2;
+        CRow[J + 3] += S3;
+      } else {
+        CRow[J] = S0;
+        CRow[J + 1] = S1;
+        CRow[J + 2] = S2;
+        CRow[J + 3] = S3;
+      }
+    }
+    for (; J < M; ++J) {
+      const double *BRow = B + J * D;
+      double S = 0.0;
+      if (DV) {
+        __m512d Acc = _mm512_setzero_pd();
+        for (size_t K = 0; K < DV; K += L)
+          Acc = _mm512_fmadd_pd(_mm512_loadu_pd(ARow + K), _mm512_loadu_pd(BRow + K), Acc);
+        S = reduceLanes(Acc);
+      }
+      for (size_t K = DV; K < D; ++K)
+        S = std::fma(ARow[K], BRow[K], S);
+      if (Accumulate)
+        CRow[J] += S;
+      else
+        CRow[J] = S;
+    }
+  }
+}
+
+double avx512Dot(const double *X, const double *Y, size_t N) {
+  const size_t NV = N - N % L;
+  double S = 0.0;
+  // All-tail shapes (N < L) skip the vector spin-up; reduceLanes of an
+  // empty accumulator is exactly +0.0, so the bits are unchanged.
+  if (NV) {
+    __m512d Acc = _mm512_setzero_pd();
+    for (size_t K = 0; K < NV; K += L)
+      Acc = _mm512_fmadd_pd(_mm512_loadu_pd(X + K), _mm512_loadu_pd(Y + K), Acc);
+    S = reduceLanes(Acc);
+  }
+  for (size_t K = NV; K < N; ++K)
+    S = std::fma(X[K], Y[K], S);
+  return S;
+}
+
+double avx512Sum(const double *X, size_t N) {
+  const size_t NV = N - N % L;
+  double S = 0.0;
+  if (NV) {
+    __m512d Acc = _mm512_setzero_pd();
+    for (size_t K = 0; K < NV; K += L)
+      Acc = _mm512_add_pd(Acc, _mm512_loadu_pd(X + K));
+    S = reduceLanes(Acc);
+  }
+  for (size_t K = NV; K < N; ++K)
+    S += X[K];
+  return S;
+}
+
+void avx512Axpy(double A, const double *X, double *Y, size_t N) {
+  const size_t NV = N - N % L;
+  __m512d AV = _mm512_set1_pd(A);
+  for (size_t I = 0; I < NV; I += L)
+    _mm512_storeu_pd(Y + I,
+                     _mm512_add_pd(_mm512_loadu_pd(Y + I),
+                                   _mm512_mul_pd(AV, _mm512_loadu_pd(X + I))));
+  for (size_t I = NV; I < N; ++I)
+    Y[I] += A * X[I];
+}
+
+void avx512Axpy4(const double *V, const double *B, double *C0, double *C1,
+                 double *C2, double *C3, size_t M) {
+  const size_t MV = M - M % L;
+  __m512d V0 = _mm512_set1_pd(V[0]), V1 = _mm512_set1_pd(V[1]);
+  __m512d V2 = _mm512_set1_pd(V[2]), V3 = _mm512_set1_pd(V[3]);
+  for (size_t J = 0; J < MV; J += L) {
+    __m512d BV = _mm512_loadu_pd(B + J);
+    _mm512_storeu_pd(C0 + J, _mm512_add_pd(_mm512_loadu_pd(C0 + J),
+                                           _mm512_mul_pd(V0, BV)));
+    _mm512_storeu_pd(C1 + J, _mm512_add_pd(_mm512_loadu_pd(C1 + J),
+                                           _mm512_mul_pd(V1, BV)));
+    _mm512_storeu_pd(C2 + J, _mm512_add_pd(_mm512_loadu_pd(C2 + J),
+                                           _mm512_mul_pd(V2, BV)));
+    _mm512_storeu_pd(C3 + J, _mm512_add_pd(_mm512_loadu_pd(C3 + J),
+                                           _mm512_mul_pd(V3, BV)));
+  }
+  for (size_t J = MV; J < M; ++J) {
+    double BV = B[J];
+    C0[J] += V[0] * BV;
+    C1[J] += V[1] * BV;
+    C2[J] += V[2] * BV;
+    C3[J] += V[3] * BV;
+  }
+}
+
+void avx512SubScale(const double *X, double Mean, const double *G,
+                    double *Out, size_t N) {
+  const size_t NV = N - N % L;
+  __m512d MV = _mm512_set1_pd(Mean);
+  for (size_t I = 0; I < NV; I += L)
+    _mm512_storeu_pd(Out + I,
+                     _mm512_mul_pd(_mm512_sub_pd(_mm512_loadu_pd(X + I), MV),
+                                   _mm512_loadu_pd(G + I)));
+  for (size_t I = NV; I < N; ++I)
+    Out[I] = (X[I] - Mean) * G[I];
+}
+
+void avx512AbsRow(const double *X, double *Out, size_t N) {
+  const size_t NV = N - N % L;
+  for (size_t I = 0; I < NV; I += L)
+    _mm512_storeu_pd(Out + I, _mm512_abs_pd(_mm512_loadu_pd(X + I)));
+  for (size_t I = NV; I < N; ++I)
+    Out[I] = std::fabs(X[I]);
+}
+
+void avx512AccAbs(const double *X, double *Acc, size_t N) {
+  const size_t NV = N - N % L;
+  for (size_t I = 0; I < NV; I += L)
+    _mm512_storeu_pd(Acc + I,
+                     _mm512_add_pd(_mm512_loadu_pd(Acc + I),
+                                   _mm512_abs_pd(_mm512_loadu_pd(X + I))));
+  for (size_t I = NV; I < N; ++I)
+    Acc[I] += std::fabs(X[I]);
+}
+
+void avx512AccSq(const double *X, double *Acc, size_t N) {
+  const size_t NV = N - N % L;
+  for (size_t I = 0; I < NV; I += L) {
+    __m512d XV = _mm512_loadu_pd(X + I);
+    _mm512_storeu_pd(Acc + I, _mm512_add_pd(_mm512_loadu_pd(Acc + I),
+                                            _mm512_mul_pd(XV, XV)));
+  }
+  for (size_t I = NV; I < N; ++I)
+    Acc[I] += X[I] * X[I];
+}
+
+void avx512AccMaxAbs(const double *X, double *Acc, size_t N) {
+  const size_t NV = N - N % L;
+  for (size_t I = 0; I < NV; I += L)
+    _mm512_storeu_pd(Acc + I,
+                     _mm512_max_pd(_mm512_loadu_pd(Acc + I),
+                                   _mm512_abs_pd(_mm512_loadu_pd(X + I))));
+  for (size_t I = NV; I < N; ++I)
+    Acc[I] = std::max(Acc[I], std::fabs(X[I]));
+}
+
+void avx512AccAbsF32(const double *X, float *Acc, size_t N) {
+  const size_t NV = N - N % L;
+  for (size_t I = 0; I < NV; I += L) {
+    __m256 XF = _mm512_cvtpd_ps(_mm512_abs_pd(_mm512_loadu_pd(X + I)));
+    _mm256_storeu_ps(Acc + I, _mm256_add_ps(_mm256_loadu_ps(Acc + I), XF));
+  }
+  for (size_t I = NV; I < N; ++I)
+    Acc[I] += static_cast<float>(std::fabs(X[I]));
+}
+
+void avx512AccSqF32(const double *X, float *Acc, size_t N) {
+  const size_t NV = N - N % L;
+  for (size_t I = 0; I < NV; I += L) {
+    __m256 XF = _mm512_cvtpd_ps(_mm512_loadu_pd(X + I));
+    _mm256_storeu_ps(Acc + I, _mm256_add_ps(_mm256_loadu_ps(Acc + I),
+                                            _mm256_mul_ps(XF, XF)));
+  }
+  for (size_t I = NV; I < N; ++I) {
+    float V = static_cast<float>(X[I]);
+    Acc[I] += V * V;
+  }
+}
+
+void avx512AccMaxAbsF32(const double *X, float *Acc, size_t N) {
+  const size_t NV = N - N % L;
+  for (size_t I = 0; I < NV; I += L) {
+    __m256 XF = _mm512_cvtpd_ps(_mm512_abs_pd(_mm512_loadu_pd(X + I)));
+    _mm256_storeu_ps(Acc + I, _mm256_max_ps(_mm256_loadu_ps(Acc + I), XF));
+  }
+  for (size_t I = NV; I < N; ++I)
+    Acc[I] = std::max(Acc[I], static_cast<float>(std::fabs(X[I])));
+}
+
+} // namespace
+
+// extern: const at namespace scope would otherwise get internal linkage,
+// and the dispatcher in Kernels.cpp references this table by name.
+extern const Kernels Avx512Kernels;
+void avx512RowSums(const double *X, size_t R, size_t C, double *O) {
+  for (size_t Q = 0; Q < R; ++Q)
+    O[Q] = avx512Sum(X + Q * C, C);
+}
+
+void avx512Axpy4K(const double *A0, const double *A1, const double *A2,
+                  const double *A3, size_t K0, size_t K1, const double *B,
+                  double *C0, double *C1, double *C2, double *C3, size_t M) {
+  for (size_t Kk = K0; Kk < K1; ++Kk) {
+    double V[4] = {A0[Kk], A1[Kk], A2[Kk], A3[Kk]};
+    avx512Axpy4(V, B + Kk * M, C0, C1, C2, C3, M);
+  }
+}
+
+void avx512CascadeDense(const double *A, size_t S, size_t StrideA,
+                        const double *B, size_t M, size_t D, double Q,
+                        double *AbsS, double *T, double *Acc) {
+  for (size_t Sym = 0; Sym < S; ++Sym) {
+    avx512AbsRow(A + Sym * StrideA, AbsS, D);
+    bool AllZero = true;
+    for (size_t K = 0; K < D && AllZero; ++K)
+      AllZero = AbsS[K] == 0.0;
+    if (AllZero)
+      continue;
+    avx512DotTransposedB(AbsS, 1, B, M, D, T, /*Accumulate=*/false);
+    if (Q == 1.0)
+      avx512Axpy(1.0, T, Acc, M);
+    else if (Q == 2.0)
+      avx512AccSq(T, Acc, M);
+    else
+      avx512AccMaxAbs(T, Acc, M);
+  }
+}
+
+const Kernels Avx512Kernels = {
+    Isa::Avx512,      /*Lanes=*/L,     avx512DotTransposedB,
+    avx512Dot,        avx512Sum,       avx512Axpy,
+    avx512Axpy4,      avx512SubScale,  avx512AbsRow,
+    avx512AccAbs,     avx512AccSq,     avx512AccMaxAbs,
+    avx512AccAbsF32,  avx512AccSqF32,  avx512AccMaxAbsF32,
+    avx512RowSums,    avx512Axpy4K,    avx512CascadeDense,
+};
+
+} // namespace detail
+} // namespace tensor
+} // namespace deept
+
+#endif // DEEPT_HAVE_AVX512

@@ -3,6 +3,7 @@
 #include "tensor/Matrix.h"
 
 #include "support/Metrics.h"
+#include "tensor/Kernels.h"
 #include "support/Rng.h"
 #include "support/Timer.h"
 
@@ -16,6 +17,15 @@ using namespace deept::tensor;
 
 Matrix::Matrix(size_t Rows, size_t Cols, double Fill)
     : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Fill) {}
+
+Matrix Matrix::uninit(size_t Rows, size_t Cols) {
+  Matrix M;
+  M.NumRows = Rows;
+  M.NumCols = Cols;
+  // Default-insertion through NoInitAllocator: no zero-fill.
+  M.Data.resize(Rows * Cols);
+  return M;
+}
 
 Matrix Matrix::fromRows(const std::vector<std::vector<double>> &RowData) {
   if (RowData.empty())
@@ -57,7 +67,7 @@ Matrix Matrix::uniform(size_t Rows, size_t Cols, support::Rng &Rng, double Lo,
   return M;
 }
 
-Matrix Matrix::reshaped(size_t Rows, size_t Cols) const {
+Matrix Matrix::reshaped(size_t Rows, size_t Cols) const & {
   assert(Rows * Cols == size() && "reshape must preserve element count");
   Matrix M = *this;
   M.NumRows = Rows;
@@ -65,8 +75,16 @@ Matrix Matrix::reshaped(size_t Rows, size_t Cols) const {
   return M;
 }
 
+Matrix Matrix::reshaped(size_t Rows, size_t Cols) && {
+  assert(Rows * Cols == size() && "reshape must preserve element count");
+  Matrix M = std::move(*this);
+  M.NumRows = Rows;
+  M.NumCols = Cols;
+  return M;
+}
+
 Matrix Matrix::transposed() const {
-  Matrix T(NumCols, NumRows);
+  Matrix T = Matrix::uninit(NumCols, NumRows);
   for (size_t R = 0; R < NumRows; ++R)
     for (size_t C = 0; C < NumCols; ++C)
       T.at(C, R) = at(R, C);
@@ -75,14 +93,14 @@ Matrix Matrix::transposed() const {
 
 Matrix Matrix::rowSlice(size_t R0, size_t R1) const {
   assert(R0 <= R1 && R1 <= NumRows && "row slice out of range");
-  Matrix M(R1 - R0, NumCols);
+  Matrix M = Matrix::uninit(R1 - R0, NumCols);
   std::memcpy(M.data(), rowPtr(R0), (R1 - R0) * NumCols * sizeof(double));
   return M;
 }
 
 Matrix Matrix::colSlice(size_t C0, size_t C1) const {
   assert(C0 <= C1 && C1 <= NumCols && "col slice out of range");
-  Matrix M(NumRows, C1 - C0);
+  Matrix M = Matrix::uninit(NumRows, C1 - C0);
   for (size_t R = 0; R < NumRows; ++R)
     std::memcpy(M.rowPtr(R), rowPtr(R) + C0, (C1 - C0) * sizeof(double));
   return M;
@@ -291,9 +309,11 @@ public:
   explicit GemmTimeScope(bool Active) : Active(Active) {}
   ~GemmTimeScope() {
     if (Active) {
-      static support::Histogram &TileMs =
-          support::Metrics::global().histogram("gemm.tile_ms");
-      TileMs.observe(T.seconds() * 1e3);
+      // Looked up per observation (not cached in a static) so a setIsa
+      // switch lands subsequent observations in the right per-ISA series.
+      support::Metrics::global()
+          .histogram(std::string("gemm.tile_ms.") + isaName(currentIsa()))
+          .observe(T.seconds() * 1e3);
     }
   }
 
@@ -306,44 +326,31 @@ private:
 /// blocking. The inner loops are branch-free on dense data; sparsity is
 /// skipped only at block granularity (a whole A row-group slice of zeros,
 /// the common shape for fresh-noise-symbol coefficient rows).
-void matmulRowRange(const Matrix &A, const Matrix &B, Matrix &C, size_t R0,
-                    size_t R1) {
-  size_t K = A.cols(), M = B.cols();
+void matmulRowRange(const double *AData, size_t K, const Matrix &B, Matrix &C,
+                    size_t R0, size_t R1) {
+  size_t M = B.cols();
   for (size_t Kb = 0; Kb < K; Kb += GemmKBlock) {
     size_t KEnd = std::min(K, Kb + GemmKBlock);
     for (size_t I0 = R0; I0 < R1; I0 += GemmRowBlock) {
       size_t IEnd = std::min(R1, I0 + GemmRowBlock);
       bool BlockZero = true;
       for (size_t I = I0; I < IEnd && BlockZero; ++I)
-        BlockZero = allZero(A.rowPtr(I) + Kb, KEnd - Kb);
+        BlockZero = allZero(AData + I * K + Kb, KEnd - Kb);
       if (BlockZero)
         continue;
+      const Kernels &KT = kernels();
       if (IEnd - I0 == GemmRowBlock) {
         double *C0 = C.rowPtr(I0), *C1 = C.rowPtr(I0 + 1);
         double *C2 = C.rowPtr(I0 + 2), *C3 = C.rowPtr(I0 + 3);
-        const double *A0 = A.rowPtr(I0), *A1 = A.rowPtr(I0 + 1);
-        const double *A2 = A.rowPtr(I0 + 2), *A3 = A.rowPtr(I0 + 3);
-        for (size_t Kk = Kb; Kk < KEnd; ++Kk) {
-          const double *BRow = B.rowPtr(Kk);
-          double V0 = A0[Kk], V1 = A1[Kk], V2 = A2[Kk], V3 = A3[Kk];
-          for (size_t J = 0; J < M; ++J) {
-            double BV = BRow[J];
-            C0[J] += V0 * BV;
-            C1[J] += V1 * BV;
-            C2[J] += V2 * BV;
-            C3[J] += V3 * BV;
-          }
-        }
+        const double *A0 = AData + I0 * K, *A1 = A0 + K;
+        const double *A2 = A1 + K, *A3 = A2 + K;
+        KT.Axpy4K(A0, A1, A2, A3, Kb, KEnd, B.data(), C0, C1, C2, C3, M);
       } else {
         for (size_t I = I0; I < IEnd; ++I) {
           double *CRow = C.rowPtr(I);
-          const double *ARow = A.rowPtr(I);
-          for (size_t Kk = Kb; Kk < KEnd; ++Kk) {
-            double AV = ARow[Kk];
-            const double *BRow = B.rowPtr(Kk);
-            for (size_t J = 0; J < M; ++J)
-              CRow[J] += AV * BRow[J];
-          }
+          const double *ARow = AData + I * K;
+          for (size_t Kk = Kb; Kk < KEnd; ++Kk)
+            KT.Axpy(ARow[Kk], B.rowPtr(Kk), CRow, M);
         }
       }
     }
@@ -352,62 +359,42 @@ void matmulRowRange(const Matrix &A, const Matrix &B, Matrix &C, size_t R0,
 
 } // namespace
 
-Matrix deept::tensor::matmul(const Matrix &A, const Matrix &B) {
-  assert(A.cols() == B.rows() && "matmul shape mismatch");
-  Matrix C(A.rows(), B.cols());
-  size_t RowWork = A.cols() * B.cols();
-  bool Parallel = A.rows() * RowWork >= GemmParallelFlops &&
+Matrix deept::tensor::matmulReshaped(const Matrix &A, size_t ARows,
+                                     size_t ACols, const Matrix &B) {
+  assert(ARows * ACols == A.size() && "reshape must preserve element count");
+  assert(ACols == B.rows() && "matmul shape mismatch");
+  Matrix C(ARows, B.cols());
+  size_t RowWork = ACols * B.cols();
+  bool Parallel = ARows * RowWork >= GemmParallelFlops &&
                   !support::ThreadPool::inParallelRegion();
   GemmTimeScope Scope(Parallel);
-  support::parallelFor(0, A.rows(), support::grainForWork(RowWork),
+  support::parallelFor(0, ARows, support::grainForWork(RowWork),
                        [&](size_t R0, size_t R1) {
-                         matmulRowRange(A, B, C, R0, R1);
+                         matmulRowRange(A.data(), ACols, B, C, R0, R1);
                        });
   return C;
 }
 
+Matrix deept::tensor::matmul(const Matrix &A, const Matrix &B) {
+  return matmulReshaped(A, A.rows(), A.cols(), B);
+}
+
 Matrix deept::tensor::matmulTransposedB(const Matrix &A, const Matrix &B) {
   assert(A.cols() == B.cols() && "matmulTransposedB shape mismatch");
-  Matrix C(A.rows(), B.rows());
+  // The kernel writes every output row (zero rows of A are zero-filled
+  // when not accumulating), so C can skip its own fill.
+  Matrix C = Matrix::uninit(A.rows(), B.rows());
   size_t K = A.cols(), M = B.rows();
   size_t RowWork = K * M;
   bool Parallel = A.rows() * RowWork >= GemmParallelFlops &&
                   !support::ThreadPool::inParallelRegion();
   GemmTimeScope Scope(Parallel);
-  // Dot-product form: four B rows share each loaded A element, with four
-  // independent accumulators the compiler can vectorize across K.
+  // Dot-product form, dispatched through the kernel table: four B rows
+  // share each loaded A element with lane-ordered accumulation per output.
   support::parallelFor(
       0, A.rows(), support::grainForWork(RowWork), [&](size_t R0, size_t R1) {
-        for (size_t I = R0; I < R1; ++I) {
-          const double *ARow = A.rowPtr(I);
-          double *CRow = C.rowPtr(I);
-          if (allZero(ARow, K))
-            continue;
-          size_t J = 0;
-          for (; J + 4 <= M; J += 4) {
-            const double *B0 = B.rowPtr(J), *B1 = B.rowPtr(J + 1);
-            const double *B2 = B.rowPtr(J + 2), *B3 = B.rowPtr(J + 3);
-            double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
-            for (size_t Kk = 0; Kk < K; ++Kk) {
-              double AV = ARow[Kk];
-              S0 += AV * B0[Kk];
-              S1 += AV * B1[Kk];
-              S2 += AV * B2[Kk];
-              S3 += AV * B3[Kk];
-            }
-            CRow[J] = S0;
-            CRow[J + 1] = S1;
-            CRow[J + 2] = S2;
-            CRow[J + 3] = S3;
-          }
-          for (; J < M; ++J) {
-            const double *BRow = B.rowPtr(J);
-            double S = 0.0;
-            for (size_t Kk = 0; Kk < K; ++Kk)
-              S += ARow[Kk] * BRow[Kk];
-            CRow[J] = S;
-          }
-        }
+        kernels().DotTransposedB(A.rowPtr(R0), R1 - R0, B.rowPtr(0), M, K,
+                                 C.rowPtr(R0), /*Accumulate=*/false);
       });
   return C;
 }
@@ -415,48 +402,7 @@ Matrix deept::tensor::matmulTransposedB(const Matrix &A, const Matrix &B) {
 void deept::tensor::dotKernelTransposedB(const double *A, size_t N,
                                          const double *B, size_t M, size_t D,
                                          double *C, bool Accumulate) {
-  // Mirrors the matmulTransposedB inner loops: four B rows share each
-  // loaded A element, ascending-k accumulation per output element.
-  for (size_t I = 0; I < N; ++I) {
-    const double *ARow = A + I * D;
-    double *CRow = C + I * M;
-    if (allZero(ARow, D))
-      continue;
-    size_t J = 0;
-    for (; J + 4 <= M; J += 4) {
-      const double *B0 = B + J * D, *B1 = B + (J + 1) * D;
-      const double *B2 = B + (J + 2) * D, *B3 = B + (J + 3) * D;
-      double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
-      for (size_t Kk = 0; Kk < D; ++Kk) {
-        double AV = ARow[Kk];
-        S0 += AV * B0[Kk];
-        S1 += AV * B1[Kk];
-        S2 += AV * B2[Kk];
-        S3 += AV * B3[Kk];
-      }
-      if (Accumulate) {
-        CRow[J] += S0;
-        CRow[J + 1] += S1;
-        CRow[J + 2] += S2;
-        CRow[J + 3] += S3;
-      } else {
-        CRow[J] = S0;
-        CRow[J + 1] = S1;
-        CRow[J + 2] = S2;
-        CRow[J + 3] = S3;
-      }
-    }
-    for (; J < M; ++J) {
-      const double *BRow = B + J * D;
-      double S = 0.0;
-      for (size_t Kk = 0; Kk < D; ++Kk)
-        S += ARow[Kk] * BRow[Kk];
-      if (Accumulate)
-        CRow[J] += S;
-      else
-        CRow[J] = S;
-    }
-  }
+  kernels().DotTransposedB(A, N, B, M, D, C, Accumulate);
 }
 
 Matrix deept::tensor::matmulTransposedA(const Matrix &A, const Matrix &B) {

@@ -21,6 +21,8 @@
 #include <cassert>
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <new>
 #include <vector>
 
 namespace deept {
@@ -30,6 +32,37 @@ class Rng;
 
 namespace tensor {
 
+namespace detail {
+
+/// std::allocator<double>, except that default-insertion (resize with no
+/// value) leaves elements uninitialized. Matrix::uninit uses this to skip
+/// the zero-fill for outputs whose every element is about to be written
+/// -- on coefficient-matrix-sized temporaries the fill is a measurable
+/// slice of propagation time. Value-insertion (the fill constructor)
+/// takes the normal placement-new fallback and still initializes.
+template <typename T> struct NoInitAllocator {
+  using value_type = T;
+  NoInitAllocator() = default;
+  template <typename U> NoInitAllocator(const NoInitAllocator<U> &) noexcept {}
+  T *allocate(std::size_t N) { return std::allocator<T>().allocate(N); }
+  void deallocate(T *P, std::size_t N) {
+    std::allocator<T>().deallocate(P, N);
+  }
+  template <typename U> void construct(U *P) noexcept {
+    ::new (static_cast<void *>(P)) U;
+  }
+  template <typename U>
+  bool operator==(const NoInitAllocator<U> &) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const NoInitAllocator<U> &) const noexcept {
+    return false;
+  }
+};
+
+} // namespace detail
+
 /// Dense row-major matrix of doubles.
 class Matrix {
 public:
@@ -38,6 +71,11 @@ public:
 
   /// Creates a RowsxCols matrix filled with \p Fill.
   Matrix(size_t Rows, size_t Cols, double Fill = 0.0);
+
+  /// Creates a RowsxCols matrix with UNINITIALIZED elements. Only for
+  /// outputs whose every element is written before any read (full
+  /// overwrites and kernel calls that cover every row).
+  static Matrix uninit(size_t Rows, size_t Cols);
 
   /// Creates a matrix from a nested initializer-style vector. All inner
   /// vectors must have the same length.
@@ -88,7 +126,10 @@ public:
   const double *rowPtr(size_t R) const { return Data.data() + R * NumCols; }
 
   /// Reinterprets the storage with a new shape; element count must match.
-  Matrix reshaped(size_t Rows, size_t Cols) const;
+  /// The rvalue overload moves the storage instead of copying it, so
+  /// chains like matmul(...).reshaped(...) are shape-relabels, not copies.
+  Matrix reshaped(size_t Rows, size_t Cols) const &;
+  Matrix reshaped(size_t Rows, size_t Cols) &&;
 
   /// Returns the transpose.
   Matrix transposed() const;
@@ -176,22 +217,32 @@ private:
 
   size_t NumRows = 0;
   size_t NumCols = 0;
-  std::vector<double> Data;
+  std::vector<double, detail::NoInitAllocator<double>> Data;
 };
 
 /// C = A * B.
 Matrix matmul(const Matrix &A, const Matrix &B);
+
+/// C = A * B where A's storage is reinterpreted as ARows x ACols (element
+/// count must match A.size()). Bit-identical to
+/// matmul(A.reshaped(ARows, ACols), B) without materialising the reshaped
+/// copy -- the GEMM only ever reads A through row pointers.
+Matrix matmulReshaped(const Matrix &A, size_t ARows, size_t ACols,
+                      const Matrix &B);
 
 /// C = A * B^T (B is used transposed without materialising it).
 Matrix matmulTransposedB(const Matrix &A, const Matrix &B);
 
 /// Pointer-level row kernel of matmulTransposedB for callers that hold
 /// coefficient rows rather than Matrix objects (the zonotope noise-symbol
-/// planes): C[i*M + j] (+)= sum_k A[i*D + k] * B[j*D + k] with the
-/// contraction in ascending-k order per output element -- bit-identical to
-/// matmulTransposedB. Rows of A that are entirely zero are skipped at row
-/// granularity (when not accumulating the caller must pass zeroed C), so
-/// sparse noise-symbol rows cost O(D) instead of O(M * D).
+/// planes): C[i*M + j] (+)= sum_k A[i*D + k] * B[j*D + k], dispatched
+/// through tensor::kernels() with the lane-ordered contraction per output
+/// element that tensor/Kernels.h documents -- bit-identical to
+/// matmulTransposedB within an ISA (different ISAs may differ by ulps in
+/// the reduction). Rows of A that are entirely zero are skipped at row
+/// granularity (when not accumulating the skipped output row is
+/// zero-filled, so C may start uninitialized), and sparse noise-symbol
+/// rows cost O(M) instead of O(M * D).
 void dotKernelTransposedB(const double *A, size_t N, const double *B,
                           size_t M, size_t D, double *C, bool Accumulate);
 

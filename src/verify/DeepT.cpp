@@ -270,6 +270,29 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
 
 double DeepTVerifier::certifyMargin(const Zonotope &InputEmb,
                                     size_t TrueClass) const {
+  if (Config.Precision == support::FpPrecision::F64)
+    return certifyMarginImpl(InputEmb, TrueClass);
+  // F32 mode: run the propagation with single-precision dual-norm
+  // accumulation (soundly widened, so the margin can only shrink). A
+  // non-positive margin may be the widening rather than a real
+  // falsification, so escalate that query back to full precision -- the
+  // returned verdict is then always F64-backed on the falsify side,
+  // while certified verdicts carry the f32 upper-bound guarantee.
+  auto &MR = support::Metrics::global();
+  MR.counter("prec.f32_jobs").add(1.0);
+  double M32;
+  {
+    support::FpScope Scope(support::FpPrecision::F32);
+    M32 = certifyMarginImpl(InputEmb, TrueClass);
+  }
+  if (M32 > 0.0)
+    return M32;
+  MR.counter("prec.escalations").add(1.0);
+  return certifyMarginImpl(InputEmb, TrueClass);
+}
+
+double DeepTVerifier::certifyMarginImpl(const Zonotope &InputEmb,
+                                        size_t TrueClass) const {
   assert(TrueClass < 2 && "binary classification");
   // With a profile attached, a provenance session tags every fresh eps
   // symbol created during this propagation with its originating
@@ -285,12 +308,14 @@ double DeepTVerifier::certifyMargin(const Zonotope &InputEmb,
   // The margin is an affine combination of the logit variables; computing
   // it inside the domain keeps the shared-noise cancellation (an interval
   // subtraction would be much looser).
-  Zonotope Margin =
-      Logits.mapLinearPublic(1, 1, [TrueClass](const Matrix &M) {
-        Matrix Out(1, 1);
-        Out.at(0, 0) = M.at(0, TrueClass) - M.at(0, 1 - TrueClass);
-        return Out;
-      });
+  // Built as a right-multiply by the +/-1 column so the eps blocks stay
+  // in scatter form (mapLinear would densify and allocate per symbol
+  // row); the ascending-k accumulation performs the same subtraction, so
+  // the margin is bit-identical.
+  Matrix MarginW(2, 1);
+  MarginW.at(TrueClass, 0) = 1.0;
+  MarginW.at(1 - TrueClass, 0) = -1.0;
+  Zonotope Margin = Logits.matmulRightConst(MarginW);
   Matrix Lo, Hi;
   Margin.bounds(Lo, Hi);
   // Belt-and-braces: even with ValidateAbstractions off, a NaN margin

@@ -25,6 +25,7 @@
 
 #include "data/SyntheticCorpus.h"
 #include "nn/Transformer.h"
+#include "support/Fp.h"
 #include "zono/DotProduct.h"
 #include "zono/Softmax.h"
 #include "zono/Zonotope.h"
@@ -86,6 +87,13 @@ struct VerifierConfig {
   /// block counts, coefficient bytes -- no width computation) so a failed
   /// job's artifact shows where the propagation was when it died.
   support::FlightRecorder *Recorder = nullptr;
+  /// Kernel precision for the dual-norm reductions (see support/Fp.h).
+  /// F32 accumulates coefficient magnitudes in single precision with a
+  /// sound upward lift -- the certified margin can only shrink, never
+  /// grow -- and certifyMargin() automatically escalates a query back to
+  /// F64 when the widened bound would flip the verdict to "not certified"
+  /// (counted by the prec.escalations metric). F64 is the default.
+  support::FpPrecision Precision = support::FpPrecision::F64;
 };
 
 /// Propagation statistics. The numbers live in the support::Metrics
@@ -138,6 +146,10 @@ public:
                       const data::Sentence &S) const;
 
 private:
+  /// The margin computation proper; certifyMargin() wraps it in the
+  /// configured precision scope and handles the F32 -> F64 escalation.
+  double certifyMarginImpl(const Zonotope &InputEmb, size_t TrueClass) const;
+
   const nn::TransformerModel &Model;
   VerifierConfig Config;
 };

@@ -27,12 +27,13 @@ double deept::verify::feedForwardMargin(const nn::FeedForwardNet &Net,
                                         const Zonotope &Input,
                                         size_t TrueClass) {
   Zonotope Logits = propagateFeedForward(Net, Input);
-  Zonotope Margin =
-      Logits.mapLinearPublic(1, 1, [TrueClass](const Matrix &M) {
-        Matrix Out(1, 1);
-        Out.at(0, 0) = M.at(0, TrueClass) - M.at(0, 1 - TrueClass);
-        return Out;
-      });
+  // Same +/-1 column trick as DeepTVerifier::certifyMarginImpl: keeps the
+  // eps blocks in scatter form and is bit-identical to the mapLinear
+  // subtraction.
+  Matrix MarginW(2, 1);
+  MarginW.at(TrueClass, 0) = 1.0;
+  MarginW.at(1 - TrueClass, 0) = -1.0;
+  Zonotope Margin = Logits.matmulRightConst(MarginW);
   Matrix Lo, Hi;
   Margin.bounds(Lo, Hi);
   return Lo.at(0, 0);

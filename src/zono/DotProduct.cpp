@@ -2,14 +2,18 @@
 
 #include "zono/DotProduct.h"
 
+#include "support/Fp.h"
 #include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Trace.h"
+#include "tensor/Kernels.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <deque>
+#include <optional>
+#include <vector>
 
 using namespace deept;
 using namespace deept::zono;
@@ -28,19 +32,43 @@ Matrix perVarSymbolNorms(const Matrix &Coeffs, double Q, size_t M, size_t D) {
   double *O = Out.data();
   size_t NumVars = M * D;
   size_t NumS = Coeffs.rows();
-  parallelFor(0, NumVars, grainForWork(NumS), [&](size_t V0, size_t V1) {
-    for (size_t S = 0; S < NumS; ++S) {
-      const double *Row = Coeffs.rowPtr(S);
-      if (Q == 1.0) {
-        for (size_t V = V0; V < V1; ++V)
-          O[V] += std::fabs(Row[V]);
-      } else if (Q == 2.0) {
-        for (size_t V = V0; V < V1; ++V)
-          O[V] += Row[V] * Row[V];
-      } else {
-        for (size_t V = V0; V < V1; ++V)
-          O[V] = std::max(O[V], std::fabs(Row[V]));
+  parallelFor(0, NumVars, support::reductionGrain(NumVars),
+              [&](size_t V0, size_t V1) {
+    const tensor::Kernels &K = tensor::kernels();
+    size_t W = V1 - V0;
+    if (support::fpPrecision() == support::FpPrecision::F32) {
+      // Single-precision accumulation with the sound upward lift; the
+      // lifted values upper-bound the f64 results per variable (see
+      // tensor::detail::f32SumUpper).
+      std::vector<float> FAcc(W, 0.0f);
+      for (size_t S = 0; S < NumS; ++S) {
+        const double *Row = Coeffs.rowPtr(S) + V0;
+        if (Q == 1.0)
+          K.AccAbsF32(Row, FAcc.data(), W);
+        else if (Q == 2.0)
+          K.AccSqF32(Row, FAcc.data(), W);
+        else
+          K.AccMaxAbsF32(Row, FAcc.data(), W);
       }
+      for (size_t V = V0; V < V1; ++V) {
+        if (Q == Matrix::InfNorm)
+          O[V] = tensor::detail::f32MaxUpper(FAcc[V - V0]);
+        else
+          O[V] = tensor::detail::f32SumUpper(FAcc[V - V0], NumS);
+      }
+      if (Q == 2.0)
+        for (size_t V = V0; V < V1; ++V)
+          O[V] = std::sqrt(O[V]);
+      return;
+    }
+    for (size_t S = 0; S < NumS; ++S) {
+      const double *Row = Coeffs.rowPtr(S) + V0;
+      if (Q == 1.0)
+        K.AccAbs(Row, O + V0, W);
+      else if (Q == 2.0)
+        K.AccSq(Row, O + V0, W);
+      else
+        K.AccMaxAbs(Row, O + V0, W);
     }
     if (Q == 2.0)
       for (size_t V = V0; V < V1; ++V)
@@ -83,20 +111,19 @@ Matrix fastAbsBound(const std::vector<EpsBlockView> &Outer, size_t OuterSyms,
   Matrix Acc(N, M, 0.0);
   parallelFor(0, N, grainForWork(OuterSyms * M * D), [&](size_t I0,
                                                          size_t I1) {
+    const tensor::Kernels &KT = tensor::kernels();
     std::vector<double> AbsS(D), TRow(M);
     for (size_t I = I0; I < I1; ++I) {
       double *AccRow = Acc.rowPtr(I);
       auto Accumulate = [&]() {
-        if (QOuter == 1.0) {
-          for (size_t J = 0; J < M; ++J)
-            AccRow[J] += TRow[J];
-        } else if (QOuter == 2.0) {
-          for (size_t J = 0; J < M; ++J)
-            AccRow[J] += TRow[J] * TRow[J];
-        } else {
-          for (size_t J = 0; J < M; ++J)
-            AccRow[J] = std::max(AccRow[J], TRow[J]);
-        }
+        // TRow is nonnegative, so Axpy(1.0)/AccSq/AccMaxAbs reproduce the
+        // former += / += square / max loops bit-for-bit.
+        if (QOuter == 1.0)
+          KT.Axpy(1.0, TRow.data(), AccRow, M);
+        else if (QOuter == 2.0)
+          KT.AccSq(TRow.data(), AccRow, M);
+        else
+          KT.AccMaxAbs(TRow.data(), AccRow, M);
       };
       for (const EpsBlockView &BV : Outer) {
         switch (BV.Kind) {
@@ -115,19 +142,13 @@ Matrix fastAbsBound(const std::vector<EpsBlockView> &Outer, size_t OuterSyms,
           }
           break;
         case EpsBlockKind::Dense:
-          for (size_t S = 0; S < BV.Syms; ++S) {
-            const double *Slice = BV.Dense->rowPtr(S) + I * D;
-            for (size_t K = 0; K < D; ++K)
-              AbsS[K] = std::fabs(Slice[K]);
-            for (size_t J = 0; J < M; ++J) {
-              const double *IN = InnerNorms.rowPtr(J);
-              double T = 0.0;
-              for (size_t K = 0; K < D; ++K)
-                T += AbsS[K] * IN[K];
-              TRow[J] = T;
-            }
-            Accumulate();
-          }
+          // One dispatch for the whole block: the fused kernel runs the
+          // AbsRow / zero-skip / 1-row dot / accumulate sequence per
+          // symbol with the helpers inlined (bit-identical to the unfused
+          // calls -- see tensor::Kernels::CascadeDense).
+          KT.CascadeDense(BV.Dense->rowPtr(0) + I * D, BV.Syms,
+                          BV.Dense->cols(), InnerNorms.data(), M, D, QOuter,
+                          AbsS.data(), TRow.data(), AccRow);
           break;
         }
       }
@@ -182,9 +203,7 @@ void preciseEpsBound(const Matrix &EA, size_t N, const Matrix &EB, size_t M,
           const double *AS = EA.rowPtr(S) + I * D;
           for (size_t T : ActiveB[J]) {
             const double *BT = EB.rowPtr(T) + J * D;
-            double G = 0.0;
-            for (size_t K = 0; K < D; ++K)
-              G += AS[K] * BT[K];
+            double G = tensor::kernels().Dot(AS, BT, D);
             if (S == T) {
               // eps^2 in [0, 1].
               if (G > 0.0)
@@ -294,8 +313,26 @@ Zonotope deept::zono::dotRows(const Zonotope &AIn, const Zonotope &BIn,
   (Opts.Method == DotMethod::Precise ? PreciseCalls : FastCalls).add(1);
 
   assert(AIn.cols() == BIn.cols() && "dotRows dimension mismatch");
-  Zonotope A = AIn, B = BIn;
-  Zonotope::alignSpaces(A, B);
+  // The body only reads the operands, so align by copying and padding
+  // only the side whose symbol space is actually narrower (often neither,
+  // e.g. Q.K^T inside one attention head).
+  std::optional<Zonotope> ACopy, BCopy;
+  // A side also adopts B's norm when both operands are phi-free but
+  // disagree on the (then unused) norm tag, matching alignSpaces.
+  if (AIn.numPhi() < BIn.numPhi() || AIn.numEps() < BIn.numEps() ||
+      (AIn.numPhi() == 0 && AIn.phiP() != BIn.phiP())) {
+    ACopy.emplace(AIn);
+    ACopy->padToMatch(BIn);
+  }
+  if (BIn.numPhi() < AIn.numPhi() || BIn.numEps() < AIn.numEps() ||
+      (BIn.numPhi() == 0 && AIn.numPhi() > 0 && BIn.phiP() != AIn.phiP())) {
+    BCopy.emplace(BIn);
+    BCopy->padToMatch(AIn);
+  }
+  const Zonotope &A = ACopy ? *ACopy : AIn;
+  const Zonotope &B = BCopy ? *BCopy : BIn;
+  assert(A.numPhi() == B.numPhi() && A.numEps() == B.numEps() &&
+         "operand symbol spaces misaligned");
   size_t N = A.rows(), M = B.rows(), D = A.cols();
   // The affine part multiplies each of the 1 + phi + eps coefficient
   // planes (two GEMMs per noise plane) through an N x D x M contraction.
@@ -312,7 +349,9 @@ Zonotope deept::zono::dotRows(const Zonotope &AIn, const Zonotope &BIn,
   // coefficient matrices, so the symbol loop parallelises with disjoint
   // writes; the nested GEMMs turn serial inside a worker chunk.
   size_t SymGrain = grainForWork(4 * N * M * D);
-  Matrix PhiOut(A.numPhi(), N * M);
+  // Every row is fully covered by the non-accumulating kernel call below
+  // (which zero-fills skipped zero rows), so no fill is needed.
+  Matrix PhiOut = Matrix::uninit(A.numPhi(), N * M);
   parallelFor(0, A.numPhi(), SymGrain, [&](size_t S0, size_t S1) {
     for (size_t S = S0; S < S1; ++S) {
       // Coef = CA * BS^T + AS * CB^T via the pointer kernel: ascending-k
@@ -365,7 +404,10 @@ Zonotope deept::zono::dotRows(const Zonotope &AIn, const Zonotope &BIn,
       ++S1;
     }
     size_t Len = S1 - S;
-    Matrix Run(Len, N * M, 0.0);
+    // Rows whose B-side is Dense are fully written by the non-accumulating
+    // kernel call (zero rows of CA zero-fill); only the sparse Diag cases
+    // need their row cleared first, which the loop below does per row.
+    Matrix Run = Matrix::uninit(Len, N * M);
     size_t RunWork =
         (DenseSyms * 4 * N * M * D + (Len - DenseSyms) * (N + M + 8)) / Len +
         1;
@@ -374,6 +416,10 @@ Zonotope deept::zono::dotRows(const Zonotope &AIn, const Zonotope &BIn,
         const EpsSymRef &RA = RefsA[S + R];
         const EpsSymRef &RB = RefsB[S + R];
         double *OutRow = Run.rowPtr(R);
+        if (RB.Kind == EpsBlockKind::Diag ||
+            (RB.Kind == EpsBlockKind::Zero &&
+             RA.Kind == EpsBlockKind::Diag))
+          std::fill(OutRow, OutRow + N * M, 0.0);
         if (RB.Kind == EpsBlockKind::Dense) {
           tensor::dotKernelTransposedB(CA.data(), N, RB.Row, M, D, OutRow,
                                        /*Accumulate=*/false);
@@ -436,8 +482,20 @@ Zonotope deept::zono::mulElementwise(const Zonotope &AIn, const Zonotope &BIn,
   Calls.add(1);
   assert(AIn.rows() == BIn.rows() && AIn.cols() == BIn.cols() &&
          "mulElementwise shape mismatch");
-  Zonotope A = AIn, B = BIn;
-  Zonotope::alignSpaces(A, B);
+  // Same one-sided copy-elision as dotRows: pad only the narrower side.
+  std::optional<Zonotope> ACopy, BCopy;
+  if (AIn.numPhi() < BIn.numPhi() || AIn.numEps() < BIn.numEps() ||
+      (AIn.numPhi() == 0 && AIn.phiP() != BIn.phiP())) {
+    ACopy.emplace(AIn);
+    ACopy->padToMatch(BIn);
+  }
+  if (BIn.numPhi() < AIn.numPhi() || BIn.numEps() < AIn.numEps() ||
+      (BIn.numPhi() == 0 && AIn.numPhi() > 0 && BIn.phiP() != AIn.phiP())) {
+    BCopy.emplace(BIn);
+    BCopy->padToMatch(AIn);
+  }
+  const Zonotope &A = ACopy ? *ACopy : AIn;
+  const Zonotope &B = BCopy ? *BCopy : BIn;
   size_t NumVars = A.numVars();
 
   const Matrix &CA = A.center();
@@ -447,7 +505,8 @@ Zonotope deept::zono::mulElementwise(const Zonotope &AIn, const Zonotope &BIn,
                                     A.phiP());
 
   size_t SymGrain = grainForWork(2 * NumVars);
-  Matrix PhiOut(A.numPhi(), NumVars);
+  // Rows fully written by the per-variable loop below.
+  Matrix PhiOut = Matrix::uninit(A.numPhi(), NumVars);
   parallelFor(0, A.numPhi(), SymGrain, [&](size_t S0, size_t S1) {
     for (size_t S = S0; S < S1; ++S) {
       const double *AS = A.phiCoeffs().rowPtr(S);

@@ -22,8 +22,9 @@ struct ConstraintForm {
   std::vector<double> Beta;  // eps coefficients
 };
 
-ConstraintForm buildConstraint(const Zonotope &P, size_t Row) {
-  ConstraintForm D;
+/// Fills \p D in place (reusing its vectors' capacity -- this runs twice
+/// per refined row, so the allocations are worth hoisting).
+void buildConstraint(const Zonotope &P, size_t Row, ConstraintForm &D) {
   size_t C = P.cols();
   D.C = 1.0;
   for (size_t J = 0; J < C; ++J)
@@ -40,7 +41,6 @@ ConstraintForm buildConstraint(const Zonotope &P, size_t Row) {
     for (size_t J = 0; J < C; ++J)
       D.Beta[S] -= CoefRow[Row * C + J];
   }
-  return D;
 }
 
 /// Adds T * D to variable \p Var of \p P (an exact rewrite on the
@@ -77,8 +77,9 @@ double objectiveAt(const std::vector<Breakpoint> &Points, double T) {
 /// are skipped by moving to the best non-phi neighbour.
 double minimiseCoefficientMass(const Zonotope &P, size_t Var,
                                const ConstraintForm &D,
-                               const RefinementOptions &Opts) {
-  std::vector<Breakpoint> Points;
+                               const RefinementOptions &Opts,
+                               std::vector<Breakpoint> &Points) {
+  Points.clear();
   Points.reserve(D.Alpha.size() + D.Beta.size());
   for (size_t S = 0; S < D.Alpha.size(); ++S) {
     if (std::fabs(D.Alpha[S]) <= Opts.Tol)
@@ -162,8 +163,14 @@ deept::zono::refineSoftmaxSum(Zonotope &P,
                                                 {-1.0, 1.0});
   std::vector<bool> Tightened(P.numEps(), false);
 
+  // Scratch reused across every row and variable: the refinement loop is
+  // allocation-heavy enough that per-call vectors show up in profiles.
+  ConstraintForm D, DR;
+  std::vector<Breakpoint> Points;
+  Matrix AlphaScratch;
+
   for (size_t Row = 0; Row < P.rows(); ++Row) {
-    ConstraintForm D = buildConstraint(P, Row);
+    buildConstraint(P, Row, D);
 
     // Steps 1-2: refine every variable of the row with its own
     // mass-minimising multiple of the constraint residual. The paper
@@ -174,7 +181,7 @@ deept::zono::refineSoftmaxSum(Zonotope &P,
     // candidate the optimum dominates).
     for (size_t J = 0; J < C; ++J) {
       size_t Var = Row * C + J;
-      double TStar = minimiseCoefficientMass(P, Var, D, Opts);
+      double TStar = minimiseCoefficientMass(P, Var, D, Opts, Points);
       if (std::fabs(TStar) <= Opts.MaxFactor)
         addConstraintMultiple(P, Var, TStar, D);
     }
@@ -182,13 +189,13 @@ deept::zono::refineSoftmaxSum(Zonotope &P,
 
     // Step 3: solve the refined constraint for each eps symbol to tighten
     // its range.
-    ConstraintForm DR = buildConstraint(P, Row);
+    buildConstraint(P, Row, DR);
     double AlphaNorm = 0.0;
-    {
-      Matrix A(1, DR.Alpha.size());
-      for (size_t S = 0; S < DR.Alpha.size(); ++S)
-        A.at(0, S) = DR.Alpha[S];
-      AlphaNorm = DR.Alpha.empty() ? 0.0 : A.lpNorm(Q);
+    if (!DR.Alpha.empty()) {
+      if (AlphaScratch.cols() != DR.Alpha.size())
+        AlphaScratch = Matrix::uninit(1, DR.Alpha.size());
+      std::copy(DR.Alpha.begin(), DR.Alpha.end(), AlphaScratch.data());
+      AlphaNorm = AlphaScratch.lpNorm(Q);
     }
     double BetaAbsSum = 0.0;
     for (double B : DR.Beta)

@@ -4,14 +4,17 @@
 
 #include "zono/Provenance.h"
 
+#include "support/Fp.h"
 #include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Rng.h"
+#include "tensor/Kernels.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <utility>
+#include <vector>
 
 using namespace deept;
 using namespace deept::zono;
@@ -22,38 +25,65 @@ using tensor::dualExponent;
 namespace {
 
 /// Accumulates, per variable (column), the dual-norm of the coefficient
+/// columns of \p Coeffs into [V0, V1) of \p O in single precision with the
+/// sound upward lift (the opt-in f32 mode; see tensor::detail::f32SumUpper).
+/// \p O must be zero on entry for sum norms.
+void dualNormsF32Range(const Matrix &Coeffs, double Q, double *O, size_t V0,
+                       size_t V1) {
+  const tensor::Kernels &K = tensor::kernels();
+  size_t NumS = Coeffs.rows(), W = V1 - V0;
+  std::vector<float> FAcc(W, 0.0f);
+  if (Q == 1.0) {
+    for (size_t S = 0; S < NumS; ++S)
+      K.AccAbsF32(Coeffs.rowPtr(S) + V0, FAcc.data(), W);
+    for (size_t V = V0; V < V1; ++V)
+      O[V] = tensor::detail::f32SumUpper(FAcc[V - V0], NumS);
+    return;
+  }
+  if (Q == 2.0) {
+    for (size_t S = 0; S < NumS; ++S)
+      K.AccSqF32(Coeffs.rowPtr(S) + V0, FAcc.data(), W);
+    for (size_t V = V0; V < V1; ++V)
+      O[V] = std::sqrt(tensor::detail::f32SumUpper(FAcc[V - V0], NumS));
+    return;
+  }
+  assert(Q == Matrix::InfNorm && "unsupported dual exponent");
+  for (size_t S = 0; S < NumS; ++S)
+    K.AccMaxAbsF32(Coeffs.rowPtr(S) + V0, FAcc.data(), W);
+  for (size_t V = V0; V < V1; ++V)
+    O[V] = tensor::detail::f32MaxUpper(FAcc[V - V0]);
+}
+
+/// Accumulates, per variable (column), the dual-norm of the coefficient
 /// columns of \p Coeffs. Q follows Matrix::InfNorm conventions. Parallel
 /// over variable ranges; each variable accumulates its symbol axis in
-/// ascending order, so results are thread-count independent.
+/// ascending order, so results are thread-count independent. In f32 mode
+/// (support::fpPrecision()) the accumulation runs in single precision with
+/// the sound upward lift.
 Matrix columnDualNorms(const Matrix &Coeffs, double Q, size_t NumVars) {
   Matrix Out(1, NumVars, 0.0);
   double *O = Out.data();
   size_t NumS = Coeffs.rows();
-  parallelFor(0, NumVars, grainForWork(NumS), [&](size_t V0, size_t V1) {
+  parallelFor(0, NumVars, support::reductionGrain(NumVars),
+              [&](size_t V0, size_t V1) {
+    if (support::fpPrecision() == support::FpPrecision::F32)
+      return dualNormsF32Range(Coeffs, Q, O, V0, V1);
+    const tensor::Kernels &K = tensor::kernels();
     if (Q == 1.0) {
-      for (size_t S = 0; S < NumS; ++S) {
-        const double *Row = Coeffs.rowPtr(S);
-        for (size_t V = V0; V < V1; ++V)
-          O[V] += std::fabs(Row[V]);
-      }
+      for (size_t S = 0; S < NumS; ++S)
+        K.AccAbs(Coeffs.rowPtr(S) + V0, O + V0, V1 - V0);
       return;
     }
     if (Q == 2.0) {
-      for (size_t S = 0; S < NumS; ++S) {
-        const double *Row = Coeffs.rowPtr(S);
-        for (size_t V = V0; V < V1; ++V)
-          O[V] += Row[V] * Row[V];
-      }
+      for (size_t S = 0; S < NumS; ++S)
+        K.AccSq(Coeffs.rowPtr(S) + V0, O + V0, V1 - V0);
       for (size_t V = V0; V < V1; ++V)
         O[V] = std::sqrt(O[V]);
       return;
     }
     assert(Q == Matrix::InfNorm && "unsupported dual exponent");
-    for (size_t S = 0; S < NumS; ++S) {
-      const double *Row = Coeffs.rowPtr(S);
-      for (size_t V = V0; V < V1; ++V)
-        O[V] = std::max(O[V], std::fabs(Row[V]));
-    }
+    for (size_t S = 0; S < NumS; ++S)
+      K.AccMaxAbs(Coeffs.rowPtr(S) + V0, O + V0, V1 - V0);
   });
   return Out;
 }
@@ -67,7 +97,8 @@ Matrix columnDualNorms(const Matrix &Coeffs, double Q, size_t NumVars) {
 template <typename FnT>
 Matrix denseRowwise(const Matrix &Blk, size_t R, size_t C, size_t NewVars,
                     const FnT &Fn) {
-  Matrix Out(Blk.rows(), NewVars);
+  // Every row is fully written by the std::copy below, so skip the fill.
+  Matrix Out = Matrix::uninit(Blk.rows(), NewVars);
   parallelFor(0, Blk.rows(), grainForWork(2 * R * C),
               [&](size_t S0, size_t S1) {
                 for (size_t S = S0; S < S1; ++S) {
@@ -81,13 +112,16 @@ Matrix denseRowwise(const Matrix &Blk, size_t R, size_t C, size_t NewVars,
 
 /// Pointer-level variant of denseRowwise for the hot affine transformers:
 /// \p Fn reads one symbol row (the old flattened view) and writes its
-/// image directly, with no per-row Matrix temporaries. The output matrix
-/// starts zero-filled, so Fn may write sparsely. \p Work estimates the
-/// per-row cost for the parallel grain.
+/// image directly, with no per-row Matrix temporaries. With \p ZeroInit
+/// (the default) the output starts zero-filled so Fn may write sparsely;
+/// transformers whose Fn fully overwrites each output row pass false and
+/// skip the fill. \p Work estimates the per-row cost for the parallel
+/// grain.
 template <typename FnT>
 Matrix denseRowwisePtr(const Matrix &Blk, size_t Work, size_t NewVars,
-                       const FnT &Fn) {
-  Matrix Out(Blk.rows(), NewVars);
+                       const FnT &Fn, bool ZeroInit = true) {
+  Matrix Out = ZeroInit ? Matrix(Blk.rows(), NewVars)
+                        : Matrix::uninit(Blk.rows(), NewVars);
   parallelFor(0, Blk.rows(), grainForWork(Work), [&](size_t S0, size_t S1) {
     for (size_t S = S0; S < S1; ++S)
       Fn(Blk.rowPtr(S), Out.rowPtr(S));
@@ -298,26 +332,44 @@ Matrix Zonotope::epsColumnDualNorms(double Q) const {
     size_t NumS = Blk.rows();
     if (NumS == 0)
       return;
-    parallelFor(0, N, grainForWork(NumS), [&](size_t V0, size_t V1) {
+    parallelFor(0, N, support::reductionGrain(N), [&](size_t V0, size_t V1) {
+      const tensor::Kernels &K = tensor::kernels();
+      if (support::fpPrecision() == support::FpPrecision::F32) {
+        // Per-block f32 accumulation, lifted upward before joining the
+        // cross-block double accumulator: each block contributes an upper
+        // bound of its f64 contribution, so the total stays an upper
+        // bound of the f64 result.
+        size_t W = V1 - V0;
+        std::vector<float> FAcc(W, 0.0f);
+        if (Q == 1.0) {
+          for (size_t S = 0; S < NumS; ++S)
+            K.AccAbsF32(Blk.rowPtr(S) + V0, FAcc.data(), W);
+          for (size_t V = V0; V < V1; ++V)
+            O[V] += tensor::detail::f32SumUpper(FAcc[V - V0], NumS);
+        } else if (Q == 2.0) {
+          for (size_t S = 0; S < NumS; ++S)
+            K.AccSqF32(Blk.rowPtr(S) + V0, FAcc.data(), W);
+          for (size_t V = V0; V < V1; ++V)
+            O[V] += tensor::detail::f32SumUpper(FAcc[V - V0], NumS);
+        } else {
+          assert(Q == Matrix::InfNorm && "unsupported dual exponent");
+          for (size_t S = 0; S < NumS; ++S)
+            K.AccMaxAbsF32(Blk.rowPtr(S) + V0, FAcc.data(), W);
+          for (size_t V = V0; V < V1; ++V)
+            O[V] = std::max(O[V], tensor::detail::f32MaxUpper(FAcc[V - V0]));
+        }
+        return;
+      }
       if (Q == 1.0) {
-        for (size_t S = 0; S < NumS; ++S) {
-          const double *Row = Blk.rowPtr(S);
-          for (size_t V = V0; V < V1; ++V)
-            O[V] += std::fabs(Row[V]);
-        }
+        for (size_t S = 0; S < NumS; ++S)
+          K.AccAbs(Blk.rowPtr(S) + V0, O + V0, V1 - V0);
       } else if (Q == 2.0) {
-        for (size_t S = 0; S < NumS; ++S) {
-          const double *Row = Blk.rowPtr(S);
-          for (size_t V = V0; V < V1; ++V)
-            O[V] += Row[V] * Row[V];
-        }
+        for (size_t S = 0; S < NumS; ++S)
+          K.AccSq(Blk.rowPtr(S) + V0, O + V0, V1 - V0);
       } else {
         assert(Q == Matrix::InfNorm && "unsupported dual exponent");
-        for (size_t S = 0; S < NumS; ++S) {
-          const double *Row = Blk.rowPtr(S);
-          for (size_t V = V0; V < V1; ++V)
-            O[V] = std::max(O[V], std::fabs(Row[V]));
-        }
+        for (size_t S = 0; S < NumS; ++S)
+          K.AccMaxAbs(Blk.rowPtr(S) + V0, O + V0, V1 - V0);
       }
     });
   };
@@ -388,12 +440,10 @@ Zonotope Zonotope::add(const Zonotope &O) const {
   if (O.numPhi() > 0) {
     const Matrix &BP = O.PhiC;
     parallelFor(0, O.numPhi(), grainForWork(N), [&](size_t S0, size_t S1) {
-      for (size_t S = S0; S < S1; ++S) {
-        double *AR = A.PhiC.rowPtr(S);
-        const double *BR = BP.rowPtr(S);
-        for (size_t V = 0; V < N; ++V)
-          AR[V] += BR[V];
-      }
+      // Axpy with multiplier 1.0 is an exact add per element, so this is
+      // bit-identical to the former open-coded AR[V] += BR[V] loop.
+      for (size_t S = S0; S < S1; ++S)
+        tensor::kernels().Axpy(1.0, BP.rowPtr(S), A.PhiC.rowPtr(S), N);
     });
   }
   size_t E = std::max(numEps(), O.numEps());
@@ -598,7 +648,7 @@ Zonotope Zonotope::matmulRightConst(const Matrix &W) const {
   // bit-identical to per-symbol multiplications.
   auto BlockFn = [&](const Matrix &Blk) {
     size_t S = Blk.rows();
-    return tensor::matmul(Blk.reshaped(S * NumRows, NumCols), W)
+    return tensor::matmulReshaped(Blk, S * NumRows, NumCols, W)
         .reshaped(S, NumRows * D);
   };
   auto ScatterFn = [&](size_t Var, double Coef, double *Out) {
@@ -620,15 +670,12 @@ Zonotope Zonotope::matmulLeftConst(const Matrix &W) const {
     // tensor::matmul kernel bit-for-bit.
     return denseRowwisePtr(Blk, 2 * M * R * C, M * NumCols,
                            [&W, M, R, C](const double *X, double *O) {
+                             const tensor::Kernels &KT = tensor::kernels();
                              for (size_t I = 0; I < M; ++I) {
                                const double *WR = W.rowPtr(I);
                                double *OI = O + I * C;
-                               for (size_t K = 0; K < R; ++K) {
-                                 double WV = WR[K];
-                                 const double *XK = X + K * C;
-                                 for (size_t J = 0; J < C; ++J)
-                                   OI[J] += WV * XK[J];
-                               }
+                               for (size_t K = 0; K < R; ++K)
+                                 KT.Axpy(WR[K], X + K * C, OI, C);
                              }
                            });
   };
@@ -645,17 +692,17 @@ Zonotope Zonotope::subRowMean() const {
   auto BlockFn = [&](const Matrix &Blk) {
     return denseRowwisePtr(Blk, 2 * R * C, numVars(),
                            [R, C](const double *X, double *O) {
+                             const tensor::Kernels &KT = tensor::kernels();
                              for (size_t Rr = 0; Rr < R; ++Rr) {
                                const double *XR = X + Rr * C;
                                double *OR = O + Rr * C;
-                               double Sum = 0.0;
-                               for (size_t J = 0; J < C; ++J)
-                                 Sum += XR[J];
-                               double Mean = Sum / static_cast<double>(C);
+                               double Mean = KT.Sum(XR, C) /
+                                             static_cast<double>(C);
                                for (size_t J = 0; J < C; ++J)
                                  OR[J] = XR[J] - Mean;
                              }
-                           });
+                           },
+                           /*ZeroInit=*/false);
   };
   auto ScatterFn = [&](size_t Var, double Coef, double *Out) {
     size_t R = Var / NumCols, C = Var % NumCols;
@@ -680,17 +727,15 @@ Zonotope Zonotope::subRowMeanScale(const Matrix &Gamma) const {
   auto BlockFn = [&](const Matrix &Blk) {
     return denseRowwisePtr(Blk, 3 * R * C, numVars(),
                            [R, C, G](const double *X, double *O) {
+                             const tensor::Kernels &KT = tensor::kernels();
                              for (size_t Rr = 0; Rr < R; ++Rr) {
                                const double *XR = X + Rr * C;
-                               double *OR = O + Rr * C;
-                               double Sum = 0.0;
-                               for (size_t J = 0; J < C; ++J)
-                                 Sum += XR[J];
-                               double Mean = Sum / static_cast<double>(C);
-                               for (size_t J = 0; J < C; ++J)
-                                 OR[J] = (XR[J] - Mean) * G[J];
+                               double Mean = KT.Sum(XR, C) /
+                                             static_cast<double>(C);
+                               KT.SubScale(XR, Mean, G, O + Rr * C, C);
                              }
-                           });
+                           },
+                           /*ZeroInit=*/false);
   };
   auto ScatterFn = [&](size_t Var, double Coef, double *Out) {
     size_t R = Var / NumCols, C = Var % NumCols;
@@ -708,14 +753,11 @@ Zonotope Zonotope::rowMeans() const {
   auto BlockFn = [&](const Matrix &Blk) {
     return denseRowwisePtr(Blk, 2 * R * C, NumRows,
                            [R, C](const double *X, double *O) {
-                             for (size_t Rr = 0; Rr < R; ++Rr) {
-                               const double *XR = X + Rr * C;
-                               double S = 0.0;
-                               for (size_t J = 0; J < C; ++J)
-                                 S += XR[J];
-                               O[Rr] = S / static_cast<double>(C);
-                             }
-                           });
+                             tensor::kernels().RowSums(X, R, C, O);
+                             for (size_t Rr = 0; Rr < R; ++Rr)
+                               O[Rr] /= static_cast<double>(C);
+                           },
+                           /*ZeroInit=*/false);
   };
   auto DiagFn = [&](const std::pair<size_t, double> &E) {
     return std::pair<size_t, double>(
@@ -735,7 +777,8 @@ Zonotope Zonotope::scaleColumns(const Matrix &Gamma) const {
                              for (size_t Rr = 0; Rr < R; ++Rr)
                                for (size_t J = 0; J < C; ++J)
                                  O[Rr * C + J] = X[Rr * C + J] * G[J];
-                           });
+                           },
+                           /*ZeroInit=*/false);
   };
   auto DiagFn = [&](const std::pair<size_t, double> &E) {
     return std::pair<size_t, double>(
@@ -762,7 +805,8 @@ Zonotope Zonotope::selectRow(size_t R) const {
     return denseRowwisePtr(Blk, 2 * C, NumCols,
                            [R, C](const double *X, double *O) {
                              std::copy(X + R * C, X + (R + 1) * C, O);
-                           });
+                           },
+                           /*ZeroInit=*/false);
   };
   auto DiagFn = [&](const std::pair<size_t, double> &E) {
     if (E.first / NumCols != R)
@@ -782,7 +826,8 @@ Zonotope Zonotope::selectColRange(size_t C0, size_t C1) const {
                              for (size_t Rr = 0; Rr < R; ++Rr)
                                std::copy(X + Rr * C + C0,
                                          X + Rr * C + C0 + W, O + Rr * W);
-                           });
+                           },
+                           /*ZeroInit=*/false);
   };
   auto DiagFn = [&](const std::pair<size_t, double> &E) {
     size_t R = E.first / NumCols, C = E.first % NumCols;
@@ -801,7 +846,8 @@ Zonotope Zonotope::transposedView() const {
                              for (size_t Rr = 0; Rr < R; ++Rr)
                                for (size_t J = 0; J < C; ++J)
                                  O[J * R + Rr] = X[Rr * C + J];
-                           });
+                           },
+                           /*ZeroInit=*/false);
   };
   auto DiagFn = [&](const std::pair<size_t, double> &E) {
     size_t R = E.first / NumCols, C = E.first % NumCols;
@@ -828,7 +874,8 @@ Zonotope Zonotope::broadcastColTo(size_t Cols) const {
                              for (size_t Rr = 0; Rr < R; ++Rr)
                                for (size_t J = 0; J < Cols; ++J)
                                  O[Rr * Cols + J] = X[Rr];
-                           });
+                           },
+                           /*ZeroInit=*/false);
   };
   auto ScatterFn = [&](size_t Var, double Coef, double *Out) {
     double *O = Out + Var * Cols;
@@ -853,7 +900,8 @@ Zonotope Zonotope::pairwiseDiffExpand() const {
                                    OJ[JP] = XR[JP] - Sub;
                                }
                              }
-                           });
+                           },
+                           /*ZeroInit=*/false);
   };
   auto ScatterFn = [R, C](size_t Var, double Coef, double *Out) {
     (void)R;
@@ -876,14 +924,9 @@ Zonotope Zonotope::rowSumsTo(size_t Rows, size_t Cols) const {
   auto BlockFn = [&](const Matrix &Blk) {
     return denseRowwisePtr(Blk, 2 * NOut * C, NOut,
                            [C, NOut](const double *X, double *O) {
-                             for (size_t Q = 0; Q < NOut; ++Q) {
-                               const double *XQ = X + Q * C;
-                               double S = 0.0;
-                               for (size_t JP = 0; JP < C; ++JP)
-                                 S += XQ[JP];
-                               O[Q] = S;
-                             }
-                           });
+                             tensor::kernels().RowSums(X, NOut, C, O);
+                           },
+                           /*ZeroInit=*/false);
   };
   auto DiagFn = [&](const std::pair<size_t, double> &E) {
     return std::pair<size_t, double>(E.first / NumCols, E.second);
@@ -896,16 +939,18 @@ Zonotope Zonotope::rowSumBroadcast() const {
   auto BlockFn = [&](const Matrix &Blk) {
     return denseRowwisePtr(Blk, 2 * R * C, numVars(),
                            [R, C](const double *X, double *O) {
-                             for (size_t Rr = 0; Rr < R; ++Rr) {
-                               const double *XR = X + Rr * C;
-                               double S = 0.0;
-                               for (size_t J = 0; J < C; ++J)
-                                 S += XR[J];
+                             // Row sums land in O[0..R-1]; broadcast each
+                             // back-to-front so no sum is overwritten
+                             // before it is read (Rr * C >= Rr).
+                             tensor::kernels().RowSums(X, R, C, O);
+                             for (size_t Rr = R; Rr-- > 0;) {
+                               double S = O[Rr];
                                double *OR = O + Rr * C;
                                for (size_t J = 0; J < C; ++J)
                                  OR[J] = S;
                              }
-                           });
+                           },
+                           /*ZeroInit=*/false);
   };
   auto ScatterFn = [&](size_t Var, double Coef, double *Out) {
     size_t R = Var / NumCols;
@@ -1115,6 +1160,16 @@ void Zonotope::alignEps(Zonotope &A, Zonotope &B) {
   size_t Count = std::max(A.numEps(), B.numEps());
   A.padEpsTo(Count);
   B.padEpsTo(Count);
+}
+
+void Zonotope::padToMatch(const Zonotope &O) {
+  if (numPhi() == 0)
+    PhiP = O.PhiP;
+  assert(PhiP == O.PhiP && "incompatible phi norms");
+  if (numPhi() < O.numPhi())
+    padPhiTo(O.numPhi());
+  if (numEps() < O.numEps())
+    padEpsTo(O.numEps());
 }
 
 void Zonotope::alignSpaces(Zonotope &A, Zonotope &B) {

@@ -242,6 +242,12 @@ public:
   /// phi symbols it adopts the other's norm.
   static void alignSpaces(Zonotope &A, Zonotope &B);
 
+  /// One-sided alignSpaces: pads this zonotope's phi/eps spaces up to
+  /// \p O's counts (adopting O's norm when this has no phi symbols).
+  /// Callers that know \p O is already at least as wide use this to avoid
+  /// copying the wider operand just to run a no-op pad on it.
+  void padToMatch(const Zonotope &O);
+
   /// Appends a block of fresh eps symbols, one per entry; entry (Var, Coef)
   /// gives the coefficient of the new symbol on variable Var. Returns the
   /// index of the first new symbol.

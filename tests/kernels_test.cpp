@@ -1,0 +1,557 @@
+//===- tests/kernels_test.cpp - SIMD kernel equivalence + f32 mode -*- C++ -*-===//
+//
+// Tests of the SIMD execution layer: each available kernel table must be
+// 0-ULP identical to the lane-ordered scalar emulation of its reductions;
+// the elementwise kernels must be bit-identical across every ISA; radii
+// must be thread-count invariant within each ISA; and the sound f32 mode
+// must produce intervals that enclose the f64 intervals -- never
+// certifying anything double precision falsifies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/SyntheticCorpus.h"
+#include "nn/Serialize.h"
+#include "nn/Transformer.h"
+#include "support/Fp.h"
+#include "support/Metrics.h"
+#include "support/Parallel.h"
+#include "support/Rng.h"
+#include "tensor/Kernels.h"
+#include "tensor/Matrix.h"
+#include "verify/DeepT.h"
+#include "zono/Elementwise.h"
+#include "zono/Zonotope.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace deept;
+using support::ThreadPool;
+using tensor::Isa;
+using tensor::Kernels;
+using tensor::Matrix;
+
+namespace {
+
+class ScopedThreads {
+public:
+  explicit ScopedThreads(size_t N) : Prev(ThreadPool::global().threadCount()) {
+    ThreadPool::global().setThreadCount(N);
+  }
+  ~ScopedThreads() { ThreadPool::global().setThreadCount(Prev); }
+
+private:
+  size_t Prev;
+};
+
+class ScopedIsa {
+public:
+  explicit ScopedIsa(Isa I) : Prev(tensor::currentIsa()) {
+    EXPECT_TRUE(tensor::setIsa(I));
+  }
+  ~ScopedIsa() { tensor::setIsa(Prev); }
+
+private:
+  Isa Prev;
+};
+
+std::vector<Isa> availableIsas() {
+  std::vector<Isa> Out;
+  for (Isa I : {Isa::Scalar, Isa::Avx2, Isa::Avx512})
+    if (tensor::isaAvailable(I))
+      Out.push_back(I);
+  return Out;
+}
+
+std::vector<double> randomVec(size_t N, support::Rng &Rng, double ZeroProb = 0.0) {
+  std::vector<double> V(N);
+  for (double &X : V) {
+    X = Rng.gaussian() * std::exp(Rng.gaussian());
+    if (ZeroProb > 0.0 && Rng.uniform() < ZeroProb)
+      X = 0.0;
+  }
+  return V;
+}
+
+// Sizes straddling every remainder path of the 4- and 8-lane kernels.
+const size_t Sizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100, 257};
+
+TEST(KernelDispatch, ParseIsaStrict) {
+  Isa I = Isa::Scalar;
+  std::string Err;
+  EXPECT_TRUE(tensor::parseIsa("scalar", I, &Err));
+  EXPECT_EQ(I, Isa::Scalar);
+  EXPECT_TRUE(tensor::parseIsa("avx2", I, &Err));
+  EXPECT_EQ(I, Isa::Avx2);
+  EXPECT_TRUE(tensor::parseIsa("avx512", I, &Err));
+  EXPECT_EQ(I, Isa::Avx512);
+  EXPECT_TRUE(tensor::parseIsa("native", I, &Err));
+  EXPECT_EQ(I, tensor::bestAvailableIsa());
+  for (const char *Bad : {"", "AVX2", "sse", "avx", "scalar ", "2", "auto"}) {
+    EXPECT_FALSE(tensor::parseIsa(Bad, I, &Err)) << "'" << Bad << "'";
+    EXPECT_NE(Err.find(Bad), std::string::npos)
+        << "error should echo the bad token: " << Err;
+  }
+}
+
+TEST(KernelDispatch, ParseFpPrecisionStrict) {
+  support::FpPrecision P = support::FpPrecision::F64;
+  std::string Err;
+  EXPECT_TRUE(support::parseFpPrecision("f64", P, &Err));
+  EXPECT_EQ(P, support::FpPrecision::F64);
+  EXPECT_TRUE(support::parseFpPrecision("f32", P, &Err));
+  EXPECT_EQ(P, support::FpPrecision::F32);
+  for (const char *Bad : {"", "F32", "f16", "double", "32", "f32 "}) {
+    EXPECT_FALSE(support::parseFpPrecision(Bad, P, &Err)) << "'" << Bad << "'";
+    EXPECT_NE(Err.find(Bad), std::string::npos) << Err;
+  }
+}
+
+TEST(KernelDispatch, SetIsaRejectsUnavailableAndUpdatesGauge) {
+  for (Isa I : {Isa::Avx2, Isa::Avx512})
+    if (!tensor::isaAvailable(I)) {
+      std::string Err;
+      EXPECT_FALSE(tensor::setIsa(I, &Err));
+      EXPECT_FALSE(Err.empty());
+    }
+  for (Isa I : availableIsas()) {
+    ScopedIsa S(I);
+    EXPECT_EQ(tensor::currentIsa(), I);
+    EXPECT_EQ(support::Metrics::global().gauge("kernel.isa").value(),
+              static_cast<double>(I));
+  }
+}
+
+/// Dot and Sum must match the lane-ordered scalar emulation bit-for-bit
+/// on every available ISA, for every vector-remainder shape.
+TEST(KernelEquivalence, ReductionsMatchLaneOrderedEmulation) {
+  support::Rng Rng(0x51D0);
+  for (Isa I : availableIsas()) {
+    ScopedIsa S(I);
+    const Kernels &K = tensor::kernels();
+    ASSERT_EQ(K.Tag, I);
+    for (size_t N : Sizes) {
+      std::vector<double> X = randomVec(N, Rng), Y = randomVec(N, Rng);
+      double Dot = K.Dot(X.data(), Y.data(), N);
+      double Ref = tensor::detail::dotLanes(X.data(), Y.data(), N, K.Lanes);
+      EXPECT_EQ(Dot, Ref) << "Dot isa=" << tensor::isaName(I) << " N=" << N;
+      double Sum = K.Sum(X.data(), N);
+      double SRef = tensor::detail::sumLanes(X.data(), N, K.Lanes);
+      EXPECT_EQ(Sum, SRef) << "Sum isa=" << tensor::isaName(I) << " N=" << N;
+    }
+  }
+}
+
+/// DotTransposedB must equal a per-element dotLanes reference (with the
+/// zero-row skip) on every ISA, in both accumulate modes.
+TEST(KernelEquivalence, DotTransposedBMatchesEmulation) {
+  support::Rng Rng(0xD07B);
+  struct Shape {
+    size_t N, M, D;
+  };
+  const Shape Shapes[] = {{1, 1, 1},  {3, 5, 7},   {4, 4, 8},  {5, 9, 16},
+                          {7, 13, 17}, {2, 4, 100}, {6, 3, 33}, {8, 8, 1}};
+  for (Isa I : availableIsas()) {
+    ScopedIsa S(I);
+    const Kernels &K = tensor::kernels();
+    for (const Shape &Sh : Shapes) {
+      // ZeroProb high enough that whole rows of A go zero sometimes,
+      // exercising the row-skip path.
+      std::vector<double> A = randomVec(Sh.N * Sh.D, Rng, 0.4);
+      if (Sh.N > 1) // force at least one all-zero row
+        std::fill(A.begin(), A.begin() + Sh.D, 0.0);
+      std::vector<double> B = randomVec(Sh.M * Sh.D, Rng);
+      std::vector<double> Seed = randomVec(Sh.N * Sh.M, Rng);
+      for (bool Accumulate : {false, true}) {
+        // When not accumulating, C may start uninitialized -- seed it with
+        // garbage to verify the kernel overwrites (or zero-fills) every
+        // row, per the contract in tensor/Kernels.h.
+        std::vector<double> C =
+            Accumulate ? Seed : std::vector<double>(Sh.N * Sh.M, -777.0);
+        K.DotTransposedB(A.data(), Sh.N, B.data(), Sh.M, Sh.D, C.data(),
+                         Accumulate);
+        std::vector<double> Ref = Accumulate
+                                      ? Seed
+                                      : std::vector<double>(Sh.N * Sh.M, 0.0);
+        for (size_t R = 0; R < Sh.N; ++R) {
+          const double *ARow = A.data() + R * Sh.D;
+          bool AllZero = true;
+          for (size_t Kk = 0; Kk < Sh.D && AllZero; ++Kk)
+            AllZero = ARow[Kk] == 0.0;
+          if (AllZero)
+            continue; // untouched when accumulating, zero-filled otherwise
+          for (size_t J = 0; J < Sh.M; ++J) {
+            double V = tensor::detail::dotLanes(ARow, B.data() + J * Sh.D,
+                                                Sh.D, K.Lanes);
+            if (Accumulate)
+              Ref[R * Sh.M + J] += V;
+            else
+              Ref[R * Sh.M + J] = V;
+          }
+        }
+        EXPECT_EQ(std::memcmp(C.data(), Ref.data(),
+                              C.size() * sizeof(double)),
+                  0)
+            << "DotTransposedB isa=" << tensor::isaName(I) << " N=" << Sh.N
+            << " M=" << Sh.M << " D=" << Sh.D << " acc=" << Accumulate;
+      }
+    }
+  }
+}
+
+/// The elementwise kernels carry no reassociation, so their bits must
+/// agree with the scalar table on every ISA.
+TEST(KernelEquivalence, ElementwiseBitIdenticalAcrossIsas) {
+  support::Rng Rng(0xE1E3);
+  for (size_t N : Sizes) {
+    std::vector<double> X = randomVec(N, Rng), G = randomVec(N, Rng);
+    std::vector<double> Y0 = randomVec(N, Rng);
+    std::vector<double> V4 = randomVec(4, Rng);
+    std::vector<double> C0 = randomVec(N, Rng), C1 = randomVec(N, Rng);
+    std::vector<double> C2 = randomVec(N, Rng), C3 = randomVec(N, Rng);
+    double A = Rng.gaussian();
+    double Mean = Rng.gaussian();
+
+    struct Snapshot {
+      std::vector<double> Axpy, A40, A41, A42, A43, Sub, Abs, AccA, AccS,
+          AccM;
+      std::vector<float> FAbs, FSq, FMax;
+    };
+    auto Run = [&](const Kernels &K) {
+      Snapshot S;
+      S.Axpy = Y0;
+      K.Axpy(A, X.data(), S.Axpy.data(), N);
+      S.A40 = C0;
+      S.A41 = C1;
+      S.A42 = C2;
+      S.A43 = C3;
+      K.Axpy4(V4.data(), X.data(), S.A40.data(), S.A41.data(), S.A42.data(),
+              S.A43.data(), N);
+      S.Sub.resize(N);
+      K.SubScale(X.data(), Mean, G.data(), S.Sub.data(), N);
+      S.Abs.resize(N);
+      K.AbsRow(X.data(), S.Abs.data(), N);
+      S.AccA = G;
+      K.AccAbs(X.data(), S.AccA.data(), N);
+      S.AccS = G;
+      K.AccSq(X.data(), S.AccS.data(), N);
+      S.AccM.assign(N, 0.0);
+      K.AccMaxAbs(X.data(), S.AccM.data(), N);
+      S.FAbs.assign(N, 1.5f);
+      K.AccAbsF32(X.data(), S.FAbs.data(), N);
+      S.FSq.assign(N, 1.5f);
+      K.AccSqF32(X.data(), S.FSq.data(), N);
+      S.FMax.assign(N, 0.0f);
+      K.AccMaxAbsF32(X.data(), S.FMax.data(), N);
+      return S;
+    };
+
+    Snapshot Want;
+    {
+      ScopedIsa S(Isa::Scalar);
+      Want = Run(tensor::kernels());
+    }
+    for (Isa I : availableIsas()) {
+      if (I == Isa::Scalar)
+        continue;
+      ScopedIsa S(I);
+      Snapshot Got = Run(tensor::kernels());
+      auto Same = [&](const auto &GotV, const auto &WantV, const char *What) {
+        ASSERT_EQ(GotV.size(), WantV.size());
+        EXPECT_EQ(std::memcmp(GotV.data(), WantV.data(),
+                              GotV.size() * sizeof(GotV[0])),
+                  0)
+            << What << " isa=" << tensor::isaName(I) << " N=" << N;
+      };
+      Same(Got.Axpy, Want.Axpy, "Axpy");
+      Same(Got.A40, Want.A40, "Axpy4.C0");
+      Same(Got.A41, Want.A41, "Axpy4.C1");
+      Same(Got.A42, Want.A42, "Axpy4.C2");
+      Same(Got.A43, Want.A43, "Axpy4.C3");
+      Same(Got.Sub, Want.Sub, "SubScale");
+      Same(Got.Abs, Want.Abs, "AbsRow");
+      Same(Got.AccA, Want.AccA, "AccAbs");
+      Same(Got.AccS, Want.AccS, "AccSq");
+      Same(Got.AccM, Want.AccM, "AccMaxAbs");
+      Same(Got.FAbs, Want.FAbs, "AccAbsF32");
+      Same(Got.FSq, Want.FSq, "AccSqF32");
+      Same(Got.FMax, Want.FMax, "AccMaxAbsF32");
+    }
+  }
+}
+
+/// The fused kernels (RowSums, Axpy4K, CascadeDense) exist to cut
+/// indirect-dispatch counts, not to change arithmetic: each must be
+/// bit-identical to the composition of the unfused kernels it replaces,
+/// on every ISA.
+TEST(KernelEquivalence, FusedKernelsMatchUnfusedComposition) {
+  support::Rng Rng(0xF05E);
+  for (Isa I : availableIsas()) {
+    ScopedIsa S(I);
+    const Kernels &K = tensor::kernels();
+
+    // RowSums == Sum per row.
+    for (size_t R : {1u, 3u, 7u}) {
+      for (size_t C : {1u, 5u, 12u, 33u}) {
+        std::vector<double> X = randomVec(R * C, Rng);
+        std::vector<double> Got(R, -777.0), Want(R);
+        K.RowSums(X.data(), R, C, Got.data());
+        for (size_t Q = 0; Q < R; ++Q)
+          Want[Q] = K.Sum(X.data() + Q * C, C);
+        EXPECT_EQ(std::memcmp(Got.data(), Want.data(), R * sizeof(double)),
+                  0)
+            << "RowSums isa=" << tensor::isaName(I) << " R=" << R
+            << " C=" << C;
+      }
+    }
+
+    // Axpy4K == Axpy4 once per k, ascending.
+    {
+      size_t KN = 9, M = 13;
+      std::vector<double> A0 = randomVec(KN, Rng), A1 = randomVec(KN, Rng);
+      std::vector<double> A2 = randomVec(KN, Rng), A3 = randomVec(KN, Rng);
+      std::vector<double> B = randomVec(KN * M, Rng);
+      std::vector<double> Seed = randomVec(4 * M, Rng);
+      std::vector<double> Got = Seed, Want = Seed;
+      size_t K0 = 2, K1 = 8;
+      K.Axpy4K(A0.data(), A1.data(), A2.data(), A3.data(), K0, K1, B.data(),
+               Got.data(), Got.data() + M, Got.data() + 2 * M,
+               Got.data() + 3 * M, M);
+      for (size_t Kk = K0; Kk < K1; ++Kk) {
+        double V[4] = {A0[Kk], A1[Kk], A2[Kk], A3[Kk]};
+        K.Axpy4(V, B.data() + Kk * M, Want.data(), Want.data() + M,
+                Want.data() + 2 * M, Want.data() + 3 * M, M);
+      }
+      EXPECT_EQ(std::memcmp(Got.data(), Want.data(), 4 * M * sizeof(double)),
+                0)
+          << "Axpy4K isa=" << tensor::isaName(I);
+    }
+
+    // CascadeDense == AbsRow / zero-skip / 1-row DotTransposedB /
+    // accumulate per symbol, for each norm mode.
+    for (double Q : {1.0, 2.0, Matrix::InfNorm}) {
+      size_t SymN = 5, D = 11, M = 7, Stride = 2 * D;
+      std::vector<double> A = randomVec(SymN * Stride, Rng, 0.3);
+      std::fill(A.begin() + Stride, A.begin() + Stride + D,
+                0.0); // an all-zero slice exercises the skip
+      std::vector<double> B = randomVec(M * D, Rng);
+      std::vector<double> Seed = randomVec(M, Rng);
+      for (double &V : Seed)
+        V = std::fabs(V); // the cascade accumulator is nonnegative
+      std::vector<double> AbsS(D), T(M);
+      std::vector<double> Got = Seed, Want = Seed;
+      K.CascadeDense(A.data(), SymN, Stride, B.data(), M, D, Q, AbsS.data(),
+                     T.data(), Got.data());
+      for (size_t Sym = 0; Sym < SymN; ++Sym) {
+        K.AbsRow(A.data() + Sym * Stride, AbsS.data(), D);
+        bool AllZero = true;
+        for (size_t Kk = 0; Kk < D && AllZero; ++Kk)
+          AllZero = AbsS[Kk] == 0.0;
+        if (AllZero)
+          continue;
+        K.DotTransposedB(AbsS.data(), 1, B.data(), M, D, T.data(), false);
+        if (Q == 1.0)
+          K.Axpy(1.0, T.data(), Want.data(), M);
+        else if (Q == 2.0)
+          K.AccSq(T.data(), Want.data(), M);
+        else
+          K.AccMaxAbs(T.data(), Want.data(), M);
+      }
+      EXPECT_EQ(std::memcmp(Got.data(), Want.data(), M * sizeof(double)), 0)
+          << "CascadeDense isa=" << tensor::isaName(I) << " Q=" << Q;
+    }
+  }
+}
+
+/// A small zonotope with both phi and eps symbols pushed through linear +
+/// ReLU transformers -- the realistic radii workload.
+zono::Zonotope makeZonotope(double P, support::Rng &Rng) {
+  Matrix Center = Matrix::randn(6, 12, Rng);
+  zono::Zonotope Z = zono::Zonotope::lpBallOnRow(Center, 1, P, 0.1);
+  Matrix W = Matrix::randn(12, 10, Rng);
+  Z = Z.matmulRightConst(W);
+  Z = zono::applyRelu(std::move(Z)); // introduces eps symbols
+  Matrix W2 = Matrix::randn(10, 8, Rng);
+  return Z.matmulRightConst(W2);
+}
+
+/// Per-ISA thread-count invariance: radii bits must not depend on the
+/// pool size under any kernel table.
+TEST(KernelEquivalence, RadiiBitIdenticalAcrossThreadCountsPerIsa) {
+  for (Isa I : availableIsas()) {
+    ScopedIsa S(I);
+    for (double P : {1.0, 2.0, Matrix::InfNorm}) {
+      support::Rng Rng(0xAD11);
+      zono::Zonotope Z = makeZonotope(P, Rng);
+      Matrix R1;
+      {
+        ScopedThreads T(1);
+        R1 = Z.radii();
+      }
+      for (size_t Threads : {2u, 8u}) {
+        ScopedThreads T(Threads);
+        Matrix RN = Z.radii();
+        ASSERT_EQ(RN.size(), R1.size());
+        EXPECT_EQ(std::memcmp(RN.data(), R1.data(),
+                              R1.size() * sizeof(double)),
+                  0)
+            << "radii differ at " << Threads << " threads, isa="
+            << tensor::isaName(I) << " p=" << P;
+      }
+    }
+  }
+}
+
+/// The f32-mode interval must enclose the f64-mode interval on randomized
+/// zonotopes, on every ISA (the lifts cover scalar and SIMD error alike).
+TEST(F32Soundness, RandomizedZonotopeBoundsEnclose) {
+  for (Isa I : availableIsas()) {
+    ScopedIsa S(I);
+    for (double P : {1.0, 2.0, Matrix::InfNorm}) {
+      for (uint64_t Seed : {1u, 2u, 3u, 4u}) {
+        support::Rng Rng(0xF3200 + Seed * 977);
+        zono::Zonotope Z = makeZonotope(P, Rng);
+        Matrix Lo64, Hi64, Lo32, Hi32;
+        Z.bounds(Lo64, Hi64);
+        Matrix R64 = Z.radii();
+        Matrix R32;
+        {
+          support::FpScope Fp(support::FpPrecision::F32);
+          Z.bounds(Lo32, Hi32);
+          R32 = Z.radii();
+        }
+        for (size_t V = 0; V < Lo64.size(); ++V) {
+          EXPECT_LE(Lo32.data()[V], Lo64.data()[V])
+              << "lower bound not enclosed, isa=" << tensor::isaName(I)
+              << " p=" << P << " seed=" << Seed << " var=" << V;
+          EXPECT_GE(Hi32.data()[V], Hi64.data()[V]) << "upper bound";
+          EXPECT_GE(R32.data()[V], R64.data()[V]) << "radius";
+          // The widening should also stay small: within a few parts in
+          // a million of the radius (the lifts are ~2^-23-scale).
+          EXPECT_LE(R32.data()[V],
+                    R64.data()[V] * (1.0 + 1e-5) + 1e-6)
+              << "f32 radius uselessly loose";
+        }
+      }
+    }
+  }
+}
+
+/// End-to-end escalation contract on a small trained-from-init model:
+/// f32 mode never certifies a margin f64 falsifies, escalated falsify
+/// verdicts are bit-identical to the f64 margin, and the counters move.
+TEST(F32Soundness, VerifierEscalatesAndNeverFlipsVerdict) {
+  data::SyntheticCorpus Corpus(data::CorpusConfig::sstLike(16));
+  nn::TransformerConfig Cfg;
+  Cfg.MaxLen = 16;
+  Cfg.EmbedDim = 16;
+  Cfg.NumHeads = 2;
+  Cfg.HiddenDim = 16;
+  Cfg.NumLayers = 2;
+  support::Rng Rng(0x5eed);
+  nn::TransformerModel Model =
+      nn::TransformerModel::init(Cfg, Corpus.embeddings(), Rng);
+  // An init-only model misclassifies many sentences outright (margin < 0
+  // even at radius 0); sweep for one it gets right so the small radii in
+  // the loop below actually certify.
+  support::Rng SentRng(7);
+  data::Sentence S;
+  bool Found = false;
+  for (int Guard = 0; Guard < 200 && !Found; ++Guard) {
+    S = Corpus.sampleSentence(SentRng);
+    Found = Model.classify(S.Tokens) == S.Label;
+  }
+  ASSERT_TRUE(Found) << "no correctly classified sentence in 200 samples";
+  Matrix Emb = Model.embed(S.Tokens);
+
+  verify::VerifierConfig VC64;
+  VC64.NoiseReductionBudget = 128;
+  verify::VerifierConfig VC32 = VC64;
+  VC32.Precision = support::FpPrecision::F32;
+  verify::DeepTVerifier V64(Model, VC64);
+  verify::DeepTVerifier V32(Model, VC32);
+
+  support::Counter &Jobs = support::Metrics::global().counter("prec.f32_jobs");
+  support::Counter &Esc =
+      support::Metrics::global().counter("prec.escalations");
+  double JobsBefore = Jobs.value();
+  double EscBefore = Esc.value();
+
+  bool SawCertified = false, SawFalsified = false;
+  // Sweep radii from comfortably-certified to comfortably-falsified.
+  for (double R : {1e-4, 1e-3, 0.01, 0.05, 0.2, 0.8, 3.0}) {
+    zono::Zonotope In = zono::Zonotope::lpBallOnRow(Emb, 0, 2.0, R);
+    double M64 = V64.certifyMargin(In, S.Label);
+    double M32 = V32.certifyMargin(In, S.Label);
+    if (M64 <= 0.0) {
+      // f64 falsifies: f32 must not certify, and since it escalates it
+      // must return exactly the f64 margin.
+      EXPECT_LE(M32, 0.0) << "f32 certified what f64 falsifies at R=" << R;
+      EXPECT_EQ(M32, M64) << "escalated margin not f64-backed at R=" << R;
+      SawFalsified = true;
+    } else {
+      // f64 certifies: f32's margin is computed on a wider interval, so
+      // it can only be smaller (or escalate to exactly M64).
+      EXPECT_LE(M32, M64) << "f32 margin exceeds f64 at R=" << R;
+      SawCertified = true;
+    }
+  }
+  EXPECT_TRUE(SawCertified) << "sweep never certified; widen radii";
+  EXPECT_TRUE(SawFalsified) << "sweep never falsified; widen radii";
+  EXPECT_GE(Jobs.value(), JobsBefore + 7.0);
+  EXPECT_GE(Esc.value(), EscBefore + 1.0);
+}
+
+/// The cached SST model oracle from the issue: f32 certification on
+/// sst_m12 must never flip a falsified verdict, across a radius sweep.
+TEST(F32Soundness, CachedSstNeverCertifiesWhatF64Falsifies) {
+  nn::TransformerModel Model;
+  const std::string Candidates[] = {
+      nn::defaultModelCacheDir() + "/sst_m12.dptm",
+      "../bench/deept-model-cache/sst_m12.dptm",
+      "../../bench/deept-model-cache/sst_m12.dptm",
+  };
+  bool Loaded = false;
+  for (const std::string &Path : Candidates)
+    if (nn::loadModel(Path, Model)) {
+      Loaded = true;
+      break;
+    }
+  if (!Loaded)
+    GTEST_SKIP() << "cached sst_m12.dptm not found";
+
+  data::SyntheticCorpus Corpus(
+      data::CorpusConfig::sstLike(Model.Config.EmbedDim));
+  support::Rng Rng(2);
+  data::Sentence S = Corpus.sampleSentence(Rng);
+  Matrix Emb = Model.embed(S.Tokens);
+
+  verify::VerifierConfig VC64;
+  VC64.NoiseReductionBudget = 256;
+  verify::VerifierConfig VC32 = VC64;
+  VC32.Precision = support::FpPrecision::F32;
+  verify::DeepTVerifier V64(Model, VC64);
+  verify::DeepTVerifier V32(Model, VC32);
+
+  for (double P : {1.0, 2.0}) {
+    for (double R : {0.005, 0.02, 0.1, 0.5, 2.0}) {
+      zono::Zonotope In = zono::Zonotope::lpBallOnRow(Emb, 0, P, R);
+      double M64 = V64.certifyMargin(In, S.Label);
+      double M32 = V32.certifyMargin(In, S.Label);
+      if (M64 <= 0.0)
+        EXPECT_EQ(M32, M64)
+            << "f32 did not escalate to the f64 verdict at p=" << P
+            << " R=" << R;
+      else
+        EXPECT_LE(M32, M64) << "p=" << P << " R=" << R;
+      EXPECT_EQ(M32 > 0.0 && M64 <= 0.0, false)
+          << "f32 certified a falsified region at p=" << P << " R=" << R;
+    }
+  }
+}
+
+} // namespace

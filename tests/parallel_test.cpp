@@ -13,6 +13,7 @@
 #include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Rng.h"
+#include "tensor/Kernels.h"
 #include "tensor/Matrix.h"
 #include "verify/DeepT.h"
 #include "zono/Zonotope.h"
@@ -40,6 +41,20 @@ public:
 
 private:
   size_t Prev;
+};
+
+/// Pins the SIMD kernel table for a scope (tests comparing against
+/// ascending-k scalar references must run the scalar table; wide-ISA
+/// reductions are lane-reassociated and only bit-stable within an ISA).
+class ScopedIsa {
+public:
+  explicit ScopedIsa(tensor::Isa I) : Prev(tensor::currentIsa()) {
+    EXPECT_TRUE(tensor::setIsa(I));
+  }
+  ~ScopedIsa() { tensor::setIsa(Prev); }
+
+private:
+  tensor::Isa Prev;
 };
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
@@ -134,6 +149,10 @@ void expectBitIdentical(const Matrix &Got, const Matrix &Want,
 }
 
 TEST(TiledGemm, BitIdenticalToScalarReference) {
+  // The naive references accumulate ascending-k in plain double, which is
+  // what the scalar table preserves; kernels_test covers the wide ISAs
+  // against their lane-ordered emulations.
+  ScopedIsa Isa(tensor::Isa::Scalar);
   support::Rng Rng(0xbeef);
   // Odd, non-multiple-of-block sizes exercise every remainder path of the
   // 4-row register blocking and the K tiling.

@@ -28,14 +28,28 @@ intentional performance changes make them stale.
 
 import argparse
 import json
+import os
 import statistics
 import sys
 
 
-def load_metrics(path):
-    """Returns {metric name: median time} for either input format."""
+def load_doc(path):
+    """Loads a report, failing loudly (no traceback) when it is absent."""
+    if not os.path.exists(path):
+        sys.exit(
+            "bench_compare: baseline/report not found: %s\n"
+            "  Committed baselines live in bench/baselines/; see "
+            "bench/baselines/README.md for how to regenerate them." % path
+        )
     with open(path, "r", encoding="utf-8") as fh:
-        doc = json.load(fh)
+        try:
+            return json.load(fh)
+        except ValueError as err:
+            sys.exit("bench_compare: %s is not valid JSON: %s" % (path, err))
+
+
+def load_metrics(doc, path):
+    """Returns {metric name: median time} for either input format."""
     samples = {}
     if "benchmarks" in doc:
         for entry in doc["benchmarks"]:
@@ -85,10 +99,41 @@ def main(argv):
         default=0.0,
         help="ignore metrics whose baseline value is below this floor",
     )
+    ap.add_argument(
+        "--allow-isa-mismatch",
+        action="store_true",
+        help="compare reports recorded under different SIMD ISAs anyway "
+        "(timings are only meaningful within an ISA)",
+    )
     args = ap.parse_args(argv)
 
-    base = load_metrics(args.baseline)
-    cur = load_metrics(args.current)
+    base_doc = load_doc(args.baseline)
+    cur_doc = load_doc(args.current)
+
+    # Bench-table reports record the kernel ISA they ran under; a
+    # cross-ISA comparison silently measures the dispatcher, not the
+    # change under test, so refuse it unless explicitly overridden.
+    def doc_isa(doc):
+        # Table harnesses record a top-level "isa"; google-benchmark
+        # reports carry it in the custom context.
+        return doc.get("isa") or (doc.get("context") or {}).get("isa")
+
+    base_isa = doc_isa(base_doc)
+    cur_isa = doc_isa(cur_doc)
+    if base_isa and cur_isa and base_isa != cur_isa:
+        msg = (
+            "bench_compare: ISA mismatch: baseline %s was recorded under "
+            "'%s' but %s under '%s'; regenerate the baseline under the "
+            "same ISA (see bench/baselines/README.md) or pass "
+            "--allow-isa-mismatch." % (args.baseline, base_isa,
+                                       args.current, cur_isa)
+        )
+        if not args.allow_isa_mismatch:
+            sys.exit(msg)
+        print(msg.replace("bench_compare:", "bench_compare: warning:"))
+
+    base = load_metrics(base_doc, args.baseline)
+    cur = load_metrics(cur_doc, args.current)
 
     regressions = []
     compared = 0

@@ -2,8 +2,8 @@
 # ci_local.sh - run the GitHub CI pipeline stages on a developer machine.
 #
 # Usage: tools/ci_local.sh [STAGE...]
-#   Stages: tier1 tsan asan robustness artifacts observability perf
-#   (default: all seven, in order)
+#   Stages: tier1 tsan asan robustness artifacts observability simd perf
+#   (default: all eight, in order)
 #
 # Environment:
 #   BUILD_TYPE   CMake build type for tier1/artifacts (default Release)
@@ -22,7 +22,7 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 BUILD_TYPE="${BUILD_TYPE:-Release}"
 STAGES=("$@")
 [ ${#STAGES[@]} -eq 0 ] && \
-  STAGES=(tier1 tsan asan robustness artifacts observability perf)
+  STAGES=(tier1 tsan asan robustness artifacts observability simd perf)
 
 CMAKE_COMMON=()
 if command -v ccache >/dev/null 2>&1; then
@@ -40,6 +40,8 @@ ASAN_FILTER+=':Norms/NormParamTest.*:Verify.*:Norms/VerifyNormTest.*'
 ASAN_FILTER+=':RadiusSearch*:FeedForwardVerifier.*:Scheduler.*'
 ROBUSTNESS_FILTER='Fault.*:Serialize.*:Io.*:Error.*:Json.*'
 ROBUSTNESS_FILTER+=':Scheduler.Recover*:Scheduler.Resume*:Scheduler.Fsync*'
+SIMD_FILTER='KernelDispatch.*:KernelEquivalence.*:F32Soundness.*'
+SIMD_FILTER+=':TiledGemm.*:Determinism.*'
 
 configure() { # dir, extra cmake args...
   local Dir="$1"; shift
@@ -178,8 +180,44 @@ EOF
   echo "observability artifacts in $Out"
 }
 
+stage_simd() {
+  echo "== simd: kernel equivalence across ISAs + sound f32 mode =="
+  configure "$ROOT/build-ci/tier1"
+  cmake --build "$ROOT/build-ci/tier1" -j "$JOBS" \
+        --target deept_tests table1_sst_fast_vs_baf
+  # The equivalence/dispatch suite under the scalar table and under the
+  # widest table the host supports (DEEPT_ISA=native resolves to it).
+  DEEPT_ISA=scalar "$ROOT/build-ci/tier1/tests/deept_tests" \
+      --gtest_filter="$SIMD_FILTER"
+  DEEPT_ISA=native "$ROOT/build-ci/tier1/tests/deept_tests" \
+      --gtest_filter="$SIMD_FILTER"
+  # The f32 soundness oracle under ASan: the narrowed accumulators and
+  # their upward lifts must be memory-clean too.
+  configure "$ROOT/build-ci/asan" -DDEEPT_SANITIZE=address
+  cmake --build "$ROOT/build-ci/asan" -j "$JOBS" --target deept_tests
+  "$ROOT/build-ci/asan/tests/deept_tests" --gtest_filter='F32Soundness.*'
+  # Bench artifacts must record the ISA they ran under, so cross-ISA
+  # comparisons fail loudly in bench_compare instead of lying quietly.
+  local Out="$ROOT/build-ci/simd"
+  mkdir -p "$Out"
+  ( cd "$Out" && DEEPT_MODEL_CACHE="$ROOT/deept-model-cache" \
+      "$ROOT/build-ci/tier1/bench/table1_sst_fast_vs_baf" )
+  grep -q '"isa":"' "$Out/BENCH_table1_sst_fast_vs_baf.json" || {
+    echo "simd: bench artifact missing its isa tag" >&2
+    exit 1
+  }
+  echo "simd artifacts in $Out"
+}
+
 stage_perf() {
   echo "== perf: bench regression gate vs bench/baselines =="
+  for Baseline in BENCH_micro_ops.json BENCH_table1_sst_fast_vs_baf.json; do
+    [ -f "$ROOT/bench/baselines/$Baseline" ] || {
+      echo "perf: missing baseline bench/baselines/$Baseline;" \
+           "regenerate it per bench/baselines/README.md" >&2
+      exit 1
+    }
+  done
   configure "$ROOT/build-ci/tier1"
   cmake --build "$ROOT/build-ci/tier1" -j "$JOBS" \
         --target micro_ops table1_sst_fast_vs_baf
@@ -209,10 +247,11 @@ for Stage in "${STAGES[@]}"; do
     robustness) stage_robustness ;;
     artifacts) stage_artifacts ;;
     observability) stage_observability ;;
+    simd) stage_simd ;;
     perf) stage_perf ;;
     *) echo "unknown stage '$Stage'" \
             "(want tier1 tsan asan robustness artifacts observability" \
-            "perf)" >&2
+            "simd perf)" >&2
        exit 2 ;;
   esac
 done

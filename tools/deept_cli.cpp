@@ -28,6 +28,7 @@
 #include "support/Prometheus.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
+#include "tensor/Kernels.h"
 #include "verify/DeepT.h"
 #include "verify/Profile.h"
 #include "verify/RadiusSearch.h"
@@ -61,6 +62,9 @@ int usage() {
       "           [--eps R] certify one fixed radius R (prints the margin;\n"
       "           a non-positive margin means falsified) instead of binary-\n"
       "           searching the largest certifiable radius\n"
+      "           [--precision f32|f64] kernel precision for the dual-norm\n"
+      "           reductions (DeepT verifiers only; f32 is soundly widened\n"
+      "           and auto-escalates to f64 when a query would falsify)\n"
       "           [--profile-out FILE.jsonl] per-query precision profiles\n"
       "           (checkpoint width/growth stats + noise-symbol\n"
       "           attribution; DeepT verifiers only, one line per margin\n"
@@ -92,6 +96,11 @@ int usage() {
       "  --threads N             worker threads for the shared pool\n"
       "                          (default: all cores, or DEEPT_THREADS);\n"
       "                          results are identical for any N\n"
+      "  --isa scalar|avx2|avx512|native\n"
+      "                          SIMD kernel table (default: widest the\n"
+      "                          CPU supports, or DEEPT_ISA); results are\n"
+      "                          bit-identical for any thread count within\n"
+      "                          an ISA\n"
       "\n"
       "observability (any command):\n"
       "  --trace-out FILE.json   record spans, write Chrome trace_event\n"
@@ -199,6 +208,20 @@ int cmdCertify(const ArgParse &Args) {
                          "(fast, precise or combined)\n");
     return 2;
   }
+
+  support::FpPrecision Precision = support::FpPrecision::F64;
+  if (Args.has("precision")) {
+    std::string Err;
+    if (!support::parseFpPrecision(Args.get("precision"), Precision, &Err)) {
+      std::fprintf(stderr, "error: --precision %s\n", Err.c_str());
+      return 2;
+    }
+    if (Precision == support::FpPrecision::F32 && IsCrown) {
+      std::fprintf(stderr, "error: --precision f32 needs a DeepT verifier "
+                           "(fast, precise or combined)\n");
+      return 2;
+    }
+  }
   support::AppendFile ProfileFile;
   if (!ProfileOut.empty()) {
     support::Error Err;
@@ -231,6 +254,7 @@ int cmdCertify(const ArgParse &Args) {
       Cfg.Method = zono::DotMethod::Precise;
     if (Verifier == "combined")
       Cfg.PreciseLastLayerOnly = true;
+    Cfg.Precision = Precision;
     if (ProfileFile.isOpen())
       Cfg.Profile = &Prof;
     verify::DeepTVerifier V(Model, Cfg);
@@ -485,8 +509,9 @@ bool writeStatsJson(const std::string &Path, const std::string &Cmd) {
   if (!Out)
     return false;
   Out << "{\"command\":\"" << support::jsonEscape(Cmd) << "\",\"threads\":"
-      << support::ThreadPool::global().threadCount()
-      << ",\"metrics\":" << support::Metrics::global().toJson() << "}\n";
+      << support::ThreadPool::global().threadCount() << ",\"isa\":\""
+      << tensor::isaName(tensor::currentIsa())
+      << "\",\"metrics\":" << support::Metrics::global().toJson() << "}\n";
   return static_cast<bool>(Out);
 }
 
@@ -510,6 +535,18 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     support::ThreadPool::global().setThreadCount(Threads);
+  }
+  if (Args.has("isa")) {
+    tensor::Isa I = tensor::Isa::Scalar;
+    std::string Err;
+    if (!tensor::parseIsa(Args.get("isa"), I, &Err)) {
+      std::fprintf(stderr, "error: --isa %s\n", Err.c_str());
+      return 2;
+    }
+    if (!tensor::setIsa(I, &Err)) {
+      std::fprintf(stderr, "error: --isa %s\n", Err.c_str());
+      return 2;
+    }
   }
 
   int Rc;
