@@ -2,6 +2,7 @@
 
 #include "nn/Serialize.h"
 
+#include "support/Crc.h"
 #include "support/Fault.h"
 #include "support/Io.h"
 
@@ -33,35 +34,8 @@ constexpr uint64_t MaxDim = 1u << 14;
 constexpr uint64_t MaxLayers = 1u << 10;
 constexpr uint64_t MaxMatrixElems = 1u << 27; // 1 GiB of doubles
 
-/// CRC-32 (IEEE 802.3, reflected) over a byte stream, computed
-/// incrementally by the read/write wrappers below.
-class Crc32 {
-public:
-  void update(const void *Data, size_t N) {
-    static const uint32_t *Table = table();
-    const auto *P = static_cast<const unsigned char *>(Data);
-    for (size_t I = 0; I < N; ++I)
-      State = Table[(State ^ P[I]) & 0xFF] ^ (State >> 8);
-  }
-  uint32_t value() const { return State ^ 0xFFFFFFFFu; }
-
-private:
-  static const uint32_t *table() {
-    static uint32_t T[256];
-    static bool Done = [] {
-      for (uint32_t I = 0; I < 256; ++I) {
-        uint32_t C = I;
-        for (int K = 0; K < 8; ++K)
-          C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
-        T[I] = C;
-      }
-      return true;
-    }();
-    (void)Done;
-    return T;
-  }
-  uint32_t State = 0xFFFFFFFFu;
-};
+/// Checksums use the shared support::Crc32 (support/Crc.h).
+using support::Crc32;
 
 /// Checksummed reader over an open file, tracking the bytes consumed so
 /// truncation can be told apart from other corruption.

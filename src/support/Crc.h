@@ -1,0 +1,66 @@
+//===- support/Crc.h - CRC-32 checksum ------------------------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte
+/// stream, computed incrementally. Shared by the `.dptm` serializer, the
+/// certificate producer (verify/Certificate) and the independent
+/// certificate checker (src/check) -- the producer/checker pair must
+/// agree on the checksum without sharing any verifier code, so the
+/// implementation lives here in support.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_SUPPORT_CRC_H
+#define DEEPT_SUPPORT_CRC_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace deept {
+namespace support {
+
+/// Incremental CRC-32: update() over any number of chunks, value() at any
+/// point (it does not reset the state).
+class Crc32 {
+public:
+  void update(const void *Data, size_t N) {
+    static const uint32_t *Table = table();
+    const auto *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < N; ++I)
+      State = Table[(State ^ P[I]) & 0xFF] ^ (State >> 8);
+  }
+  uint32_t value() const { return State ^ 0xFFFFFFFFu; }
+
+private:
+  static const uint32_t *table() {
+    static uint32_t T[256];
+    static bool Done = [] {
+      for (uint32_t I = 0; I < 256; ++I) {
+        uint32_t C = I;
+        for (int K = 0; K < 8; ++K)
+          C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+        T[I] = C;
+      }
+      return true;
+    }();
+    (void)Done;
+    return T;
+  }
+  uint32_t State = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+inline uint32_t crc32(const void *Data, size_t N) {
+  Crc32 C;
+  C.update(Data, N);
+  return C.value();
+}
+
+} // namespace support
+} // namespace deept
+
+#endif // DEEPT_SUPPORT_CRC_H

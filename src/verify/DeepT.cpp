@@ -7,6 +7,7 @@
 #include "support/FlightRecorder.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
+#include "verify/Certificate.h"
 #include "verify/Profile.h"
 #include "zono/Elementwise.h"
 #include "zono/Provenance.h"
@@ -110,6 +111,8 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
       profileCheckpoint(*Config.Profile, Z, Site, CurLayer, CurHead,
                         SinceMs);
     }
+    if (Config.Certificate)
+      Config.Certificate->recordCheckpoint(Z, Site, CurLayer, CurHead);
     if (Config.ValidateAbstractions) {
       std::string Why;
       if (!Z.validate(&Why))
@@ -304,6 +307,12 @@ double DeepTVerifier::certifyMarginImpl(const Zonotope &InputEmb,
     Config.Profile->resetMeasurements();
     Session.emplace();
   }
+  if (Config.Certificate) {
+    Config.Certificate->beginRun(TrueClass, Model.Layers.size(),
+                                 Model.Config.EmbedDim,
+                                 Model.Config.NumHeads);
+    Config.Certificate->recordInput(InputEmb);
+  }
   Zonotope Logits = propagate(InputEmb);
   // The margin is an affine combination of the logit variables; computing
   // it inside the domain keeps the shared-noise cancellation (an interval
@@ -323,6 +332,9 @@ double DeepTVerifier::certifyMarginImpl(const Zonotope &InputEmb,
   if (std::isnan(Lo.at(0, 0)))
     throw support::Error(support::ErrorCode::UnsoundAbstraction,
                          "verify.margin", "margin lower bound is NaN");
+  if (Config.Certificate)
+    Config.Certificate->recordMargin(Margin, TrueClass, Lo.at(0, 0),
+                                     Hi.at(0, 0));
   if (Config.Profile) {
     profileMargin(*Config.Profile, Margin, Session->provenance(),
                   Lo.at(0, 0), Hi.at(0, 0));

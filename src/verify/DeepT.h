@@ -41,6 +41,7 @@ class FlightRecorder;
 namespace verify {
 
 struct PrecisionProfile;
+class CertificateBuilder;
 
 using zono::Zonotope;
 
@@ -87,6 +88,13 @@ struct VerifierConfig {
   /// block counts, coefficient bytes -- no width computation) so a failed
   /// job's artifact shows where the propagation was when it died.
   support::FlightRecorder *Recorder = nullptr;
+  /// Optional proof-certificate builder (see verify/Certificate.h). When
+  /// set, certifyMargin() records the input concretization, the Theorem 1
+  /// derivation inputs at every propagation checkpoint, and the final
+  /// margin derivation, for independent replay by tools/deept_check.
+  /// Under F32 -> F64 escalation the recording restarts, so the final
+  /// (verdict-determining) run wins. Null by default.
+  CertificateBuilder *Certificate = nullptr;
   /// Kernel precision for the dual-norm reductions (see support/Fp.h).
   /// F32 accumulates coefficient magnitudes in single precision with a
   /// sound upward lift -- the certified margin can only shrink, never

@@ -2,6 +2,7 @@
 
 #include "verify/FeedForwardVerifier.h"
 
+#include "verify/Certificate.h"
 #include "zono/Elementwise.h"
 
 #include <cassert>
@@ -12,21 +13,32 @@ using namespace deept::zono;
 using tensor::Matrix;
 
 Zonotope deept::verify::propagateFeedForward(const nn::FeedForwardNet &Net,
-                                             const Zonotope &Input) {
+                                             const Zonotope &Input,
+                                             CertificateBuilder *Cert) {
   assert(Input.cols() == Net.inputDim() && "input width mismatch");
   Zonotope H = Input;
+  if (Cert)
+    Cert->recordCheckpoint(H, "ffn.input", -1, -1);
   for (size_t L = 0; L < Net.numLayers(); ++L) {
     H = H.matmulRightConst(Net.Weights[L]).addRowBroadcast(Net.Biases[L]);
     if (L + 1 != Net.numLayers())
       H = applyRelu(H);
+    if (Cert)
+      Cert->recordCheckpoint(H, "ffn.layer_output", static_cast<int>(L), -1);
   }
   return H;
 }
 
 double deept::verify::feedForwardMargin(const nn::FeedForwardNet &Net,
                                         const Zonotope &Input,
-                                        size_t TrueClass) {
-  Zonotope Logits = propagateFeedForward(Net, Input);
+                                        size_t TrueClass,
+                                        CertificateBuilder *Cert) {
+  if (Cert) {
+    Cert->Data.Kind = "ffn";
+    Cert->beginRun(TrueClass, Net.numLayers(), Net.inputDim(), 0);
+    Cert->recordInput(Input);
+  }
+  Zonotope Logits = propagateFeedForward(Net, Input, Cert);
   // Same +/-1 column trick as DeepTVerifier::certifyMarginImpl: keeps the
   // eps blocks in scatter form and is bit-identical to the mapLinear
   // subtraction.
@@ -36,13 +48,16 @@ double deept::verify::feedForwardMargin(const nn::FeedForwardNet &Net,
   Zonotope Margin = Logits.matmulRightConst(MarginW);
   Matrix Lo, Hi;
   Margin.bounds(Lo, Hi);
+  if (Cert)
+    Cert->recordMargin(Margin, TrueClass, Lo.at(0, 0), Hi.at(0, 0));
   return Lo.at(0, 0);
 }
 
 bool deept::verify::certifyFeedForwardLpBall(const nn::FeedForwardNet &Net,
                                              const Matrix &X, double P,
                                              double Radius,
-                                             size_t TrueClass) {
+                                             size_t TrueClass,
+                                             CertificateBuilder *Cert) {
   Zonotope In = Zonotope::lpBall(X, P, Radius);
-  return feedForwardMargin(Net, In, TrueClass) > 0.0;
+  return feedForwardMargin(Net, In, TrueClass, Cert) > 0.0;
 }

@@ -20,18 +20,27 @@
 namespace deept {
 namespace verify {
 
-/// Propagates an input zonotope (1 x In) to the logits zonotope.
-zono::Zonotope propagateFeedForward(const nn::FeedForwardNet &Net,
-                                    const zono::Zonotope &Input);
+class CertificateBuilder;
 
-/// Lower bound of logits[TrueClass] - logits[1 - TrueClass].
+/// Propagates an input zonotope (1 x In) to the logits zonotope. With a
+/// certificate builder attached, records an "ffn.input" checkpoint plus
+/// one "ffn.layer_output" checkpoint per layer (see verify/Certificate.h).
+zono::Zonotope propagateFeedForward(const nn::FeedForwardNet &Net,
+                                    const zono::Zonotope &Input,
+                                    CertificateBuilder *Cert = nullptr);
+
+/// Lower bound of logits[TrueClass] - logits[1 - TrueClass]. With a
+/// certificate builder attached, records the full run (input,
+/// checkpoints, margin derivation) for replay by tools/deept_check.
 double feedForwardMargin(const nn::FeedForwardNet &Net,
-                         const zono::Zonotope &Input, size_t TrueClass);
+                         const zono::Zonotope &Input, size_t TrueClass,
+                         CertificateBuilder *Cert = nullptr);
 
 /// Certifies an lp ball of radius \p Radius around \p X (1 x In).
 bool certifyFeedForwardLpBall(const nn::FeedForwardNet &Net,
                               const tensor::Matrix &X, double P,
-                              double Radius, size_t TrueClass);
+                              double Radius, size_t TrueClass,
+                              CertificateBuilder *Cert = nullptr);
 
 } // namespace verify
 } // namespace deept

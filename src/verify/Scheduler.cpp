@@ -11,6 +11,7 @@
 #include "support/Parallel.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
+#include "verify/Certificate.h"
 #include "verify/Profile.h"
 
 #include <algorithm>
@@ -411,7 +412,8 @@ void Scheduler::executeOne(const JobSpec &Spec, JobMethod Method,
                            int64_t DeadlineMs, JobResult &R,
                            const WarmMap &Warm,
                            support::FlightRecorder *Rec,
-                           PrecisionProfile *Prof) const {
+                           PrecisionProfile *Prof,
+                           CertificateData *Cert) const {
   using support::Error;
   using support::ErrorCode;
   DEEPT_FAULT_POINT("sched.execute");
@@ -433,6 +435,21 @@ void Scheduler::executeOne(const JobSpec &Spec, JobMethod Method,
                       std::to_string(Model.Config.VocabSize) + ")");
 
   Deadline D(DeadlineMs);
+  // One builder per attempt; after every certified probe the recorded
+  // run is snapshotted into *Cert, so a search job ends with the
+  // certificate of its LAST certified probe (the final probe of a
+  // bisection may be uncertified) and an attempt that later fails leaves
+  // no certificate at all (the caller only writes Valid+Certified
+  // snapshots of successful attempts).
+  std::optional<CertificateBuilder> CertBuilder;
+  if (Cert && Method != JobMethod::CrownBaF &&
+      Method != JobMethod::CrownBackward) {
+    CertBuilder.emplace();
+    CertBuilder->Data.Query = R.Key;
+    CertBuilder->Data.Method = jobMethodName(Method);
+    CertBuilder->Data.Norm = normToken(Spec.P);
+    CertBuilder->Data.P = Spec.P;
+  }
   auto MarginAt = [&](double Radius) -> double {
     D.check(); // per-probe check (covers the CROWN paths too)
     if (Rec)
@@ -459,10 +476,14 @@ void Scheduler::executeOne(const JobSpec &Spec, JobMethod Method,
     VC.CancelCheck = [&D] { D.check(); };
     VC.Recorder = Rec;
     VC.Profile = Prof;
+    VC.Certificate = CertBuilder ? &*CertBuilder : nullptr;
     DeepTVerifier V(Model, VC);
     Matrix X = Model.embed(Spec.Tokens);
     Zonotope In = Zonotope::lpBallOnRow(X, Spec.Word, Spec.P, Radius);
-    return V.certifyMargin(In, Spec.TrueClass);
+    double M = V.certifyMargin(In, Spec.TrueClass);
+    if (CertBuilder && M > 0.0)
+      *Cert = CertBuilder->Data;
+    return M;
   };
 
   R.MethodUsed = Method;
@@ -494,7 +515,8 @@ void Scheduler::executeOne(const JobSpec &Spec, JobMethod Method,
 void Scheduler::executeWithDegradation(const JobSpec &Spec, JobResult &R,
                                        const WarmMap &Warm,
                                        support::FlightRecorder *Rec,
-                                       PrecisionProfile *Prof) const {
+                                       PrecisionProfile *Prof,
+                                       CertificateData *Cert) const {
   static support::Counter &DeadlineHits =
       support::Metrics::global().counter("sched.deadline_hits");
   int64_t DeadlineMs =
@@ -508,7 +530,11 @@ void Scheduler::executeWithDegradation(const JobSpec &Spec, JobResult &R,
       if (Rec)
         Rec->record("attempt_start", jobMethodName(Method),
                     static_cast<double>(DeadlineMs));
-      executeOne(Spec, Method, DeadlineMs, R, Warm, Rec, Prof);
+      // A degraded retry must not inherit the previous attempt's
+      // snapshot (the degraded method's own probes refill it).
+      if (Cert)
+        *Cert = CertificateData();
+      executeOne(Spec, Method, DeadlineMs, R, Warm, Rec, Prof, Cert);
       if (Rec) {
         uint64_t Faults = support::fault::injectedCount() - FaultsBefore;
         if (Faults > 0)
@@ -639,9 +665,13 @@ std::vector<JobResult> Scheduler::run(const JobQueue &Queue) const {
         Prof->Norm = normToken(Spec.P);
         Prof->Eps = Spec.Epsilon;
       }
+      std::optional<CertificateData> Cert;
+      if (!Opts.CertDir.empty())
+        Cert.emplace();
       support::Timer JobTimer;
       executeWithDegradation(Spec, R, Warm, Rec ? &*Rec : nullptr,
-                             Prof ? &*Prof : nullptr);
+                             Prof ? &*Prof : nullptr,
+                             Cert ? &*Cert : nullptr);
       R.Seconds = JobTimer.seconds();
       JobMs.observe(R.Seconds * 1e3);
       if (R.Status == JobStatus::Degraded)
@@ -658,6 +688,37 @@ std::vector<JobResult> Scheduler::run(const JobQueue &Queue) const {
         std::lock_guard<std::mutex> Lock(ProfileMu);
         support::Error Err;
         ProfileStore.append(Line, Opts.Fsync, &Err);
+      }
+      // Certificate artifact: only for jobs whose final answer is a
+      // DeepT-certified verdict (the snapshot is Valid+Certified exactly
+      // then). A failed write -- IO or an injected "cert.write" fault --
+      // is counted and warned about, never fatal to the batch.
+      if (Cert && Cert->Margin.Valid && Cert->Margin.Certified &&
+          R.Certified &&
+          (R.Status == JobStatus::Ok || R.Status == JobStatus::Degraded)) {
+        static support::Counter &CertEmitted = M.counter("cert.emitted");
+        static support::Counter &CertBytes = M.counter("cert.bytes");
+        static support::Counter &CertWriteFailures =
+            M.counter("cert.write_failures");
+        std::string Path =
+            Opts.CertDir + "/cert-" + fileSafe(R.Key) + ".json";
+        try {
+          DEEPT_FAULT_POINT("cert.write");
+          std::string Json = Cert->toJson() + "\n";
+          support::Error WErr;
+          if (!support::atomicWriteFile(Path, Json, &WErr))
+            throw WErr;
+          CertEmitted.add(1);
+          CertBytes.add(static_cast<double>(Json.size()));
+          if (Rec)
+            Rec->record("certificate", Path.c_str(),
+                        static_cast<double>(Json.size()));
+        } catch (const std::exception &E) {
+          CertWriteFailures.add(1);
+          std::fprintf(stderr,
+                       "warning: certificate write to '%s' failed: %s\n",
+                       Path.c_str(), E.what());
+        }
       }
       if (Rec && (R.Status == JobStatus::Error || R.DeadlineHit)) {
         Rec->record("final", jobStatusName(R.Status),

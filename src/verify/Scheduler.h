@@ -51,6 +51,8 @@ struct JsonValue;
 
 namespace verify {
 
+struct CertificateData;
+
 /// The verifier family a job runs under. Precise and Combined degrade to
 /// Fast; Fast and the CROWN baselines have nothing below them.
 enum class JobMethod { Fast, Precise, Combined, CrownBaF, CrownBackward };
@@ -186,6 +188,15 @@ struct SchedulerOptions {
   std::string RecorderDir;
   /// Event capacity of each job's ring buffer.
   size_t RecorderCapacity = 256;
+  /// Proof-certificate directory: every DeepT job whose final probe
+  /// certified writes a replayable certificate artifact
+  /// (verify/Certificate.h) to "<CertDir>/cert-<key>.json" -- search
+  /// jobs keep the certificate of their last certified probe. CROWN
+  /// jobs and uncertified / failed jobs write nothing. A failed write
+  /// (including an injected "cert.write" fault) never fails the job:
+  /// it is counted by cert.write_failures and the batch continues.
+  /// Empty disables.
+  std::string CertDir;
 };
 
 /// The batch driver. One instance serves one model; run() may be called
@@ -249,11 +260,12 @@ private:
   void executeWithDegradation(const JobSpec &Spec, JobResult &R,
                               const WarmMap &Warm,
                               support::FlightRecorder *Rec,
-                              PrecisionProfile *Prof) const;
+                              PrecisionProfile *Prof,
+                              CertificateData *Cert) const;
   void executeOne(const JobSpec &Spec, JobMethod Method, int64_t DeadlineMs,
                   JobResult &R, const WarmMap &Warm,
-                  support::FlightRecorder *Rec,
-                  PrecisionProfile *Prof) const;
+                  support::FlightRecorder *Rec, PrecisionProfile *Prof,
+                  CertificateData *Cert) const;
 
   const nn::TransformerModel &Model;
   SchedulerOptions Opts;

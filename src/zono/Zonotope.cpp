@@ -413,6 +413,10 @@ void Zonotope::bounds(Matrix &Lo, Matrix &Hi) const {
   }
 }
 
+Matrix Zonotope::phiColumnDualNorms() const {
+  return columnDualNorms(PhiC, dualExponent(PhiP), numVars());
+}
+
 Matrix Zonotope::radii() const {
   double Q = dualExponent(PhiP);
   Matrix PhiNorm = columnDualNorms(PhiC, Q, numVars());

@@ -124,6 +124,14 @@ public:
   /// kernel at any thread count. Q follows Matrix::InfNorm conventions.
   Matrix epsColumnDualNorms(double Q) const;
 
+  /// Per-variable dual norm ||alpha_k||_q over the phi symbol axis
+  /// (1 x numVars), with q the dual exponent of phiP(). This is exactly
+  /// the phi half of radii() -- exported separately so the certificate
+  /// producer (verify/Certificate) can record the two dual-norm inputs of
+  /// Theorem 1 individually; the values are bit-identical to the ones
+  /// radii()/bounds() consume.
+  Matrix phiColumnDualNorms() const;
+
   /// Computes per-variable concrete bounds (Theorem 1): for variable k,
   ///   l_k = c_k - ||alpha_k||_q - ||beta_k||_1,
   ///   u_k = c_k + ||alpha_k||_q + ||beta_k||_1,

@@ -2,8 +2,9 @@
 # ci_local.sh - run the GitHub CI pipeline stages on a developer machine.
 #
 # Usage: tools/ci_local.sh [STAGE...]
-#   Stages: tier1 tsan asan robustness artifacts observability simd perf
-#   (default: all eight, in order)
+#   Stages: tier1 tsan asan robustness artifacts observability simd
+#           certificates perf
+#   (default: all nine, in order)
 #
 # Environment:
 #   BUILD_TYPE   CMake build type for tier1/artifacts (default Release)
@@ -22,7 +23,8 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 BUILD_TYPE="${BUILD_TYPE:-Release}"
 STAGES=("$@")
 [ ${#STAGES[@]} -eq 0 ] && \
-  STAGES=(tier1 tsan asan robustness artifacts observability simd perf)
+  STAGES=(tier1 tsan asan robustness artifacts observability simd
+          certificates perf)
 
 CMAKE_COMMON=()
 if command -v ccache >/dev/null 2>&1; then
@@ -209,8 +211,78 @@ stage_simd() {
   echo "simd artifacts in $Out"
 }
 
+stage_certificates() {
+  echo "== certificates: replayable proofs + independent checker oracle =="
+  # The producer (deept_cli) comes from the tier-1 build; the checker
+  # (deept_check) is built under ASan so replaying every artifact doubles
+  # as a memory-safety drill on the independent interval core.
+  configure "$ROOT/build-ci/tier1"
+  cmake --build "$ROOT/build-ci/tier1" -j "$JOBS" \
+        --target deept_cli deept_json_validate
+  configure "$ROOT/build-ci/asan" -DDEEPT_SANITIZE=address
+  cmake --build "$ROOT/build-ci/asan" -j "$JOBS" --target deept_check
+  local Cli="$ROOT/build-ci/tier1/tools/deept_cli"
+  local Check="$ROOT/build-ci/asan/tools/deept_check"
+  local Validate="$ROOT/build-ci/tier1/tools/deept_json_validate"
+  local Out="$ROOT/build-ci/certificates"
+  mkdir -p "$Out"
+
+  # Certify the cached 12-layer model at 1 and 8 threads under the scalar
+  # kernel table and the widest one the host supports; every emitted
+  # certificate must pass schema validation and replay through the
+  # checker, and every query must actually certify (the stage is a
+  # soundness oracle, not just a format check).
+  local Isa Threads
+  for Isa in scalar native; do
+    for Threads in 1 8; do
+      rm -f "$Out/certs-$Isa-t$Threads.jsonl"
+      DEEPT_MODEL_CACHE="$ROOT/deept-model-cache" DEEPT_ISA="$Isa" \
+        "$Cli" certify --model "$ROOT/deept-model-cache/sst_m12.dptm" \
+          --sentences 2 --eps 0.01 --threads "$Threads" \
+          --cert-out "$Out/certs-$Isa-t$Threads.jsonl"
+      "$Validate" --jsonl --schema certificate \
+          "$Out/certs-$Isa-t$Threads.jsonl"
+      "$Check" "$Out/certs-$Isa-t$Threads.jsonl"
+      if grep -q '"certified":false' "$Out/certs-$Isa-t$Threads.jsonl"; then
+        echo "certificates: uncertified query in certs-$Isa-t$Threads" >&2
+        exit 1
+      fi
+    done
+    # Within one ISA the payload -- and hence its CRC -- must be
+    # bit-identical at any thread count. Only the envelope's "threads"
+    # field may differ, so the comparison reads the crc32 stream, not the
+    # whole file.
+    grep -o '"crc32":[0-9]*' "$Out/certs-$Isa-t1.jsonl" \
+        > "$Out/crc-$Isa-t1.txt"
+    grep -o '"crc32":[0-9]*' "$Out/certs-$Isa-t8.jsonl" \
+        > "$Out/crc-$Isa-t8.txt"
+    cmp "$Out/crc-$Isa-t1.txt" "$Out/crc-$Isa-t8.txt" || {
+      echo "certificates: payload CRCs differ across thread counts" \
+           "under DEEPT_ISA=$Isa" >&2
+      exit 1
+    }
+  done
+  # Across ISAs the raw payloads may differ (lane-ordered reductions) but
+  # the checker's semantic digest -- bookkeeping, shapes, verdicts --
+  # must not.
+  "$Check" --digest "$Out/certs-scalar-t1.jsonl" > "$Out/digest-scalar.txt"
+  "$Check" --digest "$Out/certs-native-t1.jsonl" > "$Out/digest-native.txt"
+  diff -u "$Out/digest-scalar.txt" "$Out/digest-native.txt" || {
+    echo "certificates: semantic digests differ across ISAs" >&2
+    exit 1
+  }
+  # One l-infinity run for norm coverage of the margin replay (q = 1).
+  rm -f "$Out/certs-linf.jsonl"
+  DEEPT_MODEL_CACHE="$ROOT/deept-model-cache" \
+    "$Cli" certify --model "$ROOT/deept-model-cache/sst_m12.dptm" \
+      --sentences 1 --eps 0.002 --norm linf --threads 2 \
+      --cert-out "$Out/certs-linf.jsonl"
+  "$Check" "$Out/certs-linf.jsonl"
+  echo "certificate artifacts in $Out"
+}
+
 stage_perf() {
-  echo "== perf: bench regression gate vs bench/baselines =="
+  echo "== perf: bench regression gate vs bench/baselines (scalar ISA) =="
   for Baseline in BENCH_micro_ops.json BENCH_table1_sst_fast_vs_baf.json; do
     [ -f "$ROOT/bench/baselines/$Baseline" ] || {
       echo "perf: missing baseline bench/baselines/$Baseline;" \
@@ -223,11 +295,15 @@ stage_perf() {
         --target micro_ops table1_sst_fast_vs_baf
   local Out="$ROOT/build-ci/perf"
   mkdir -p "$Out"
-  "$ROOT/build-ci/tier1/bench/micro_ops" \
+  # The committed baselines were recorded under the scalar kernel table;
+  # pinning DEEPT_ISA keeps the comparison apples-to-apples on any runner
+  # regardless of its vector width (see bench/baselines/README.md).
+  DEEPT_ISA=scalar "$ROOT/build-ci/tier1/bench/micro_ops" \
       --benchmark_repetitions=3 \
       --benchmark_out="$Out/BENCH_micro_ops.json" \
       --benchmark_out_format=json
   ( cd "$Out" && DEEPT_MODEL_CACHE="$ROOT/deept-model-cache" \
+      DEEPT_ISA=scalar \
       "$ROOT/build-ci/tier1/bench/table1_sst_fast_vs_baf" )
   # Sub-microsecond timers (micro_ops reports ns) and sub-half-second
   # table cells are noise-dominated; the floors exclude them.
@@ -248,10 +324,11 @@ for Stage in "${STAGES[@]}"; do
     artifacts) stage_artifacts ;;
     observability) stage_observability ;;
     simd) stage_simd ;;
+    certificates) stage_certificates ;;
     perf) stage_perf ;;
     *) echo "unknown stage '$Stage'" \
             "(want tier1 tsan asan robustness artifacts observability" \
-            "simd perf)" >&2
+            "simd certificates perf)" >&2
        exit 2 ;;
   esac
 done

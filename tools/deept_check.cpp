@@ -1,0 +1,117 @@
+//===- tools/deept_check.cpp - Certificate replay checker ------*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The independent replay checker for DeepT proof certificates. Links
+/// only src/check (a ~300-line directed-rounding interval core) and the
+/// support layer -- no tensor, zonotope or verifier code -- so a kernel
+/// bug in the producer cannot also hide in the replay.
+///
+///   deept_check [--digest] [--quiet] FILE...
+///
+/// Each FILE is a certificate artifact: either a single-line .json (one
+/// envelope) or a .jsonl with one envelope per line. Every certificate
+/// is replayed; the first violation stops the run with the taxonomy's
+/// typed exit codes:
+///
+///   0  every certificate replays
+///   2  usage error
+///   3  malformed artifact (JSON, envelope, CRC, schema)   [store_corrupt]
+///   5  replay rejection (non-enclosure, non-finite value,
+///      bookkeeping or verdict mismatch)          [unsound_abstraction]
+///
+/// --digest prints the ISA-invariant semantic digest line per certificate
+/// instead of the OK line; CI diffs these across ISAs (raw payloads are
+/// only bit-identical within one ISA).
+///
+//===----------------------------------------------------------------------===//
+
+#include "check/CertCheck.h"
+#include "support/Error.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace deept;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: deept_check [--digest] [--quiet] FILE...\n"
+               "  Replays DeepT proof certificates (.json or .jsonl) with\n"
+               "  directed-rounding interval arithmetic.\n"
+               "  --digest  print the ISA-invariant digest per certificate\n"
+               "  --quiet   print nothing on success\n");
+  return support::exitCodeFor(support::ErrorCode::BadArgument);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Digest = false, Quiet = false;
+  std::vector<std::string> Files;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--digest")
+      Digest = true;
+    else if (A == "--quiet")
+      Quiet = true;
+    else if (A == "--help" || A == "-h")
+      return usage();
+    else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "deept_check: unknown flag '%s'\n", A.c_str());
+      return usage();
+    } else
+      Files.push_back(A);
+  }
+  if (Files.empty())
+    return usage();
+
+  size_t Checked = 0;
+  for (const std::string &Path : Files) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "deept_check: cannot open %s\n", Path.c_str());
+      return support::exitCodeFor(support::ErrorCode::StoreCorrupt);
+    }
+    std::string Line;
+    size_t LineNo = 0;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      bool Blank = true;
+      for (char C : Line)
+        if (C != ' ' && C != '\t' && C != '\r')
+          Blank = false;
+      if (Blank)
+        continue;
+      try {
+        check::CertificateSummary S = check::checkCertificate(Line);
+        ++Checked;
+        if (Digest)
+          std::printf("%s\n", check::semanticDigest(S).c_str());
+        else if (!Quiet)
+          std::printf("OK %s:%zu query=%s kind=%s isa=%s threads=%zu "
+                      "certified=%d\n",
+                      Path.c_str(), LineNo, S.Query.c_str(), S.Kind.c_str(),
+                      S.Isa.c_str(), S.Threads, S.Certified ? 1 : 0);
+      } catch (const std::exception &E) {
+        std::fprintf(stderr, "deept_check: REJECT %s:%zu: %s\n", Path.c_str(),
+                     LineNo, E.what());
+        return support::exitCodeFor(support::codeOf(E));
+      }
+    }
+  }
+  if (Checked == 0) {
+    std::fprintf(stderr, "deept_check: no certificates found\n");
+    return support::exitCodeFor(support::ErrorCode::StoreCorrupt);
+  }
+  if (!Quiet && !Digest)
+    std::printf("deept_check: %zu certificate(s) replayed\n", Checked);
+  return 0;
+}

@@ -29,6 +29,7 @@
 #include "support/Timer.h"
 #include "support/Trace.h"
 #include "tensor/Kernels.h"
+#include "verify/Certificate.h"
 #include "verify/DeepT.h"
 #include "verify/Profile.h"
 #include "verify/RadiusSearch.h"
@@ -69,6 +70,9 @@ int usage() {
       "           (checkpoint width/growth stats + noise-symbol\n"
       "           attribution; DeepT verifiers only, one line per margin\n"
       "           computation)\n"
+      "           [--cert-out FILE.jsonl] proof certificates (DeepT\n"
+      "           verifiers only, one CRC-checked envelope per margin\n"
+      "           computation; replay with `deept_check FILE.jsonl`)\n"
       "  synonym  --model FILE [--corpus ...] [--count N]\n"
       "  attack   --model FILE [--corpus ...] [--norm l1|l2|linf] [--word N]\n"
       "  batch    --model FILE --jobs FILE.json --out FILE.jsonl\n"
@@ -80,10 +84,13 @@ int usage() {
       "           --resume skips jobs already present in the store and\n"
       "           repairs a crash-torn trailing record; --fsync makes\n"
       "           each record durable before the next job commits;\n"
-      "           --profile-out streams per-job precision profiles and\n"
+      "           --profile-out streams per-job precision profiles,\n"
       "           --recorder-dir keeps a flight-recorder artifact\n"
       "           (recorder-<key>.json) for each job that errors or hits\n"
-      "           its deadline\n"
+      "           its deadline, and --cert-dir DIR writes a proof\n"
+      "           certificate (cert-<key>.json, replayable with\n"
+      "           deept_check) for each DeepT job whose final probe\n"
+      "           certified\n"
       "  metrics  [--from stats.json]  print the metrics registry (or a\n"
       "           saved --stats-json artifact) in Prometheus text\n"
       "           exposition format\n"
@@ -208,6 +215,12 @@ int cmdCertify(const ArgParse &Args) {
                          "(fast, precise or combined)\n");
     return 2;
   }
+  std::string CertOut = Args.get("cert-out");
+  if (!CertOut.empty() && IsCrown) {
+    std::fprintf(stderr, "error: --cert-out needs a DeepT verifier "
+                         "(fast, precise or combined)\n");
+    return 2;
+  }
 
   support::FpPrecision Precision = support::FpPrecision::F64;
   if (Args.has("precision")) {
@@ -230,9 +243,21 @@ int cmdCertify(const ArgParse &Args) {
       return support::exitCodeFor(Err.code());
     }
   }
+  support::AppendFile CertFile;
+  if (!CertOut.empty()) {
+    support::Error Err;
+    if (!CertFile.open(CertOut, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.what());
+      return support::exitCodeFor(Err.code());
+    }
+  }
   verify::PrecisionProfile Prof;
   Prof.Norm = Args.get("norm", "l2");
   Prof.Method = Verifier;
+  verify::CertificateBuilder Cert;
+  Cert.Data.Method = Verifier;
+  Cert.Data.Norm = Args.get("norm", "l2");
+  Cert.Data.P = P;
 
   size_t SentenceIdx = 0;
   // Margin of one query; every DeepT margin computation appends a
@@ -257,6 +282,8 @@ int cmdCertify(const ArgParse &Args) {
     Cfg.Precision = Precision;
     if (ProfileFile.isOpen())
       Cfg.Profile = &Prof;
+    if (CertFile.isOpen())
+      Cfg.Certificate = &Cert;
     verify::DeepTVerifier V(Model, Cfg);
     tensor::Matrix X = Model.embed(S.Tokens);
     zono::Zonotope In = zono::Zonotope::lpBallOnRow(X, Word, P, R);
@@ -266,6 +293,19 @@ int cmdCertify(const ArgParse &Args) {
                    std::to_string(Word);
       Prof.Eps = R;
       ProfileFile.append(Prof.toJsonLine() + "\n", false);
+    }
+    if (CertFile.isOpen()) {
+      Cert.Data.Query = "s" + std::to_string(SentenceIdx) + "-w" +
+                        std::to_string(Word);
+      std::string Line = Cert.Data.toJson() + "\n";
+      support::Error Err;
+      if (!CertFile.append(Line, false, &Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.what());
+      } else {
+        auto &MR = support::Metrics::global();
+        MR.counter("cert.emitted").add(1.0);
+        MR.counter("cert.bytes").add(static_cast<double>(Line.size()));
+      }
     }
     return M;
   };
@@ -402,6 +442,9 @@ int cmdBatch(const ArgParse &Args) {
   SO.RecorderDir = Args.get("recorder-dir");
   if (!SO.RecorderDir.empty())
     ::mkdir(SO.RecorderDir.c_str(), 0755); // existing directory is fine
+  SO.CertDir = Args.get("cert-dir");
+  if (!SO.CertDir.empty())
+    ::mkdir(SO.CertDir.c_str(), 0755); // existing directory is fine
 
   verify::Scheduler Sched(Model, SO);
   support::Timer Timer;

@@ -21,8 +21,11 @@
 // for the following files: every non-empty line must parse as one JSON
 // document (and satisfy --require-key individually). --schema NAME
 // checks the document shape of the named artifact: "profile" (query,
-// margin_width, checkpoints[], attribution[]) or "recorder" (job,
-// events[] with t_ms and kind per event). "-" reads a file from stdin.
+// margin_width, checkpoints[], attribution[]), "recorder" (job,
+// events[] with t_ms and kind per event) or "certificate" (the proof
+// certificate envelope of verify/Certificate.h; structure only -- the
+// CRC and the interval replay belong to deept_check). "-" reads a file
+// from stdin.
 //
 //===----------------------------------------------------------------------===//
 
@@ -94,7 +97,43 @@ bool checkSchema(const support::JsonValue &Doc, const std::string &Schema,
       }
     return true;
   }
-  Why = "unknown schema \"" + Schema + "\" (want profile or recorder)";
+  if (Schema == "certificate") {
+    // Structural check of the envelope only; the CRC and the actual
+    // interval replay are deept_check's job.
+    const support::JsonValue *Payload = nullptr;
+    if (!Need("deept_cert") || !Need("isa") || !Need("threads") ||
+        !Need("crc32") || !Need("payload", &Payload))
+      return false;
+    if (!Payload->isObject()) {
+      Why = "\"payload\" must be an object";
+      return false;
+    }
+    const support::JsonValue *Cps = Payload->find("checkpoints");
+    const support::JsonValue *Margin = Payload->find("margin");
+    if (!Payload->find("query") || !Payload->find("kind") || !Cps ||
+        !Margin) {
+      Why = "payload needs \"query\", \"kind\", \"checkpoints\" and "
+            "\"margin\"";
+      return false;
+    }
+    if (!Cps->isArray()) {
+      Why = "\"checkpoints\" must be an array";
+      return false;
+    }
+    for (const support::JsonValue &C : Cps->Items)
+      if (!C.find("site") || !C.find("lo") || !C.find("hi")) {
+        Why = "checkpoint entries need \"site\", \"lo\" and \"hi\"";
+        return false;
+      }
+    if (!Margin->find("alpha") || !Margin->find("beta") ||
+        !Margin->find("lo") || !Margin->find("certified")) {
+      Why = "margin needs \"alpha\", \"beta\", \"lo\" and \"certified\"";
+      return false;
+    }
+    return true;
+  }
+  Why = "unknown schema \"" + Schema +
+        "\" (want profile, recorder or certificate)";
   return false;
 }
 
@@ -190,7 +229,7 @@ int main(int Argc, char **Argv) {
   if (Checked == 0) {
     std::fprintf(stderr,
                  "usage: deept_json_validate [--jsonl] [--require-key KEY] "
-                 "[--schema profile|recorder] FILE|-...\n");
+                 "[--schema profile|recorder|certificate] FILE|-...\n");
     return 2;
   }
   return 0;
