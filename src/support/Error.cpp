@@ -33,6 +33,8 @@ const char *deept::support::errorCodeName(ErrorCode C) {
     return "fault_injected";
   case ErrorCode::Internal:
     return "internal";
+  case ErrorCode::LeaseLost:
+    return "lease_lost";
   }
   return "internal";
 }
@@ -48,6 +50,7 @@ int deept::support::exitCodeFor(ErrorCode C) {
   case ErrorCode::ModelNotFound:
   case ErrorCode::ModelCorrupt:
   case ErrorCode::StoreCorrupt:
+  case ErrorCode::LeaseLost:
     return 3;
   case ErrorCode::DeadlineExceeded:
     return 4;
@@ -66,4 +69,15 @@ ErrorCode deept::support::codeOf(const std::exception &E) {
   if (dynamic_cast<const std::bad_alloc *>(&E))
     return ErrorCode::OutOfMemory;
   return ErrorCode::Internal;
+}
+
+bool deept::support::isTransientError(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::IoError:
+  case ErrorCode::OutOfMemory:
+  case ErrorCode::FaultInjected:
+    return true;
+  default:
+    return false;
+  }
 }

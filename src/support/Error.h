@@ -61,6 +61,9 @@ enum class ErrorCode {
   FaultInjected,
   /// Anything else.
   Internal,
+  /// A coordination lease was lost (another worker reclaimed the range
+  /// after missed heartbeats). The holder must stop writing its shard.
+  LeaseLost,
 };
 
 /// Stable snake_case name of a code ("model_corrupt", ...). These strings
@@ -95,6 +98,14 @@ private:
 /// Maps an in-flight exception to its taxonomy code: Error reports its own
 /// code, std::bad_alloc becomes OutOfMemory, anything else Internal.
 ErrorCode codeOf(const std::exception &E);
+
+/// Whether a failure with code \p C may succeed if the same work is simply
+/// re-executed (transient: io_error, out_of_memory, fault_injected).
+/// Permanent codes (model_corrupt, unsound_abstraction, job_invalid, ...)
+/// would fail identically on every attempt and must fail fast; deadline
+/// and lease losses have their own dedicated handling paths and are not
+/// retried either.
+bool isTransientError(ErrorCode C);
 
 } // namespace support
 } // namespace deept

@@ -1,0 +1,201 @@
+//===- support/Lease.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Lease.h"
+
+#include "support/Fault.h"
+#include "support/Io.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+
+using namespace deept;
+using namespace deept::support;
+
+std::string Lease::toJson() const {
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"deept_lease\":1,\"range\":%zu,\"ranges\":%zu,"
+                "\"owner\":\"%s\",\"pid\":%lld,\"created_ms\":%lld,"
+                "\"heartbeat_ms\":%lld}",
+                Range, Ranges, jsonEscape(Owner).c_str(),
+                static_cast<long long>(Pid), static_cast<long long>(CreatedMs),
+                static_cast<long long>(HeartbeatMs));
+  return Buf;
+}
+
+bool Lease::fromJson(const std::string &Text, Lease &Out, std::string *Err) {
+  JsonValue V;
+  if (!parseJson(Text, V, Err))
+    return false;
+  const JsonValue *Magic = V.find("deept_lease");
+  if (!Magic || Magic->K != JsonValue::Kind::Number ||
+      Magic->NumberVal != 1.0) {
+    if (Err)
+      *Err = "not a deept_lease v1 document";
+    return false;
+  }
+  auto Num = [&](const char *Key, double &Dst) {
+    const JsonValue *F = V.find(Key);
+    if (!F || F->K != JsonValue::Kind::Number)
+      return false;
+    Dst = F->NumberVal;
+    return true;
+  };
+  double Range = 0, Ranges = 0, Pid = 0, Created = 0, Heartbeat = 0;
+  const JsonValue *Owner = V.find("owner");
+  if (!Num("range", Range) || !Num("ranges", Ranges) || !Num("pid", Pid) ||
+      !Num("created_ms", Created) || !Num("heartbeat_ms", Heartbeat) ||
+      !Owner || Owner->K != JsonValue::Kind::String) {
+    if (Err)
+      *Err = "lease document missing required fields";
+    return false;
+  }
+  Out.Range = static_cast<size_t>(Range);
+  Out.Ranges = static_cast<size_t>(Ranges);
+  Out.Owner = Owner->StringVal;
+  Out.Pid = static_cast<int64_t>(Pid);
+  Out.CreatedMs = static_cast<int64_t>(Created);
+  Out.HeartbeatMs = static_cast<int64_t>(Heartbeat);
+  return true;
+}
+
+int64_t deept::support::nowEpochMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string deept::support::leasePath(const std::string &Dir, size_t Range) {
+  return Dir + "/range-" + std::to_string(Range) + ".lease";
+}
+
+std::string deept::support::shardPath(const std::string &Dir, size_t Range) {
+  return Dir + "/shard-" + std::to_string(Range) + ".jsonl";
+}
+
+std::string deept::support::donePath(const std::string &Dir, size_t Range) {
+  return Dir + "/range-" + std::to_string(Range) + ".done";
+}
+
+ClaimOutcome deept::support::claimLease(const std::string &Dir, Lease &L,
+                                        Error *Err) {
+  L.CreatedMs = L.HeartbeatMs = nowEpochMs();
+  bool Exists = false;
+  Error E;
+  if (createFileExclusive(leasePath(Dir, L.Range), L.toJson() + "\n", Exists,
+                          &E)) {
+    static Counter &Claimed =
+        Metrics::global().counter("coord.leases_claimed");
+    Claimed.add(1);
+    return ClaimOutcome::Claimed;
+  }
+  if (Exists)
+    return ClaimOutcome::Held;
+  if (Err)
+    *Err = E;
+  return ClaimOutcome::Failed;
+}
+
+bool deept::support::readLeaseFile(const std::string &Path, Lease &Out,
+                                   Error *Err) {
+  std::string Text;
+  if (!readFileToString(Path, Text, Err))
+    return false;
+  std::string JErr;
+  if (!Lease::fromJson(Text, Out, &JErr)) {
+    if (Err)
+      *Err = Error(ErrorCode::StoreCorrupt, "lease.read",
+                   "malformed lease '" + Path + "': " + JErr);
+    return false;
+  }
+  return true;
+}
+
+bool deept::support::renewLease(const std::string &Dir, Lease &L, Error *Err) {
+  try {
+    DEEPT_FAULT_POINT("lease.heartbeat");
+  } catch (const std::exception &E) {
+    if (Err)
+      *Err = Error(codeOf(E), "lease.heartbeat", E.what());
+    return false;
+  }
+  std::string Path = leasePath(Dir, L.Range);
+  Lease Cur;
+  Error E;
+  if (!readLeaseFile(Path, Cur, &E)) {
+    if (Err)
+      *Err = Error(ErrorCode::LeaseLost, "lease.heartbeat",
+                   "lease file gone or unreadable (" +
+                       std::string(E.what()) + ")");
+    return false;
+  }
+  if (Cur.Owner != L.Owner || Cur.CreatedMs != L.CreatedMs) {
+    if (Err)
+      *Err = Error(ErrorCode::LeaseLost, "lease.heartbeat",
+                   "range " + std::to_string(L.Range) + " now owned by '" +
+                       Cur.Owner + "'");
+    return false;
+  }
+  int64_t Prev = L.HeartbeatMs;
+  L.HeartbeatMs = nowEpochMs();
+  if (!atomicWriteFile(Path, L.toJson() + "\n", Err)) {
+    L.HeartbeatMs = Prev;
+    return false;
+  }
+  static Histogram &Latency =
+      Metrics::global().histogram("coord.heartbeat_latency_ms");
+  Latency.observe(static_cast<double>(L.HeartbeatMs - Prev));
+  return true;
+}
+
+bool deept::support::leaseIsStale(const Lease &L, int64_t NowMs,
+                                  int64_t StaleAfterMs) {
+  return NowMs - L.HeartbeatMs > StaleAfterMs;
+}
+
+bool deept::support::reclaimLease(const std::string &Dir, const Lease &Stale,
+                                  const std::string &Reclaimer, Error *Err) {
+  std::string Path = leasePath(Dir, Stale.Range);
+  // Re-read: if the holder renewed (or another reclaimer already won and
+  // the range was re-claimed) since the caller observed staleness, leave
+  // the lease alone.
+  Lease Cur;
+  if (!readLeaseFile(Path, Cur) || Cur.Owner != Stale.Owner ||
+      Cur.CreatedMs != Stale.CreatedMs ||
+      Cur.HeartbeatMs != Stale.HeartbeatMs)
+    return false;
+  std::string Tag;
+  for (char C : Reclaimer)
+    Tag += (std::isalnum(static_cast<unsigned char>(C)) ? C : '_');
+  std::string Claimed = Path + ".reclaim." + Tag;
+  // rename is the race arbiter: once one reclaimer moves the file, every
+  // other rename fails with ENOENT.
+  if (!renameFile(Path, Claimed))
+    return false;
+  // Tiny ABA window: the holder may have renewed between our re-read and
+  // the rename, in which case we just displaced a live lease. Put it back
+  // (the holder's next renewal would otherwise see it lost -- which is
+  // safe, merely wasteful). If even the put-back fails, fall through to
+  // removal; determinism makes any zombie shard appends exact duplicates.
+  Lease Moved;
+  if (readLeaseFile(Claimed, Moved) &&
+      (Moved.Owner != Stale.Owner || Moved.CreatedMs != Stale.CreatedMs ||
+       Moved.HeartbeatMs != Stale.HeartbeatMs)) {
+    if (renameFile(Claimed, Path))
+      return false;
+  }
+  if (!removeFile(Claimed, Err))
+    return false;
+  static Counter &Reclaimed =
+      Metrics::global().counter("coord.leases_reclaimed");
+  Reclaimed.add(1);
+  return true;
+}
+
+bool deept::support::releaseLease(const std::string &Dir, const Lease &L,
+                                  Error *Err) {
+  return removeFile(leasePath(Dir, L.Range), Err);
+}

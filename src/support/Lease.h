@@ -1,0 +1,118 @@
+//===- support/Lease.h - Lease files for multi-worker sharding -*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// File-based leases for the coordination layer: N independent worker
+/// processes drain one batch by sharding jobs into digest ranges, and each
+/// range is guarded by a lease file in a shared directory. The protocol
+/// uses only three filesystem primitives, all atomic on a local FS:
+///
+///  * claim    -- O_CREAT|O_EXCL create of `range-<i>.lease`; exactly one
+///                of N racing workers wins.
+///  * renew    -- temp-write + rename(2) rewrite with a fresh heartbeat
+///                timestamp, after re-reading the file and verifying the
+///                caller still owns it. A holder whose lease was reclaimed
+///                discovers the loss here and must stop writing its shard.
+///  * reclaim  -- when a lease's heartbeat is older than the staleness
+///                bound, any worker may rename(2) the lease file away to a
+///                per-reclaimer name. rename fails once the source is gone,
+///                so exactly one reclaimer wins; the winner removes the
+///                renamed file and the range becomes claimable again.
+///
+/// Safety does not hinge on the staleness bound being conservative: a
+/// "zombie" holder that resumes after reclaim can at worst append a few
+/// more records to its shard before its next renewal detects the loss, and
+/// shard records are deterministic (bit-identical margins at any worker
+/// count), so such records are exact duplicates that the merge step
+/// collapses. See DESIGN.md "Coordination layer".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_SUPPORT_LEASE_H
+#define DEEPT_SUPPORT_LEASE_H
+
+#include "support/Error.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace deept {
+namespace support {
+
+/// One range's lease document (the JSON object stored in the lease file).
+struct Lease {
+  /// Digest range this lease guards, in [0, Ranges).
+  size_t Range = 0;
+  /// Total number of ranges the batch was sharded into.
+  size_t Ranges = 0;
+  /// Worker identity, unique per worker invocation.
+  std::string Owner;
+  /// Holder's pid (diagnostic only; ownership checks use Owner+CreatedMs).
+  int64_t Pid = 0;
+  /// Epoch milliseconds when the lease was claimed.
+  int64_t CreatedMs = 0;
+  /// Epoch milliseconds of the most recent renewal.
+  int64_t HeartbeatMs = 0;
+
+  /// One-line JSON for the lease file (schema `lease` in json_validate).
+  std::string toJson() const;
+  /// Parses a lease file's contents; false + \p Err on malformed input.
+  static bool fromJson(const std::string &Text, Lease &Out,
+                       std::string *Err = nullptr);
+};
+
+/// Wall-clock now in milliseconds since the Unix epoch (lease timestamps
+/// must be comparable across processes, so steady_clock is not usable).
+int64_t nowEpochMs();
+
+/// Lease-directory layout: everything for range i lives in flat files.
+std::string leasePath(const std::string &Dir, size_t Range);
+std::string shardPath(const std::string &Dir, size_t Range);
+std::string donePath(const std::string &Dir, size_t Range);
+
+enum class ClaimOutcome {
+  /// The caller now holds the lease.
+  Claimed,
+  /// Another worker holds it (not an error).
+  Held,
+  /// Filesystem failure; \p Err is filled.
+  Failed,
+};
+
+/// Attempts to claim \p L.Range in \p Dir for \p L.Owner. On success the
+/// lease file exists with Created/Heartbeat set to now (updated in \p L).
+ClaimOutcome claimLease(const std::string &Dir, Lease &L, Error *Err = nullptr);
+
+/// Reads and parses the lease file at \p Path. False with \p Err (code
+/// IoError when missing/unreadable, StoreCorrupt when unparsable).
+bool readLeaseFile(const std::string &Path, Lease &Out, Error *Err = nullptr);
+
+/// Renews a held lease: re-reads the file, verifies \p L still owns it,
+/// and rewrites it with HeartbeatMs = now (updated in \p L). Returns false
+/// with code LeaseLost when the file is gone or owned by someone else --
+/// the caller must stop writing its shard. Fault site `lease.heartbeat`
+/// fires here (kind `delay` stalls the renewal, `fail` fails it).
+bool renewLease(const std::string &Dir, Lease &L, Error *Err = nullptr);
+
+/// True when \p L's heartbeat is older than \p StaleAfterMs at \p NowMs.
+bool leaseIsStale(const Lease &L, int64_t NowMs, int64_t StaleAfterMs);
+
+/// Attempts to reclaim the stale lease on \p Stale.Range: atomically
+/// renames the lease file to a per-reclaimer name and removes it. Returns
+/// true when this caller won (the range is claimable again); false when
+/// another reclaimer won first (not an error unless \p Err is filled).
+bool reclaimLease(const std::string &Dir, const Lease &Stale,
+                  const std::string &Reclaimer, Error *Err = nullptr);
+
+/// Releases a held lease by unlinking its file. Safe to call only by the
+/// owner on its claim-success path.
+bool releaseLease(const std::string &Dir, const Lease &L, Error *Err = nullptr);
+
+} // namespace support
+} // namespace deept
+
+#endif // DEEPT_SUPPORT_LEASE_H

@@ -1,0 +1,445 @@
+//===- verify/Coordination.cpp --------------------------------*- C++ -*-===//
+
+#include "verify/Coordination.h"
+
+#include "support/Fault.h"
+#include "support/Io.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <dirent.h>
+#include <map>
+#include <thread>
+#include <unistd.h>
+
+using namespace deept;
+using namespace deept::verify;
+using support::Error;
+using support::ErrorCode;
+using support::Lease;
+
+namespace {
+
+std::string manifestPath(const std::string &Dir) {
+  return Dir + "/coordination.json";
+}
+
+/// FNV-1a over a string (same constants as Scheduler::jobKey).
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+void sleepMs(int64_t Ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+} // namespace
+
+size_t Worker::rangeOf(const std::string &Key, size_t Ranges) {
+  return Ranges ? static_cast<size_t>(fnv1a(Key) % Ranges) : 0;
+}
+
+std::string Worker::queueDigest(const JobQueue &Queue) {
+  uint64_t H = 1469598103934665603ull;
+  for (const JobSpec &Spec : Queue.specs()) {
+    uint64_t K = fnv1a(Scheduler::jobKey(Spec));
+    H ^= K;
+    H *= 1099511628211ull;
+  }
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+Worker::Worker(const nn::TransformerModel &Model, const JobQueue &Queue,
+               CoordinationOptions Opts)
+    : Model(Model), Queue(Queue), Opts(std::move(Opts)) {
+  if (this->Opts.LeaseDir.empty())
+    throw Error(ErrorCode::BadArgument, "coord.options",
+                "a lease directory is required");
+  if (this->Opts.Ranges == 0)
+    throw Error(ErrorCode::BadArgument, "coord.options",
+                "the range count must be positive");
+  if (this->Opts.WorkerId.empty())
+    this->Opts.WorkerId = "w" + std::to_string(::getpid());
+  if (this->Opts.StaleAfterMs <= 0)
+    this->Opts.StaleAfterMs = 5 * this->Opts.HeartbeatMs;
+  Sub.resize(this->Opts.Ranges);
+  for (const JobSpec &Spec : Queue.specs())
+    Sub[rangeOf(Scheduler::jobKey(Spec), this->Opts.Ranges)].push(Spec);
+}
+
+void Worker::checkManifest() {
+  // The manifest pins the shard geometry: every worker of a batch must
+  // agree on the range count and on the job set, otherwise two workers
+  // would route the same key to different shards.
+  std::string Digest = queueDigest(Queue);
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"deept_coord\":1,\"ranges\":%zu,\"jobs\":%zu,"
+                "\"queue_digest\":\"%s\"}\n",
+                Opts.Ranges, Queue.size(), Digest.c_str());
+  bool Exists = false;
+  Error E;
+  if (support::createFileExclusive(manifestPath(Opts.LeaseDir), Buf, Exists,
+                                   &E))
+    return;
+  if (!Exists)
+    throw E;
+  std::string Text;
+  if (!support::readFileToString(manifestPath(Opts.LeaseDir), Text, &E))
+    throw E;
+  support::JsonValue Doc;
+  std::string JErr;
+  if (!support::parseJson(Text, Doc, &JErr))
+    throw Error(ErrorCode::StoreCorrupt, "coord.manifest",
+                "malformed coordination manifest: " + JErr);
+  const support::JsonValue *Ranges = Doc.find("ranges");
+  const support::JsonValue *QD = Doc.find("queue_digest");
+  if (!Ranges || Ranges->K != support::JsonValue::Kind::Number || !QD ||
+      QD->K != support::JsonValue::Kind::String)
+    throw Error(ErrorCode::StoreCorrupt, "coord.manifest",
+                "coordination manifest missing required fields");
+  if (static_cast<size_t>(Ranges->NumberVal) != Opts.Ranges)
+    throw Error(ErrorCode::BadArgument, "coord.manifest",
+                "range count mismatch: batch was sharded into " +
+                    std::to_string(static_cast<size_t>(Ranges->NumberVal)) +
+                    " ranges, this worker wants " +
+                    std::to_string(Opts.Ranges));
+  if (QD->StringVal != Digest)
+    throw Error(ErrorCode::BadArgument, "coord.manifest",
+                "job queue mismatch: this worker's jobs digest to " +
+                    Digest + " but the batch was started with " +
+                    QD->StringVal);
+}
+
+void Worker::runRange(Lease &L) {
+  size_t Range = L.Range;
+  // Heartbeat thread: renews the lease every HeartbeatMs until told to
+  // stop. A LeaseLost renewal flips Lost, which the scheduler's
+  // AbortCheck polls before each job -- no further shard writes happen
+  // for jobs that had not started. Renewals sleep in short slices so the
+  // guard's stop is prompt.
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Lost{false};
+  std::thread Heartbeat([&] {
+    for (;;) {
+      int64_t Slept = 0;
+      while (Slept < Opts.HeartbeatMs && !Stop.load()) {
+        int64_t Slice = std::min<int64_t>(10, Opts.HeartbeatMs - Slept);
+        sleepMs(Slice);
+        Slept += Slice;
+      }
+      if (Stop.load())
+        return;
+      Error E;
+      if (!support::renewLease(Opts.LeaseDir, L, &E)) {
+        if (E.code() == ErrorCode::LeaseLost) {
+          Lost.store(true);
+          return;
+        }
+        // Any other renewal failure (transient IO, injected heartbeat
+        // fault) is a missed heartbeat: keep trying; if enough renewals
+        // miss, the lease goes stale and is reclaimed, which the next
+        // successful renewal attempt reports as LeaseLost.
+      }
+    }
+  });
+  struct Join {
+    std::atomic<bool> &Stop;
+    std::thread &T;
+    ~Join() {
+      Stop.store(true);
+      if (T.joinable())
+        T.join();
+    }
+  } Guard{Stop, Heartbeat};
+
+  SchedulerOptions SO = Opts.Sched;
+  SO.JsonlPath = support::shardPath(Opts.LeaseDir, Range);
+  SO.Resume = true;
+  SO.AbortCheck = [&Lost] { return Lost.load(); };
+  // A fresh Scheduler per range: its warm-start table starts empty, just
+  // like a fresh serial batch's, which is what keeps search results
+  // bit-identical at any worker count.
+  Scheduler Sched(Model, SO);
+  std::vector<JobResult> Results = Sched.run(Sub[Range]);
+
+  if (Lost.load())
+    throw Error(ErrorCode::LeaseLost, "coord.range",
+                "lease on range " + std::to_string(Range) +
+                    " was reclaimed; worker " + Opts.WorkerId +
+                    " stopping (completed records remain in the shard)");
+
+  for (const JobResult &R : Results) {
+    ++Rep.Jobs;
+    switch (R.Status) {
+    case JobStatus::Ok:
+      ++Rep.JobsOk;
+      break;
+    case JobStatus::Degraded:
+      ++Rep.JobsDegraded;
+      break;
+    case JobStatus::Error:
+      ++Rep.JobsError;
+      break;
+    case JobStatus::Skipped:
+      ++Rep.JobsSkipped;
+      break;
+    }
+    if (R.Certified)
+      ++Rep.Certified;
+  }
+
+  // Stop renewing before publishing completion: a crash from here on
+  // leaves a lease that goes stale (nobody renews it) against a range
+  // that is either reclaimable (no marker yet) or finished (marker
+  // written), and the release below must not race a mid-flight renewal
+  // resurrecting the file.
+  Stop.store(true);
+  if (Heartbeat.joinable())
+    Heartbeat.join();
+
+  // The crash drill's kill point: a worker that dies here holds a lease
+  // with a fully-written shard but no done marker, exactly the state a
+  // SIGKILL between jobs leaves behind. Reclamation must finish the
+  // range (Resume makes the re-run cheap: every job skips).
+  DEEPT_FAULT_POINT("worker.crash");
+
+  // Done marker before lease release: the marker is the authoritative
+  // completion signal, so a crash between the two steps leaves a stale
+  // lease that reclaimers simply clean up against a finished range.
+  char Done[256];
+  std::snprintf(Done, sizeof(Done),
+                "{\"deept_done\":1,\"range\":%zu,\"owner\":\"%s\","
+                "\"jobs\":%zu}\n",
+                Range, support::jsonEscape(Opts.WorkerId).c_str(),
+                Sub[Range].size());
+  Error E;
+  if (!support::atomicWriteFile(support::donePath(Opts.LeaseDir, Range), Done,
+                                &E))
+    throw E;
+  support::releaseLease(Opts.LeaseDir, L);
+  ++Rep.RangesCompleted;
+  static support::Counter &RangesDone =
+      support::Metrics::global().counter("coord.ranges_completed");
+  RangesDone.add(1);
+}
+
+WorkerReport Worker::run() {
+  checkManifest();
+  size_t Ranges = Opts.Ranges;
+  for (;;) {
+    bool AllDone = true;
+    bool Progress = false;
+    for (size_t Range = 0; Range < Ranges; ++Range) {
+      if (support::fileExists(support::donePath(Opts.LeaseDir, Range))) {
+        // Finished range; a leftover lease (crash between marker and
+        // release) is cosmetic -- remove it opportunistically.
+        if (support::fileExists(support::leasePath(Opts.LeaseDir, Range))) {
+          Lease Leftover;
+          if (support::readLeaseFile(
+                  support::leasePath(Opts.LeaseDir, Range), Leftover) &&
+              support::leaseIsStale(Leftover, support::nowEpochMs(),
+                                    Opts.StaleAfterMs))
+            support::reclaimLease(Opts.LeaseDir, Leftover, Opts.WorkerId);
+        }
+        continue;
+      }
+      AllDone = false;
+      Lease L;
+      L.Range = Range;
+      L.Ranges = Ranges;
+      L.Owner = Opts.WorkerId;
+      L.Pid = static_cast<int64_t>(::getpid());
+      Error E;
+      support::ClaimOutcome O = support::claimLease(Opts.LeaseDir, L, &E);
+      if (O == support::ClaimOutcome::Failed)
+        throw E;
+      if (O == support::ClaimOutcome::Claimed) {
+        runRange(L);
+        Progress = true;
+        continue;
+      }
+      // Held by someone else: reclaim if its heartbeat went stale. The
+      // reclaim only frees the range; the claim happens on the next scan
+      // (possibly by a different worker -- that is fine, any claimant
+      // resumes the shard).
+      Lease Cur;
+      if (!support::readLeaseFile(support::leasePath(Opts.LeaseDir, Range),
+                                  Cur))
+        continue; // released or reclaimed in the window; rescan
+      if (support::leaseIsStale(Cur, support::nowEpochMs(),
+                                Opts.StaleAfterMs) &&
+          support::reclaimLease(Opts.LeaseDir, Cur, Opts.WorkerId)) {
+        std::fprintf(stderr,
+                     "worker %s: reclaimed stale lease on range %zu "
+                     "(owner '%s' stopped heartbeating)\n",
+                     Opts.WorkerId.c_str(), Range, Cur.Owner.c_str());
+        ++Rep.LeasesReclaimed;
+        Progress = true;
+      }
+    }
+    if (AllDone)
+      return Rep;
+    if (!Progress) {
+      // Every unfinished range is held by a live worker: wait roughly a
+      // heartbeat before re-scanning for completions or staleness.
+      sleepMs(std::min<int64_t>(std::max<int64_t>(Opts.HeartbeatMs, 10),
+                                500));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Shard merge
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The fields of a store record that determinism fixes. seconds /
+/// queue_ms / retries are timing artifacts and legitimately differ
+/// between the workers that produced duplicate records.
+struct Semantic {
+  std::string Status, Method, ErrorCode;
+  bool Certified = false;
+  double Margin = 0.0, Radius = 0.0;
+
+  bool operator==(const Semantic &O) const {
+    return Status == O.Status && Method == O.Method &&
+           ErrorCode == O.ErrorCode && Certified == O.Certified &&
+           Margin == O.Margin && Radius == O.Radius;
+  }
+};
+
+bool semanticOf(const support::JsonValue &Doc, Semantic &Out) {
+  const support::JsonValue *Status = Doc.find("status");
+  const support::JsonValue *Method = Doc.find("method");
+  const support::JsonValue *Certified = Doc.find("certified");
+  const support::JsonValue *Margin = Doc.find("margin");
+  const support::JsonValue *Radius = Doc.find("radius");
+  if (!Status || Status->K != support::JsonValue::Kind::String || !Method ||
+      Method->K != support::JsonValue::Kind::String || !Certified ||
+      Certified->K != support::JsonValue::Kind::Bool || !Margin ||
+      !Radius)
+    return false;
+  Out.Status = Status->StringVal;
+  Out.Method = Method->StringVal;
+  Out.Certified = Certified->BoolVal;
+  Out.Margin = Margin->NumberVal;
+  Out.Radius = Radius->NumberVal;
+  if (const support::JsonValue *EC = Doc.find("error_code"))
+    Out.ErrorCode = EC->StringVal;
+  return true;
+}
+
+} // namespace
+
+bool deept::verify::mergeShards(const std::string &LeaseDir, size_t Ranges,
+                                const std::string &OutPath, MergeReport &Rep,
+                                Error *Err) {
+  auto Fail = [&](ErrorCode C, const std::string &Msg) {
+    if (Err)
+      *Err = Error(C, "coord.merge", Msg);
+    return false;
+  };
+  if (Ranges == 0) {
+    // Read the shard geometry from the manifest; fall back to scanning
+    // the directory for shard files when no manifest exists.
+    std::string Text;
+    support::JsonValue Doc;
+    if (support::readFileToString(manifestPath(LeaseDir), Text) &&
+        support::parseJson(Text, Doc)) {
+      if (const support::JsonValue *R = Doc.find("ranges"))
+        Ranges = static_cast<size_t>(R->NumberVal);
+    }
+    if (Ranges == 0) {
+      DIR *D = ::opendir(LeaseDir.c_str());
+      if (!D)
+        return Fail(ErrorCode::IoError,
+                    "cannot open lease dir '" + LeaseDir + "'");
+      while (struct dirent *E = ::readdir(D)) {
+        unsigned long I = 0;
+        if (std::sscanf(E->d_name, "shard-%lu.jsonl", &I) == 1)
+          Ranges = std::max<size_t>(Ranges, static_cast<size_t>(I) + 1);
+      }
+      ::closedir(D);
+    }
+    if (Ranges == 0)
+      return Fail(ErrorCode::BadArgument,
+                  "no manifest and no shard files under '" + LeaseDir +
+                      "'");
+  }
+
+  std::map<std::string, std::pair<Semantic, std::string>> Records;
+  for (size_t Range = 0; Range < Ranges; ++Range) {
+    std::string Path = support::shardPath(LeaseDir, Range);
+    std::string Contents;
+    if (!support::readFileToString(Path, Contents))
+      continue; // an empty range never created its shard
+    ++Rep.Shards;
+    size_t Pos = 0;
+    while (Pos < Contents.size()) {
+      size_t Nl = Contents.find('\n', Pos);
+      size_t End = Nl == std::string::npos ? Contents.size() : Nl;
+      std::string Line = Contents.substr(Pos, End - Pos);
+      Pos = End + 1;
+      if (Line.empty())
+        continue;
+      if (Scheduler::checkRecordCrc(Line) == Scheduler::RecordCrc::Mismatch) {
+        ++Rep.DroppedCrc;
+        std::fprintf(stderr,
+                     "warning: merge: dropping CRC-mismatched record in "
+                     "'%s'\n",
+                     Path.c_str());
+        continue;
+      }
+      support::JsonValue Doc;
+      Semantic Sem;
+      const support::JsonValue *Key = nullptr;
+      if (!support::parseJson(Line, Doc) ||
+          !(Key = Doc.find("key")) ||
+          Key->K != support::JsonValue::Kind::String ||
+          !semanticOf(Doc, Sem)) {
+        // A torn tail the dead worker never got to repair; the record's
+        // job was re-run into another (or the same, post-repair) shard.
+        ++Rep.DroppedMalformed;
+        continue;
+      }
+      auto It = Records.find(Key->StringVal);
+      if (It == Records.end()) {
+        Records.emplace(Key->StringVal, std::make_pair(Sem, Line));
+        continue;
+      }
+      if (!(It->second.first == Sem))
+        return Fail(ErrorCode::StoreCorrupt,
+                    "conflicting records for key '" + Key->StringVal +
+                        "': determinism violation or corrupt shard in '" +
+                        Path + "'");
+      ++Rep.DuplicatesCollapsed;
+    }
+  }
+
+  std::string Out;
+  for (const auto &KV : Records) {
+    Out += KV.second.second;
+    Out += '\n';
+  }
+  Rep.Records = Records.size();
+  Error WErr;
+  if (!support::atomicWriteFile(OutPath, Out, &WErr)) {
+    if (Err)
+      *Err = WErr;
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,139 @@
+//===- verify/Coordination.h - Multi-worker batch coordination -*- C++ -*-===//
+//
+// Part of deept-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordination layer: N independent `deept_cli work` processes drain
+/// one batch by sharding its jobs into digest ranges (rangeOf: FNV-1a of
+/// the job key modulo the range count) and guarding each range with a
+/// lease file (support/Lease.h) in a shared directory. Each claimed range
+/// runs through the ordinary verify::Scheduler with a per-range shard
+/// store (`shard-<i>.jsonl`, Resume on), a background heartbeat thread
+/// renewing the lease, and an AbortCheck that stops shard writes the
+/// moment the lease is lost. A completed range publishes an atomic done
+/// marker before releasing its lease, so the marker -- not the lease --
+/// is the authoritative "finished" signal.
+///
+/// Crash tolerance: a SIGKILLed worker stops heartbeating; any survivor
+/// observes the stale lease, reclaims it (single winner by rename
+/// atomicity), and re-claims the range. The next claimant's Resume pass
+/// repairs the dead worker's shard (recoverStore truncates a torn tail,
+/// per-record CRCs drop interior corruption) before its first append, and
+/// re-runs only the missing jobs.
+///
+/// Determinism across workers: job results are bit-identical at any
+/// thread count (PR 2), per-range schedulers start from empty warm-start
+/// tables exactly like a fresh serial batch, and jobs within a range run
+/// as one scheduler batch -- so any record for a key, no matter which
+/// worker (or crashed worker's zombie append) produced it, is
+/// byte-identical in its semantic fields. mergeShards exploits that:
+/// duplicates collapse, and any semantic conflict is a hard
+/// store_corrupt error rather than a silent pick.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEEPT_VERIFY_COORDINATION_H
+#define DEEPT_VERIFY_COORDINATION_H
+
+#include "support/Lease.h"
+#include "verify/Scheduler.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace deept {
+namespace verify {
+
+struct CoordinationOptions {
+  /// Shared lease directory (must exist). Holds `range-<i>.lease`,
+  /// `shard-<i>.jsonl`, `range-<i>.done` and the `coordination.json`
+  /// manifest that pins the range count and queue digest for the batch.
+  std::string LeaseDir;
+  /// Number of job-digest ranges the batch shards into. Every worker of
+  /// a batch must use the same value (enforced via the manifest).
+  size_t Ranges = 8;
+  /// Worker identity; must be unique per worker invocation.
+  std::string WorkerId;
+  /// Lease renewal interval in milliseconds.
+  int64_t HeartbeatMs = 1000;
+  /// Heartbeat age beyond which a lease counts as stale and may be
+  /// reclaimed; 0 derives 5 * HeartbeatMs.
+  int64_t StaleAfterMs = 0;
+  /// Per-range scheduler configuration (deadline, fsync, retry policy,
+  /// artifact dirs). JsonlPath / Resume / AbortCheck are owned by the
+  /// worker and overwritten per range.
+  SchedulerOptions Sched;
+};
+
+/// What one worker did across its run() (its own work only; other
+/// workers' ranges are not counted here).
+struct WorkerReport {
+  size_t RangesCompleted = 0;
+  size_t LeasesReclaimed = 0;
+  size_t Jobs = 0;
+  size_t JobsOk = 0;
+  size_t JobsDegraded = 0;
+  size_t JobsError = 0;
+  size_t JobsSkipped = 0;
+  size_t Certified = 0;
+};
+
+/// One worker process's driver. run() claims ranges until every range of
+/// the batch has a done marker, reclaiming stale leases along the way,
+/// then returns. Throws support::Error for coordination-fatal conditions:
+/// unwritable lease dir, manifest mismatch (another worker sharded the
+/// same directory differently), or this worker's own lease being
+/// reclaimed (code LeaseLost -- the worker must stop, its abandoned
+/// ranges are re-issued to survivors).
+class Worker {
+public:
+  Worker(const nn::TransformerModel &Model, const JobQueue &Queue,
+         CoordinationOptions Opts);
+
+  WorkerReport run();
+
+  /// The digest range of a job key: FNV-1a(Key) % Ranges.
+  static size_t rangeOf(const std::string &Key, size_t Ranges);
+
+  /// Deterministic digest of a queue's job keys (manifest field).
+  static std::string queueDigest(const JobQueue &Queue);
+
+private:
+  /// Runs one claimed range end-to-end: heartbeat thread, scheduler over
+  /// the sub-queue, done marker, lease release. \p L is the held lease.
+  void runRange(support::Lease &L);
+  void checkManifest();
+
+  const nn::TransformerModel &Model;
+  const JobQueue &Queue;
+  CoordinationOptions Opts;
+  WorkerReport Rep;
+  std::vector<JobQueue> Sub; // one sub-queue per range, queue order
+};
+
+struct MergeReport {
+  size_t Shards = 0;
+  size_t Records = 0;
+  size_t DuplicatesCollapsed = 0;
+  size_t DroppedCrc = 0;
+  size_t DroppedMalformed = 0;
+};
+
+/// Merges every `shard-<i>.jsonl` under \p LeaseDir into one canonical
+/// results JSONL at \p OutPath (atomically written, records sorted by
+/// key, per-record CRCs preserved). Records failing their CRC or not
+/// parsing are dropped (counted); duplicate keys collapse only when all
+/// semantic fields (status, method, certified, margin, radius,
+/// error_code) are identical -- a conflict is a store_corrupt error.
+/// \p Ranges 0 reads the range count from the manifest.
+bool mergeShards(const std::string &LeaseDir, size_t Ranges,
+                 const std::string &OutPath, MergeReport &Rep,
+                 support::Error *Err = nullptr);
+
+} // namespace verify
+} // namespace deept
+
+#endif // DEEPT_VERIFY_COORDINATION_H

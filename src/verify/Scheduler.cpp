@@ -3,6 +3,7 @@
 #include "verify/Scheduler.h"
 
 #include "crown/CrownVerifier.h"
+#include "support/Crc.h"
 #include "support/Fault.h"
 #include "support/FlightRecorder.h"
 #include "support/Io.h"
@@ -15,8 +16,10 @@
 #include "verify/Profile.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
@@ -24,6 +27,7 @@
 #include <new>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 using namespace deept;
 using namespace deept::verify;
@@ -316,6 +320,8 @@ std::string Scheduler::resultJsonLine(const JobResult &R) {
                   ",\"deadline_hit\":" + (R.DeadlineHit ? "true" : "false") +
                   ",\"seconds\":" + support::jsonNumber(R.Seconds) +
                   ",\"queue_ms\":" + support::jsonNumber(R.QueueMs);
+  if (R.Retries > 0)
+    S += ",\"retries\":" + std::to_string(R.Retries);
   if (R.Code != support::ErrorCode::Ok)
     S += std::string(",\"error_code\":\"") + support::errorCodeName(R.Code) +
          "\"";
@@ -323,6 +329,72 @@ std::string Scheduler::resultJsonLine(const JobResult &R) {
     S += ",\"error\":\"" + support::jsonEscape(R.Error) + "\"";
   return S + "}";
 }
+
+std::string Scheduler::withRecordCrc(const std::string &Payload) {
+  // CRC over the complete payload object, appended as the final field:
+  // {...,"queue_ms":0} -> {...,"queue_ms":0,"crc32":123456}
+  uint32_t C = support::crc32(Payload.data(), Payload.size());
+  std::string Out = Payload;
+  Out.pop_back(); // the closing '}'
+  Out += ",\"crc32\":" + std::to_string(C) + "}";
+  return Out;
+}
+
+std::string Scheduler::resultStoreLine(const JobResult &R) {
+  return withRecordCrc(resultJsonLine(R));
+}
+
+Scheduler::RecordCrc Scheduler::checkRecordCrc(const std::string &Line) {
+  // Strip-and-verify textually: the writer appends `,"crc32":<digits>}`
+  // as the very last field, so scan the digits back from the closing
+  // brace. A digit run preceded by anything else (e.g. a legacy line
+  // ending `"queue_ms":12.5}`) is not a CRC field.
+  static const std::string Tag = ",\"crc32\":";
+  if (Line.size() < 2 || Line.back() != '}')
+    return RecordCrc::Missing;
+  size_t End = Line.size() - 1; // index of '}'
+  size_t P = End;
+  while (P > 0 && Line[P - 1] >= '0' && Line[P - 1] <= '9')
+    --P;
+  if (P == End || P < Tag.size() ||
+      Line.compare(P - Tag.size(), Tag.size(), Tag) != 0)
+    return RecordCrc::Missing;
+  uint32_t Stored =
+      static_cast<uint32_t>(std::strtoul(Line.c_str() + P, nullptr, 10));
+  std::string Payload = Line.substr(0, P - Tag.size()) + "}";
+  return support::crc32(Payload.data(), Payload.size()) == Stored
+             ? RecordCrc::Ok
+             : RecordCrc::Mismatch;
+}
+
+namespace {
+
+/// Shared store-line screening for completedKeys / recoverStore: a record
+/// whose per-record CRC mismatches is an interior bit-flip -- warn, count,
+/// and pretend the key is absent so only that job re-runs.
+bool storeLineKey(const std::string &Line, const std::string &Path,
+                  std::string &Key) {
+  support::JsonValue Doc;
+  if (!support::parseJson(Line, Doc))
+    return false;
+  const support::JsonValue *K = Doc.find("key");
+  if (!K || K->K != support::JsonValue::Kind::String)
+    return false;
+  if (Scheduler::checkRecordCrc(Line) == Scheduler::RecordCrc::Mismatch) {
+    static support::Counter &CrcDropped =
+        support::Metrics::global().counter("store.crc_dropped");
+    CrcDropped.add(1);
+    std::fprintf(stderr,
+                 "warning: result store '%s': record '%s' fails its CRC "
+                 "(interior corruption); the job will re-run\n",
+                 Path.c_str(), K->StringVal.c_str());
+    return false;
+  }
+  Key = K->StringVal;
+  return true;
+}
+
+} // namespace
 
 std::set<std::string> Scheduler::completedKeys(const std::string &Path) {
   std::set<std::string> Keys;
@@ -333,12 +405,9 @@ std::set<std::string> Scheduler::completedKeys(const std::string &Path) {
   while (std::getline(In, Line)) {
     if (Line.empty())
       continue;
-    support::JsonValue Doc;
-    if (!support::parseJson(Line, Doc))
-      continue; // tolerate a crash-truncated tail
-    const support::JsonValue *Key = Doc.find("key");
-    if (Key && Key->K == support::JsonValue::Kind::String)
-      Keys.insert(Key->StringVal);
+    std::string Key;
+    if (storeLineKey(Line, Path, Key))
+      Keys.insert(Key);
   }
   return Keys;
 }
@@ -376,10 +445,13 @@ std::set<std::string> Scheduler::recoverStore(const std::string &Path,
     if (!Line.empty()) {
       support::JsonValue Doc;
       if (support::parseJson(Line, Doc)) {
+        // A record that parses frames the file correctly even when its
+        // CRC mismatches -- the file is kept intact and only the
+        // affected key is withheld, so just that job re-runs.
         Parsed = true;
-        const support::JsonValue *Key = Doc.find("key");
-        if (Key && Key->K == support::JsonValue::Kind::String)
-          Keys.insert(Key->StringVal);
+        std::string Key;
+        if (storeLineKey(Line, Path, Key))
+          Keys.insert(Key);
       }
     }
     bool Last = !Terminated || Nl + 1 == Contents.size();
@@ -519,11 +591,36 @@ void Scheduler::executeWithDegradation(const JobSpec &Spec, JobResult &R,
                                        CertificateData *Cert) const {
   static support::Counter &DeadlineHits =
       support::Metrics::global().counter("sched.deadline_hits");
+  static support::Counter &RetryCount =
+      support::Metrics::global().counter("sched.retries");
+  static support::Histogram &RetryBackoff =
+      support::Metrics::global().histogram("sched.retry_backoff_ms");
   int64_t DeadlineMs =
       Spec.DeadlineMs >= 0
           ? Spec.DeadlineMs
           : (Opts.DefaultDeadlineMs > 0 ? Opts.DefaultDeadlineMs : -1);
   JobMethod Method = Spec.Method;
+  // Transient failures re-run the current attempt on a jitter-free
+  // deterministic schedule: RetryBackoffMs * 2^(attempt-1), capped. The
+  // schedule being a pure function of the attempt index keeps drills
+  // reproducible (no randomized jitter to smear test timings over).
+  auto maybeRetry = [&](support::ErrorCode Code,
+                        const char *What) -> bool {
+    if (!support::isTransientError(Code) || R.Retries >= Opts.MaxRetries)
+      return false;
+    ++R.Retries;
+    RetryCount.add(1);
+    int64_t Delay = Opts.RetryBackoffMs;
+    for (int K = 1; K < R.Retries; ++K)
+      Delay = std::min(Delay * 2, Opts.RetryBackoffMaxMs);
+    Delay = std::min(std::max<int64_t>(Delay, 0), Opts.RetryBackoffMaxMs);
+    RetryBackoff.observe(static_cast<double>(Delay));
+    if (Rec)
+      Rec->record("retry", What, static_cast<double>(Delay),
+                  static_cast<double>(R.Retries));
+    std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+    return true;
+  };
   for (;;) {
     try {
       uint64_t FaultsBefore = support::fault::injectedCount();
@@ -564,12 +661,16 @@ void Scheduler::executeWithDegradation(const JobSpec &Spec, JobResult &R,
       R.Code = support::ErrorCode::DeadlineExceeded;
       return;
     } catch (const std::bad_alloc &) {
+      // Degradation before retry: a cheaper sound answer now beats the
+      // same expensive attempt failing the same way after a backoff.
       if (degrade(Method)) {
         if (Rec)
           Rec->record("degrade", "out of memory");
         DeadlineMs = -1;
         continue;
       }
+      if (maybeRetry(support::ErrorCode::OutOfMemory, "out of memory"))
+        continue;
       if (Rec)
         Rec->record("oom", "out of memory");
       R.Status = JobStatus::Error;
@@ -577,17 +678,20 @@ void Scheduler::executeWithDegradation(const JobSpec &Spec, JobResult &R,
       R.Code = support::ErrorCode::OutOfMemory;
       return;
     } catch (const std::exception &E) {
-      if (Rec)
-        Rec->record("error", E.what());
       // A failed attempt must never leave the partial verdict of an
       // aborted propagation behind (in particular an UnsoundAbstraction
       // error can never coexist with Certified = true).
       R.Certified = false;
       R.Margin = 0.0;
       R.Radius = 0.0;
+      support::ErrorCode Code = support::codeOf(E);
+      if (maybeRetry(Code, E.what()))
+        continue;
+      if (Rec)
+        Rec->record("error", E.what());
       R.Status = JobStatus::Error;
       R.Error = E.what();
-      R.Code = support::codeOf(E);
+      R.Code = Code;
       return;
     }
   }
@@ -600,6 +704,7 @@ std::vector<JobResult> Scheduler::run(const JobQueue &Queue) const {
   static support::Counter &Degraded = M.counter("sched.degraded");
   static support::Counter &Errors = M.counter("sched.errors");
   static support::Counter &Skipped = M.counter("sched.skipped");
+  static support::Counter &Aborted = M.counter("sched.aborted");
   static support::Histogram &QueueLatencyMs =
       M.histogram("sched.queue_latency_ms");
   static support::Histogram &JobMs = M.histogram("sched.job_ms");
@@ -647,6 +752,16 @@ std::vector<JobResult> Scheduler::run(const JobQueue &Queue) const {
       if (Done.count(R.Key)) {
         R.Status = JobStatus::Skipped;
         Skipped.add(1);
+        continue;
+      }
+      // A lost lease means another worker now owns this shard's jobs:
+      // abandon them with a typed error and, below, keep them out of the
+      // store (the reclaimer's re-run writes the canonical records).
+      if (Opts.AbortCheck && Opts.AbortCheck()) {
+        R.Status = JobStatus::Error;
+        R.Code = support::ErrorCode::LeaseLost;
+        R.Error = "batch aborted: lease lost before the job started";
+        Aborted.add(1);
         continue;
       }
       // The span carries the job key (not the queue index) so trace
@@ -732,7 +847,7 @@ std::vector<JobResult> Scheduler::run(const JobQueue &Queue) const {
                        Path.c_str(), DumpErr.c_str());
       }
       if (Store.isOpen()) {
-        std::string Line = resultJsonLine(R) + "\n";
+        std::string Line = resultStoreLine(R) + "\n";
         std::lock_guard<std::mutex> Lock(StoreMu);
         support::Error Err;
         if (!StoreBroken && !Store.append(Line, Opts.Fsync, &Err)) {

@@ -37,6 +37,7 @@
 #include "verify/RadiusSearch.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -118,6 +119,9 @@ struct JobResult {
   double Seconds = 0.0;
   /// Milliseconds between batch start and this job starting.
   double QueueMs = 0.0;
+  /// Transient-failure retries this job consumed (see
+  /// SchedulerOptions::MaxRetries); serialized as `retries` when > 0.
+  int Retries = 0;
 };
 
 /// Thrown by the cooperative deadline checks (the VerifierConfig
@@ -197,6 +201,22 @@ struct SchedulerOptions {
   /// it is counted by cert.write_failures and the batch continues.
   /// Empty disables.
   std::string CertDir;
+  /// Bounded retry of transient job failures (support::isTransientError:
+  /// io_error, out_of_memory, fault_injected). Each retry waits on a
+  /// jitter-free deterministic exponential schedule
+  /// (RetryBackoffMs * 2^(attempt-1), capped at RetryBackoffMaxMs).
+  /// Permanent failures (job_invalid, model_corrupt, unsound_abstraction)
+  /// fail fast on the first attempt; deadline misses keep their own
+  /// degradation ladder and are never retried. Retry exhaustion records a
+  /// typed `error` result and the batch continues. 0 disables.
+  int MaxRetries = 0;
+  int64_t RetryBackoffMs = 100;
+  int64_t RetryBackoffMaxMs = 5000;
+  /// Polled before each job starts; when it returns true the remaining
+  /// jobs are abandoned as lease_lost error results and -- crucially --
+  /// are NOT appended to the JSONL store. The coordination layer sets
+  /// this so a worker whose lease was reclaimed stops writing its shard.
+  std::function<bool()> AbortCheck;
 };
 
 /// The batch driver. One instance serves one model; run() may be called
@@ -236,9 +256,23 @@ public:
   /// One JSONL store line (no trailing newline).
   static std::string resultJsonLine(const JobResult &R);
 
+  /// resultJsonLine plus a trailing per-record `crc32` field (CRC-32 of
+  /// the payload bytes), the form run() actually appends to the store so
+  /// interior bit-flips are detected at resume time.
+  static std::string resultStoreLine(const JobResult &R);
+
+  /// Appends `,"crc32":<crc of Payload>}` to a one-line JSON object.
+  static std::string withRecordCrc(const std::string &Payload);
+
+  /// Per-record CRC verdict of a store line. Missing is not an error:
+  /// stores written before the CRC field existed stay resumable.
+  enum class RecordCrc { Ok, Missing, Mismatch };
+  static RecordCrc checkRecordCrc(const std::string &Line);
+
   /// Keys of the results already present in a JSONL store; empty when
   /// the file does not exist. Malformed lines (e.g. a crash-truncated
-  /// tail) are ignored.
+  /// tail) and records whose per-record CRC mismatches (an interior
+  /// bit-flip) are ignored, so the affected job re-runs.
   static std::set<std::string> completedKeys(const std::string &Path);
 
   /// Crash recovery for a JSONL store: a torn trailing record (a line

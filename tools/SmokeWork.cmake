@@ -1,0 +1,189 @@
+# SmokeWork.cmake - end-to-end smoke test of multi-worker coordination.
+#
+# Trains a tiny model, runs the batch serially as the reference, then
+# drains the same jobs with two forked workers over a shared lease
+# directory and checks the merged store matches the serial margins
+# bit-for-bit. A second round kills a worker at the `worker.crash` fault
+# point (held lease, no done marker), validates the abandoned lease file
+# against the `lease` schema, and lets a survivor reclaim and finish the
+# batch. Finishes with a retried transient fault through `batch
+# --max-retries` and strict-flag rejection checks. Run via:
+#   cmake -DDEEPT_CLI=... -DJSON_VALIDATE=... -DWORK_DIR=... -P SmokeWork.cmake
+
+foreach(Var DEEPT_CLI JSON_VALIDATE WORK_DIR)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "SmokeWork.cmake needs -D${Var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(Model "${WORK_DIR}/work.dptm")
+set(Jobs "${WORK_DIR}/jobs.json")
+set(Serial "${WORK_DIR}/serial.jsonl")
+
+execute_process(
+  COMMAND "${DEEPT_CLI}" train --out "${Model}" --layers 1 --embed 8
+          --heads 2 --hidden 8 --steps 5
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "deept_cli train failed (rc=${Rc})")
+endif()
+
+# Deterministic fixed-eps jobs only: no deadlines, nothing timing
+# dependent, so every record's semantic fields are reproducible.
+file(WRITE "${Jobs}" [=[
+{"jobs":[
+  {"id":"a","seed":3,"word":0,"norm":"l2","eps":0.02,"method":"fast"},
+  {"id":"b","seed":4,"word":0,"norm":"l2","eps":0.05,"method":"fast"},
+  {"id":"c","seed":5,"word":0,"norm":"linf","eps":0.01,"method":"fast"},
+  {"id":"d","seed":3,"word":0,"norm":"l2","eps":0.05,"method":"precise"},
+  {"id":"e","seed":4,"word":0,"norm":"l1","eps":0.05,"method":"combined"}
+]}
+]=])
+
+# key -> margin map of a results JSONL, as a sorted list of key=margin
+# strings. Margins are printed deterministically, so exact string
+# comparison IS the bit-identity check; timing fields (seconds,
+# queue_ms) and the per-record CRC legitimately differ between runs.
+function(margins_of File OutVar)
+  file(STRINGS "${File}" Lines)
+  set(Pairs "")
+  foreach(Line IN LISTS Lines)
+    string(REGEX MATCH "\"key\":\"([^\"]*)\"" _ "${Line}")
+    set(Key "${CMAKE_MATCH_1}")
+    string(REGEX MATCH "\"margin\":([^,}]*)" _ "${Line}")
+    set(Margin "${CMAKE_MATCH_1}")
+    if(Key STREQUAL "" OR Margin STREQUAL "")
+      message(FATAL_ERROR "${File}: record without key/margin: ${Line}")
+    endif()
+    list(APPEND Pairs "${Key}=${Margin}")
+  endforeach()
+  list(SORT Pairs)
+  set(${OutVar} "${Pairs}" PARENT_SCOPE)
+endfunction()
+
+# --- Serial reference --------------------------------------------------
+
+execute_process(
+  COMMAND "${DEEPT_CLI}" batch --model "${Model}" --jobs "${Jobs}"
+          --out "${Serial}"
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE ErrOut)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "serial batch failed (rc=${Rc}): ${ErrOut}")
+endif()
+if(NOT Out MATCHES "5 jobs \\(5 ok, 0 degraded, 0 error, 0 skipped\\)")
+  message(FATAL_ERROR "unexpected serial summary: ${Out}")
+endif()
+margins_of("${Serial}" SerialMargins)
+
+# --- Two workers drain the batch ---------------------------------------
+
+set(Leases "${WORK_DIR}/leases")
+set(Merged "${WORK_DIR}/merged.jsonl")
+execute_process(
+  COMMAND "${DEEPT_CLI}" work --model "${Model}" --jobs "${Jobs}"
+          --lease-dir "${Leases}" --ranges 3 --workers 2
+          --heartbeat-ms 100 --out "${Merged}"
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE ErrOut)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "work --workers 2 failed (rc=${Rc}): ${ErrOut}")
+endif()
+if(NOT Out MATCHES "merge: 5 records from 3 shards")
+  message(FATAL_ERROR "unexpected merge summary: ${Out}")
+endif()
+execute_process(
+  COMMAND "${JSON_VALIDATE}" --jsonl --require-key key "${Merged}"
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "merged store JSONL invalid (rc=${Rc})")
+endif()
+margins_of("${Merged}" WorkMargins)
+if(NOT WorkMargins STREQUAL SerialMargins)
+  message(FATAL_ERROR "two-worker margins differ from serial:\n"
+                      "  serial: ${SerialMargins}\n  merged: ${WorkMargins}")
+endif()
+
+# --- Crash drill: kill a worker, survivor reclaims ---------------------
+
+set(Leases2 "${WORK_DIR}/leases_crash")
+set(Merged2 "${WORK_DIR}/merged_crash.jsonl")
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env DEEPT_FAULTS=worker.crash:1:fail
+          "${DEEPT_CLI}" work --model "${Model}" --jobs "${Jobs}"
+          --lease-dir "${Leases2}" --ranges 3 --worker-id crashy
+          --heartbeat-ms 100
+  RESULT_VARIABLE Rc OUTPUT_QUIET ERROR_QUIET)
+if(Rc EQUAL 0)
+  message(FATAL_ERROR "injected worker crash did not fail the worker")
+endif()
+
+# The dead worker left its lease behind; it must satisfy the lease
+# schema (owner identity and the timestamps staleness compares).
+file(GLOB Leftover "${Leases2}/range-*.lease")
+list(LENGTH Leftover LeftoverCount)
+if(NOT LeftoverCount EQUAL 1)
+  message(FATAL_ERROR "expected 1 abandoned lease, found: ${Leftover}")
+endif()
+execute_process(
+  COMMAND "${JSON_VALIDATE}" --schema lease ${Leftover}
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "abandoned lease fails schema validation (rc=${Rc})")
+endif()
+file(GLOB Markers "${Leases2}/range-*.done")
+if(Markers)
+  message(FATAL_ERROR "crashed worker published a done marker: ${Markers}")
+endif()
+
+execute_process(
+  COMMAND "${DEEPT_CLI}" work --model "${Model}" --jobs "${Jobs}"
+          --lease-dir "${Leases2}" --ranges 3 --worker-id survivor
+          --heartbeat-ms 50 --stale-ms 1 --out "${Merged2}"
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE ErrOut)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "survivor worker failed (rc=${Rc}): ${ErrOut}")
+endif()
+if(NOT Out MATCHES "3 ranges completed, 1 leases reclaimed")
+  message(FATAL_ERROR "survivor did not reclaim the stale lease: ${Out}")
+endif()
+margins_of("${Merged2}" CrashMargins)
+if(NOT CrashMargins STREQUAL SerialMargins)
+  message(FATAL_ERROR "post-crash margins differ from serial:\n"
+                      "  serial: ${SerialMargins}\n  merged: ${CrashMargins}")
+endif()
+
+# --- Transient retry through the batch surface -------------------------
+
+set(Retried "${WORK_DIR}/retried.jsonl")
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env DEEPT_FAULTS=sched.execute:1:fail
+          "${DEEPT_CLI}" batch --model "${Model}" --jobs "${Jobs}"
+          --out "${Retried}" --max-retries 2
+  RESULT_VARIABLE Rc OUTPUT_VARIABLE Out ERROR_VARIABLE ErrOut)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "batch --max-retries failed (rc=${Rc}): ${ErrOut}")
+endif()
+if(NOT Out MATCHES "5 jobs \\(5 ok, 0 degraded, 0 error, 0 skipped\\)")
+  message(FATAL_ERROR "retried batch summary wrong: ${Out}")
+endif()
+if(NOT Out MATCHES "health: .* 1 retries")
+  message(FATAL_ERROR "health line missing the retry count: ${Out}")
+endif()
+
+# --- Strict flag parsing ----------------------------------------------
+
+foreach(BadFlag "--heartbeat-ms" "--workers" "--max-retries" "--ranges")
+  execute_process(
+    COMMAND "${DEEPT_CLI}" work --model "${Model}" --jobs "${Jobs}"
+            --lease-dir "${WORK_DIR}/leases_bad" ${BadFlag} nonsense
+    RESULT_VARIABLE Rc ERROR_VARIABLE ErrOut OUTPUT_QUIET)
+  if(Rc EQUAL 0)
+    message(FATAL_ERROR "work accepted ${BadFlag} nonsense")
+  endif()
+  if(NOT ErrOut MATCHES "expects an integer")
+    message(FATAL_ERROR "missing strict-parse error for ${BadFlag}: ${ErrOut}")
+  endif()
+endforeach()
+
+message(STATUS "multi-worker coordination smoke test passed")
