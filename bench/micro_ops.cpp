@@ -14,11 +14,13 @@
 #include "tensor/Matrix.h"
 #include "zono/DotProduct.h"
 #include "zono/Reduction.h"
+#include "zono/Refinement.h"
 #include "zono/Softmax.h"
 #include "zono/Zonotope.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <utility>
 #include <vector>
 
@@ -183,6 +185,44 @@ void BM_AffineDiagBlock(benchmark::State &State) {
     benchmark::DoNotOptimize(Z.scaleColumns(Gamma).numEps());
 }
 BENCHMARK(BM_AffineDiagBlock)->Arg(8)->Arg(32)->Arg(128);
+
+// Whole-plane fused coefficient kernel vs the per-plane loop it batches:
+// S symbol planes against one shared N x D panel (the dotRows A-half
+// shape). Arg is the plane count S.
+void BM_DotPlanesFused(benchmark::State &State) {
+  size_t S = State.range(0), N = 8, M = 8, D = 24;
+  support::Rng Rng(7);
+  Matrix A = Matrix::randn(N, D, Rng);
+  Matrix B = Matrix::randn(S * M, D, Rng);
+  Matrix C = Matrix::uninit(S, N * M);
+  std::vector<double> Pack(tensor::dotPlanesPackDoubles(N, M, D));
+  const tensor::Kernels &K = tensor::kernels();
+  for (auto _ : State) {
+    K.DotPlanesTransposedB(A.data(), 0, N, B.data(), M * D, M, D, S,
+                           C.data(), N * M, /*Accumulate=*/false,
+                           Pack.data());
+    benchmark::DoNotOptimize(C.data());
+  }
+}
+BENCHMARK(BM_DotPlanesFused)->Arg(32)->Arg(128)->Arg(512);
+
+// Deterministic weighted-median selection inside the softmax-sum
+// refinement (expected O(E) vs the O(E log E) sort it replaced). Arg is
+// the breakpoint count.
+void BM_WeightedMedian(benchmark::State &State) {
+  size_t N = State.range(0);
+  support::Rng Rng(11);
+  std::vector<zono::detail::Breakpoint> Points(N);
+  for (auto &B : Points)
+    B = zono::detail::Breakpoint{Rng.gaussian(), std::exp(Rng.gaussian()),
+                                 Rng.uniform() < 0.25};
+  std::vector<zono::detail::Breakpoint> Work;
+  for (auto _ : State) {
+    Work = Points; // selectBreakpoint permutes its input
+    benchmark::DoNotOptimize(zono::detail::selectBreakpoint(Work));
+  }
+}
+BENCHMARK(BM_WeightedMedian)->Arg(64)->Arg(512)->Arg(4096);
 
 // The cost a permanently-instrumented hot path pays when tracing is off:
 // one relaxed atomic load and a branch per span.

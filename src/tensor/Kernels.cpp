@@ -28,10 +28,50 @@ bool allZeroRow(const double *P, size_t N) {
   return true;
 }
 
+// One non-zero A row of the A * B^T kernel: four B rows share each loaded
+// A element, ascending-k accumulation per output element (the historical
+// dotKernelTransposedB loop). Shared between the per-plane and the
+// whole-plane kernels so both produce the same bits.
+void scalarDotRowTB(const double *ARow, const double *B, size_t M, size_t D,
+                    double *CRow, bool Accumulate) {
+  size_t J = 0;
+  for (; J + 4 <= M; J += 4) {
+    const double *B0 = B + J * D, *B1 = B + (J + 1) * D;
+    const double *B2 = B + (J + 2) * D, *B3 = B + (J + 3) * D;
+    double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
+    for (size_t Kk = 0; Kk < D; ++Kk) {
+      double AV = ARow[Kk];
+      S0 += AV * B0[Kk];
+      S1 += AV * B1[Kk];
+      S2 += AV * B2[Kk];
+      S3 += AV * B3[Kk];
+    }
+    if (Accumulate) {
+      CRow[J] += S0;
+      CRow[J + 1] += S1;
+      CRow[J + 2] += S2;
+      CRow[J + 3] += S3;
+    } else {
+      CRow[J] = S0;
+      CRow[J + 1] = S1;
+      CRow[J + 2] = S2;
+      CRow[J + 3] = S3;
+    }
+  }
+  for (; J < M; ++J) {
+    const double *BRow = B + J * D;
+    double S = 0.0;
+    for (size_t Kk = 0; Kk < D; ++Kk)
+      S += ARow[Kk] * BRow[Kk];
+    if (Accumulate)
+      CRow[J] += S;
+    else
+      CRow[J] = S;
+  }
+}
+
 void scalarDotTransposedB(const double *A, size_t N, const double *B,
                           size_t M, size_t D, double *C, bool Accumulate) {
-  // Four B rows share each loaded A element, ascending-k accumulation per
-  // output element (the historical dotKernelTransposedB loop).
   for (size_t I = 0; I < N; ++I) {
     const double *ARow = A + I * D;
     double *CRow = C + I * M;
@@ -42,40 +82,7 @@ void scalarDotTransposedB(const double *A, size_t N, const double *B,
         std::fill(CRow, CRow + M, 0.0);
       continue;
     }
-    size_t J = 0;
-    for (; J + 4 <= M; J += 4) {
-      const double *B0 = B + J * D, *B1 = B + (J + 1) * D;
-      const double *B2 = B + (J + 2) * D, *B3 = B + (J + 3) * D;
-      double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
-      for (size_t Kk = 0; Kk < D; ++Kk) {
-        double AV = ARow[Kk];
-        S0 += AV * B0[Kk];
-        S1 += AV * B1[Kk];
-        S2 += AV * B2[Kk];
-        S3 += AV * B3[Kk];
-      }
-      if (Accumulate) {
-        CRow[J] += S0;
-        CRow[J + 1] += S1;
-        CRow[J + 2] += S2;
-        CRow[J + 3] += S3;
-      } else {
-        CRow[J] = S0;
-        CRow[J + 1] = S1;
-        CRow[J + 2] = S2;
-        CRow[J + 3] = S3;
-      }
-    }
-    for (; J < M; ++J) {
-      const double *BRow = B + J * D;
-      double S = 0.0;
-      for (size_t Kk = 0; Kk < D; ++Kk)
-        S += ARow[Kk] * BRow[Kk];
-      if (Accumulate)
-        CRow[J] += S;
-      else
-        CRow[J] = S;
-    }
+    scalarDotRowTB(ARow, B, M, D, CRow, Accumulate);
   }
 }
 
@@ -187,6 +194,58 @@ void scalarCascadeDense(const double *A, size_t S, size_t StrideA,
   }
 }
 
+void scalarDotPlanesTransposedB(const double *A, size_t StrideA, size_t N,
+                                const double *B, size_t StrideB, size_t M,
+                                size_t D, size_t S, double *C, size_t StrideC,
+                                bool Accumulate, double *Pack) {
+  if (!S || !N)
+    return;
+  // Pack the shared panel once into the aligned scratch (a bit copy, so
+  // every dot against the packed rows reproduces the unpacked bits); a
+  // shared A panel also hoists the per-row zero-skip flags, scanned once
+  // here instead of once per plane.
+  const double *Flags = nullptr;
+  if (Pack) {
+    double *P = detail::alignPack64(Pack);
+    if (StrideA == 0) {
+      double *F = P;
+      double *Panel = P + N;
+      std::copy(A, A + N * D, Panel);
+      for (size_t I = 0; I < N; ++I)
+        F[I] = allZeroRow(A + I * D, D) ? 0.0 : 1.0;
+      A = Panel;
+      Flags = F;
+    } else if (StrideB == 0 && M) {
+      std::copy(B, B + M * D, P);
+      B = P;
+    }
+  }
+  for (size_t Sym = 0; Sym < S; ++Sym) {
+    const double *PA = A + Sym * StrideA;
+    const double *PB = B + Sym * StrideB;
+    double *PC = C + Sym * StrideC;
+    for (size_t I = 0; I < N; ++I) {
+      const double *ARow = PA + I * D;
+      double *CRow = PC + I * M;
+      if (Flags ? Flags[I] == 0.0 : allZeroRow(ARow, D)) {
+        if (!Accumulate)
+          std::fill(CRow, CRow + M, 0.0);
+        continue;
+      }
+      scalarDotRowTB(ARow, PB, M, D, CRow, Accumulate);
+    }
+  }
+}
+
+void scalarRowScale(const double *Lambda, double *Rows, size_t R,
+                    size_t Stride, size_t N) {
+  for (size_t Q = 0; Q < R; ++Q) {
+    double *Row = Rows + Q * Stride;
+    for (size_t I = 0; I < N; ++I)
+      Row[I] *= Lambda[I];
+  }
+}
+
 constexpr Kernels ScalarKernels = {
     Isa::Scalar,      /*Lanes=*/1,    scalarDotTransposedB,
     scalarDot,        scalarSum,      scalarAxpy,
@@ -194,6 +253,7 @@ constexpr Kernels ScalarKernels = {
     scalarAccAbs,     scalarAccSq,    scalarAccMaxAbs,
     scalarAccAbsF32,  scalarAccSqF32, scalarAccMaxAbsF32,
     scalarRowSums,    scalarAxpy4K,   scalarCascadeDense,
+    scalarDotPlanesTransposedB,       scalarRowScale,
 };
 
 } // namespace

@@ -15,7 +15,8 @@
 /// Determinism contract (per ISA): every kernel is a pure function of its
 /// inputs -- no thread-count or scheduling dependence -- so results stay
 /// bit-identical at any thread count *within* an ISA. Different ISAs may
-/// differ by ulps in the reduction kernels (Dot / Sum / DotTransposedB),
+/// differ by ulps in the reduction kernels (Dot / Sum / DotTransposedB /
+/// DotPlanesTransposedB),
 /// which accumulate in L lanes (scalar L=1, AVX2 L=4, AVX-512 L=8):
 /// element k feeds lane k % L via FMA, lanes reduce pairwise in the fixed
 /// order detail::dotLanes documents, and the tail (k >= N - N % L)
@@ -37,6 +38,7 @@
 #define DEEPT_TENSOR_KERNELS_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace deept {
@@ -127,7 +129,43 @@ struct Kernels {
   void (*CascadeDense)(const double *A, size_t S, size_t StrideA,
                        const double *B, size_t M, size_t D, double Q,
                        double *AbsS, double *T, double *Acc);
+
+  /// Whole-plane fused coefficient kernel (the dotRows symbol loop): for
+  /// plane s in 0..S-1,
+  ///   C + s * StrideC  (+)=  PA(s) * PB(s)^T
+  /// where PA(s) is the N x D matrix at A + s * StrideA and PB(s) the
+  /// M x D matrix at B + s * StrideB. A stride of 0 marks that panel as
+  /// shared by every plane: the kernel copies it once into \p Pack
+  /// (caller scratch of dotPlanesPackDoubles() doubles, 64-byte aligned
+  /// internally) and streams all planes through the cache-resident copy;
+  /// a shared A panel additionally hoists its per-row zero-skip flags so
+  /// they are scanned once instead of once per plane. Packing is a bit
+  /// copy and the per-element contraction is exactly DotTransposedB's
+  /// lane order, so the result is bit-identical to S individual
+  /// DotTransposedB calls (including the zero-row fill/skip contract).
+  /// Pack may be null, in which case panels are streamed unpacked (still
+  /// bit-identical, just slower).
+  void (*DotPlanesTransposedB)(const double *A, size_t StrideA, size_t N,
+                               const double *B, size_t StrideB, size_t M,
+                               size_t D, size_t S, double *C, size_t StrideC,
+                               bool Accumulate, double *Pack);
+
+  /// Row[i] *= Lambda[i] for each of R rows at Rows + r * Stride: the
+  /// broadcast row-scale behind Zonotope::scalePerVarInPlace. Elementwise
+  /// (one multiply per element), so bit-identical on every ISA.
+  void (*RowScale)(const double *Lambda, double *Rows, size_t R,
+                   size_t Stride, size_t N);
 };
+
+/// Scratch doubles a DotPlanesTransposedB call needs for its packed
+/// shared panel: the shared-A case stores N hoisted zero-row flags ahead
+/// of the N x D panel, the shared-B case just the M x D panel; both pad 8
+/// doubles so the kernel can 64-byte align the buffer. Covers either
+/// sharing direction, so one buffer serves both halves of a plane run.
+inline size_t dotPlanesPackDoubles(size_t N, size_t M, size_t D) {
+  size_t APanel = N * D + N, BPanel = M * D;
+  return (APanel > BPanel ? APanel : BPanel) + 8;
+}
 
 /// The currently dispatched kernel table. The first call resolves the
 /// ISA: DEEPT_ISA when set (malformed or unavailable values abort with a
@@ -159,6 +197,13 @@ Isa bestAvailableIsa();
 bool setIsa(Isa I, std::string *Err = nullptr);
 
 namespace detail {
+
+/// 64-byte aligns a caller-provided DotPlanesTransposedB pack buffer
+/// (dotPlanesPackDoubles reserves the 8-double slack this may consume).
+inline double *alignPack64(double *P) {
+  return reinterpret_cast<double *>(
+      (reinterpret_cast<std::uintptr_t>(P) + 63) & ~std::uintptr_t(63));
+}
 
 /// Scalar emulation of the lane-ordered FMA dot product the SIMD kernels
 /// implement: element k accumulates into lane k % Lanes via fma; lanes

@@ -41,10 +41,174 @@ bool allZeroRow(const double *P, size_t N) {
   return true;
 }
 
+// One non-zero A row of the A * B^T kernel, shared between the per-plane
+// and the whole-plane kernels so both produce the same bits.
+void avx512DotRowTB(const double *ARow, const double *B, size_t M, size_t D,
+                    double *CRow, bool Accumulate) {
+  const size_t DV = D - D % L;
+  size_t J = 0;
+  for (; J + 4 <= M; J += 4) {
+    const double *B0 = B + J * D, *B1 = B + (J + 1) * D;
+    const double *B2 = B + (J + 2) * D, *B3 = B + (J + 3) * D;
+    double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
+    if (DV) {
+      __m512d A0 = _mm512_setzero_pd(), A1 = _mm512_setzero_pd();
+      __m512d A2 = _mm512_setzero_pd(), A3 = _mm512_setzero_pd();
+      for (size_t K = 0; K < DV; K += L) {
+        __m512d AV = _mm512_loadu_pd(ARow + K);
+        A0 = _mm512_fmadd_pd(AV, _mm512_loadu_pd(B0 + K), A0);
+        A1 = _mm512_fmadd_pd(AV, _mm512_loadu_pd(B1 + K), A1);
+        A2 = _mm512_fmadd_pd(AV, _mm512_loadu_pd(B2 + K), A2);
+        A3 = _mm512_fmadd_pd(AV, _mm512_loadu_pd(B3 + K), A3);
+      }
+      S0 = reduceLanes(A0);
+      S1 = reduceLanes(A1);
+      S2 = reduceLanes(A2);
+      S3 = reduceLanes(A3);
+    }
+    for (size_t K = DV; K < D; ++K) {
+      double AV = ARow[K];
+      S0 = std::fma(AV, B0[K], S0);
+      S1 = std::fma(AV, B1[K], S1);
+      S2 = std::fma(AV, B2[K], S2);
+      S3 = std::fma(AV, B3[K], S3);
+    }
+    if (Accumulate) {
+      CRow[J] += S0;
+      CRow[J + 1] += S1;
+      CRow[J + 2] += S2;
+      CRow[J + 3] += S3;
+    } else {
+      CRow[J] = S0;
+      CRow[J + 1] = S1;
+      CRow[J + 2] = S2;
+      CRow[J + 3] = S3;
+    }
+  }
+  for (; J < M; ++J) {
+    const double *BRow = B + J * D;
+    double S = 0.0;
+    if (DV) {
+      __m512d Acc = _mm512_setzero_pd();
+      for (size_t K = 0; K < DV; K += L)
+        Acc = _mm512_fmadd_pd(_mm512_loadu_pd(ARow + K), _mm512_loadu_pd(BRow + K), Acc);
+      S = reduceLanes(Acc);
+    }
+    for (size_t K = DV; K < D; ++K)
+      S = std::fma(ARow[K], BRow[K], S);
+    if (Accumulate)
+      CRow[J] += S;
+    else
+      CRow[J] = S;
+  }
+}
+
+// Two non-zero A rows against the same four B columns. Each output element
+// keeps its own accumulator with the exact lane-ordered FMA sequence of
+// avx512DotRowTB, so the bits match the one-row kernel; sharing the B loads
+// across both rows halves the load traffic and makes the loop FMA-bound.
+void avx512DotRow2TB(const double *ARow0, const double *ARow1, const double *B,
+                     size_t M, size_t D, double *CRow0, double *CRow1,
+                     bool Accumulate) {
+  const size_t DV = D - D % L;
+  size_t J = 0;
+  for (; J + 4 <= M; J += 4) {
+    const double *B0 = B + J * D, *B1 = B + (J + 1) * D;
+    const double *B2 = B + (J + 2) * D, *B3 = B + (J + 3) * D;
+    double S00 = 0.0, S01 = 0.0, S02 = 0.0, S03 = 0.0;
+    double S10 = 0.0, S11 = 0.0, S12 = 0.0, S13 = 0.0;
+    if (DV) {
+      __m512d A00 = _mm512_setzero_pd(), A01 = _mm512_setzero_pd();
+      __m512d A02 = _mm512_setzero_pd(), A03 = _mm512_setzero_pd();
+      __m512d A10 = _mm512_setzero_pd(), A11 = _mm512_setzero_pd();
+      __m512d A12 = _mm512_setzero_pd(), A13 = _mm512_setzero_pd();
+      for (size_t K = 0; K < DV; K += L) {
+        __m512d AV0 = _mm512_loadu_pd(ARow0 + K);
+        __m512d AV1 = _mm512_loadu_pd(ARow1 + K);
+        __m512d BV0 = _mm512_loadu_pd(B0 + K);
+        __m512d BV1 = _mm512_loadu_pd(B1 + K);
+        __m512d BV2 = _mm512_loadu_pd(B2 + K);
+        __m512d BV3 = _mm512_loadu_pd(B3 + K);
+        A00 = _mm512_fmadd_pd(AV0, BV0, A00);
+        A01 = _mm512_fmadd_pd(AV0, BV1, A01);
+        A02 = _mm512_fmadd_pd(AV0, BV2, A02);
+        A03 = _mm512_fmadd_pd(AV0, BV3, A03);
+        A10 = _mm512_fmadd_pd(AV1, BV0, A10);
+        A11 = _mm512_fmadd_pd(AV1, BV1, A11);
+        A12 = _mm512_fmadd_pd(AV1, BV2, A12);
+        A13 = _mm512_fmadd_pd(AV1, BV3, A13);
+      }
+      S00 = reduceLanes(A00);
+      S01 = reduceLanes(A01);
+      S02 = reduceLanes(A02);
+      S03 = reduceLanes(A03);
+      S10 = reduceLanes(A10);
+      S11 = reduceLanes(A11);
+      S12 = reduceLanes(A12);
+      S13 = reduceLanes(A13);
+    }
+    for (size_t K = DV; K < D; ++K) {
+      double AV0 = ARow0[K], AV1 = ARow1[K];
+      S00 = std::fma(AV0, B0[K], S00);
+      S01 = std::fma(AV0, B1[K], S01);
+      S02 = std::fma(AV0, B2[K], S02);
+      S03 = std::fma(AV0, B3[K], S03);
+      S10 = std::fma(AV1, B0[K], S10);
+      S11 = std::fma(AV1, B1[K], S11);
+      S12 = std::fma(AV1, B2[K], S12);
+      S13 = std::fma(AV1, B3[K], S13);
+    }
+    if (Accumulate) {
+      CRow0[J] += S00;
+      CRow0[J + 1] += S01;
+      CRow0[J + 2] += S02;
+      CRow0[J + 3] += S03;
+      CRow1[J] += S10;
+      CRow1[J + 1] += S11;
+      CRow1[J + 2] += S12;
+      CRow1[J + 3] += S13;
+    } else {
+      CRow0[J] = S00;
+      CRow0[J + 1] = S01;
+      CRow0[J + 2] = S02;
+      CRow0[J + 3] = S03;
+      CRow1[J] = S10;
+      CRow1[J + 1] = S11;
+      CRow1[J + 2] = S12;
+      CRow1[J + 3] = S13;
+    }
+  }
+  for (; J < M; ++J) {
+    const double *BRow = B + J * D;
+    double S0 = 0.0, S1 = 0.0;
+    if (DV) {
+      __m512d Acc0 = _mm512_setzero_pd(), Acc1 = _mm512_setzero_pd();
+      for (size_t K = 0; K < DV; K += L) {
+        __m512d BV = _mm512_loadu_pd(BRow + K);
+        Acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(ARow0 + K), BV, Acc0);
+        Acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(ARow1 + K), BV, Acc1);
+      }
+      S0 = reduceLanes(Acc0);
+      S1 = reduceLanes(Acc1);
+    }
+    for (size_t K = DV; K < D; ++K) {
+      S0 = std::fma(ARow0[K], BRow[K], S0);
+      S1 = std::fma(ARow1[K], BRow[K], S1);
+    }
+    if (Accumulate) {
+      CRow0[J] += S0;
+      CRow1[J] += S1;
+    } else {
+      CRow0[J] = S0;
+      CRow1[J] = S1;
+    }
+  }
+}
+
 void avx512DotTransposedB(const double *A, size_t N, const double *B,
                           size_t M, size_t D, double *C, bool Accumulate) {
-  const size_t DV = D - D % L;
-  for (size_t I = 0; I < N; ++I) {
+  size_t I = 0;
+  while (I < N) {
     const double *ARow = A + I * D;
     double *CRow = C + I * M;
     if (allZeroRow(ARow, D)) {
@@ -52,63 +216,18 @@ void avx512DotTransposedB(const double *A, size_t N, const double *B,
       // pass uninitialized C) unless accumulating (+0 is an identity).
       if (!Accumulate)
         std::fill(CRow, CRow + M, 0.0);
+      ++I;
       continue;
     }
-    size_t J = 0;
-    for (; J + 4 <= M; J += 4) {
-      const double *B0 = B + J * D, *B1 = B + (J + 1) * D;
-      const double *B2 = B + (J + 2) * D, *B3 = B + (J + 3) * D;
-      double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
-      if (DV) {
-        __m512d A0 = _mm512_setzero_pd(), A1 = _mm512_setzero_pd();
-        __m512d A2 = _mm512_setzero_pd(), A3 = _mm512_setzero_pd();
-        for (size_t K = 0; K < DV; K += L) {
-          __m512d AV = _mm512_loadu_pd(ARow + K);
-          A0 = _mm512_fmadd_pd(AV, _mm512_loadu_pd(B0 + K), A0);
-          A1 = _mm512_fmadd_pd(AV, _mm512_loadu_pd(B1 + K), A1);
-          A2 = _mm512_fmadd_pd(AV, _mm512_loadu_pd(B2 + K), A2);
-          A3 = _mm512_fmadd_pd(AV, _mm512_loadu_pd(B3 + K), A3);
-        }
-        S0 = reduceLanes(A0);
-        S1 = reduceLanes(A1);
-        S2 = reduceLanes(A2);
-        S3 = reduceLanes(A3);
-      }
-      for (size_t K = DV; K < D; ++K) {
-        double AV = ARow[K];
-        S0 = std::fma(AV, B0[K], S0);
-        S1 = std::fma(AV, B1[K], S1);
-        S2 = std::fma(AV, B2[K], S2);
-        S3 = std::fma(AV, B3[K], S3);
-      }
-      if (Accumulate) {
-        CRow[J] += S0;
-        CRow[J + 1] += S1;
-        CRow[J + 2] += S2;
-        CRow[J + 3] += S3;
-      } else {
-        CRow[J] = S0;
-        CRow[J + 1] = S1;
-        CRow[J + 2] = S2;
-        CRow[J + 3] = S3;
-      }
+    // Pair with the next row when it is also non-zero: the two rows share
+    // the B loads without changing either row's reduction order.
+    if (I + 1 < N && !allZeroRow(ARow + D, D)) {
+      avx512DotRow2TB(ARow, ARow + D, B, M, D, CRow, CRow + M, Accumulate);
+      I += 2;
+      continue;
     }
-    for (; J < M; ++J) {
-      const double *BRow = B + J * D;
-      double S = 0.0;
-      if (DV) {
-        __m512d Acc = _mm512_setzero_pd();
-        for (size_t K = 0; K < DV; K += L)
-          Acc = _mm512_fmadd_pd(_mm512_loadu_pd(ARow + K), _mm512_loadu_pd(BRow + K), Acc);
-        S = reduceLanes(Acc);
-      }
-      for (size_t K = DV; K < D; ++K)
-        S = std::fma(ARow[K], BRow[K], S);
-      if (Accumulate)
-        CRow[J] += S;
-      else
-        CRow[J] = S;
-    }
+    avx512DotRowTB(ARow, B, M, D, CRow, Accumulate);
+    ++I;
   }
 }
 
@@ -301,6 +420,73 @@ void avx512CascadeDense(const double *A, size_t S, size_t StrideA,
   }
 }
 
+void avx512DotPlanesTransposedB(const double *A, size_t StrideA, size_t N,
+                                const double *B, size_t StrideB, size_t M,
+                                size_t D, size_t S, double *C, size_t StrideC,
+                                bool Accumulate, double *Pack) {
+  if (!S || !N)
+    return;
+  // Pack the shared panel once into the aligned scratch (a bit copy, so
+  // every dot against the packed rows reproduces the unpacked bits); a
+  // shared A panel also hoists the per-row zero-skip flags, scanned once
+  // here instead of once per plane.
+  const double *Flags = nullptr;
+  if (Pack) {
+    double *P = detail::alignPack64(Pack);
+    if (StrideA == 0) {
+      double *F = P;
+      double *Panel = P + N;
+      std::copy(A, A + N * D, Panel);
+      for (size_t I = 0; I < N; ++I)
+        F[I] = allZeroRow(A + I * D, D) ? 0.0 : 1.0;
+      A = Panel;
+      Flags = F;
+    } else if (StrideB == 0 && M) {
+      std::copy(B, B + M * D, P);
+      B = P;
+    }
+  }
+  for (size_t Sym = 0; Sym < S; ++Sym) {
+    const double *PA = A + Sym * StrideA;
+    const double *PB = B + Sym * StrideB;
+    double *PC = C + Sym * StrideC;
+    size_t I = 0;
+    while (I < N) {
+      const double *ARow = PA + I * D;
+      double *CRow = PC + I * M;
+      if (Flags ? Flags[I] == 0.0 : allZeroRow(ARow, D)) {
+        if (!Accumulate)
+          std::fill(CRow, CRow + M, 0.0);
+        ++I;
+        continue;
+      }
+      // Pair with the next non-zero row so both share the B-panel loads;
+      // each row keeps its own accumulators, so the bits are unchanged.
+      if (I + 1 < N &&
+          (Flags ? Flags[I + 1] != 0.0 : !allZeroRow(ARow + D, D))) {
+        avx512DotRow2TB(ARow, ARow + D, PB, M, D, CRow, CRow + M, Accumulate);
+        I += 2;
+        continue;
+      }
+      avx512DotRowTB(ARow, PB, M, D, CRow, Accumulate);
+      ++I;
+    }
+  }
+}
+
+void avx512RowScale(const double *Lambda, double *Rows, size_t R,
+                    size_t Stride, size_t N) {
+  const size_t NV = N - N % L;
+  for (size_t Q = 0; Q < R; ++Q) {
+    double *Row = Rows + Q * Stride;
+    for (size_t I = 0; I < NV; I += L)
+      _mm512_storeu_pd(Row + I, _mm512_mul_pd(_mm512_loadu_pd(Row + I),
+                                              _mm512_loadu_pd(Lambda + I)));
+    for (size_t I = NV; I < N; ++I)
+      Row[I] *= Lambda[I];
+  }
+}
+
 const Kernels Avx512Kernels = {
     Isa::Avx512,      /*Lanes=*/L,     avx512DotTransposedB,
     avx512Dot,        avx512Sum,       avx512Axpy,
@@ -308,6 +494,7 @@ const Kernels Avx512Kernels = {
     avx512AccAbs,     avx512AccSq,     avx512AccMaxAbs,
     avx512AccAbsF32,  avx512AccSqF32,  avx512AccMaxAbsF32,
     avx512RowSums,    avx512Axpy4K,    avx512CascadeDense,
+    avx512DotPlanesTransposedB,        avx512RowScale,
 };
 
 } // namespace detail

@@ -125,6 +125,11 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
   SoftOpts.ElementwiseEps = Config.ElementwiseEps;
   SoftOpts.StableRewrite = Config.StableSoftmax;
 
+  // One refinement scratch for the whole propagation: the per-head refine
+  // calls (layers x heads of them) then reuse the breakpoint and
+  // constraint buffers at their high-water capacity.
+  RefinementScratch RefineScratch;
+
   Zonotope X = InputEmb;
   // Fault site for the robustness drills: injects a NaN/Inf into the
   // input center so the soundness guards must turn it into a structured
@@ -199,7 +204,9 @@ Zonotope DeepTVerifier::propagate(const Zonotope &InputEmb,
         std::vector<Zonotope *> CoLive = {&X, &Q, &K, &V, &Vh};
         for (Zonotope &Prev : Heads)
           CoLive.push_back(&Prev);
-        RefinementStats RS = refineSoftmaxSum(Probs, CoLive);
+        RefinementStats RS = refineSoftmaxSum(Probs, CoLive,
+                                              RefinementOptions(),
+                                              &RefineScratch);
         Local.SymbolsTightened += RS.SymbolsTightened;
       }
       // Attention output: Probs (N x N) times Vh (N x dk); rows of Probs

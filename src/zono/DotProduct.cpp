@@ -243,7 +243,11 @@ void quadraticBounds(const Zonotope &A, const Zonotope &B, size_t N,
   };
 
   bool HavePhi = A.numPhi() > 0;
-  bool HaveEps = A.numEps() > 0;
+  // The operands' eps spaces may have different lengths on the Fast path
+  // (dotRows no longer pads): every Fast term below bounds one side's own
+  // symbols against the other side's per-column norms, so a missing
+  // symbol simply contributes nothing.
+  bool HaveEps = A.numEps() > 0 || B.numEps() > 0;
   auto APhi = denseViews(A.phiCoeffs());
   auto BPhi = denseViews(B.phiCoeffs());
 
@@ -314,30 +318,37 @@ Zonotope deept::zono::dotRows(const Zonotope &AIn, const Zonotope &BIn,
 
   assert(AIn.cols() == BIn.cols() && "dotRows dimension mismatch");
   // The body only reads the operands, so align by copying and padding
-  // only the side whose symbol space is actually narrower (often neither,
-  // e.g. Q.K^T inside one attention head).
+  // only the side whose symbol space is actually narrower -- and only for
+  // phi mismatches (rare: phi symbols are minted once at the input
+  // embedding, so both operands almost always agree). An eps-count
+  // mismatch is absorbed for free by flattening the shorter side's block
+  // views with trailing Zero symbols, which replaces what used to be a
+  // full coefficient-matrix copy per call on the hot attention path
+  // (Probs . V^T, where softmax minted fresh symbols only on one side).
+  // The Precise method still pads: the Eq. 6 eps-eps bound pairs symbol
+  // s against symbol t by index, so it wants genuinely aligned planes.
   std::optional<Zonotope> ACopy, BCopy;
+  bool NeedEpsAlign = Opts.Method == DotMethod::Precise;
   // A side also adopts B's norm when both operands are phi-free but
   // disagree on the (then unused) norm tag, matching alignSpaces.
-  if (AIn.numPhi() < BIn.numPhi() || AIn.numEps() < BIn.numEps() ||
+  if (AIn.numPhi() < BIn.numPhi() ||
+      (NeedEpsAlign && AIn.numEps() < BIn.numEps()) ||
       (AIn.numPhi() == 0 && AIn.phiP() != BIn.phiP())) {
     ACopy.emplace(AIn);
     ACopy->padToMatch(BIn);
   }
-  if (BIn.numPhi() < AIn.numPhi() || BIn.numEps() < AIn.numEps() ||
+  if (BIn.numPhi() < AIn.numPhi() ||
+      (NeedEpsAlign && BIn.numEps() < AIn.numEps()) ||
       (BIn.numPhi() == 0 && AIn.numPhi() > 0 && BIn.phiP() != AIn.phiP())) {
     BCopy.emplace(BIn);
     BCopy->padToMatch(AIn);
   }
   const Zonotope &A = ACopy ? *ACopy : AIn;
   const Zonotope &B = BCopy ? *BCopy : BIn;
-  assert(A.numPhi() == B.numPhi() && A.numEps() == B.numEps() &&
-         "operand symbol spaces misaligned");
+  assert(A.numPhi() == B.numPhi() && "operand phi spaces misaligned");
+  assert((!NeedEpsAlign || A.numEps() == B.numEps()) &&
+         "operand eps spaces misaligned");
   size_t N = A.rows(), M = B.rows(), D = A.cols();
-  // The affine part multiplies each of the 1 + phi + eps coefficient
-  // planes (two GEMMs per noise plane) through an N x D x M contraction.
-  FlopsEst.add(2.0 * static_cast<double>(N * M * D) *
-               (1.0 + 2.0 * static_cast<double>(A.numPhi() + A.numEps())));
 
   const Matrix &CA = A.center();
   const Matrix &CB = B.center();
@@ -345,24 +356,32 @@ Zonotope deept::zono::dotRows(const Zonotope &AIn, const Zonotope &BIn,
   // Exact affine part.
   Matrix Center = tensor::matmulTransposedB(CA, CB);
 
+  size_t NumVarsA = A.numVars(), NumVarsB = B.numVars();
   // The per-symbol affine coefficients are independent rows of the output
   // coefficient matrices, so the symbol loop parallelises with disjoint
-  // writes; the nested GEMMs turn serial inside a worker chunk.
+  // writes; inside a worker chunk each Coef = CA * BS^T + AS * CB^T half
+  // runs as ONE whole-plane fused call that packs the shared center panel
+  // (plus its hoisted zero-row flags on the A side) into cache-resident
+  // scratch and streams every plane through it -- bit-identical to the
+  // former per-symbol kernel calls (see Kernels::DotPlanesTransposedB).
   size_t SymGrain = grainForWork(4 * N * M * D);
-  // Every row is fully covered by the non-accumulating kernel call below
+  // Every row is fully covered by the non-accumulating B-side half below
   // (which zero-fills skipped zero rows), so no fill is needed.
   Matrix PhiOut = Matrix::uninit(A.numPhi(), N * M);
   parallelFor(0, A.numPhi(), SymGrain, [&](size_t S0, size_t S1) {
-    for (size_t S = S0; S < S1; ++S) {
-      // Coef = CA * BS^T + AS * CB^T via the pointer kernel: ascending-k
-      // per output element, so bit-identical to the Matrix GEMMs without
-      // the per-symbol temporaries.
-      double *OutRow = PhiOut.rowPtr(S);
-      tensor::dotKernelTransposedB(CA.data(), N, B.phiCoeffs().rowPtr(S), M,
-                                   D, OutRow, /*Accumulate=*/false);
-      tensor::dotKernelTransposedB(A.phiCoeffs().rowPtr(S), N, CB.data(), M,
-                                   D, OutRow, /*Accumulate=*/true);
-    }
+    const tensor::Kernels &K = tensor::kernels();
+    // Worker-local scratch kept at high-water capacity: dotRows runs
+    // thousands of times per certification, so a fresh allocation per
+    // chunk is pure malloc traffic. The kernel overwrites every slot it
+    // reads, so stale contents are harmless.
+    static thread_local std::vector<double> Pack;
+    Pack.resize(tensor::dotPlanesPackDoubles(N, M, D));
+    K.DotPlanesTransposedB(CA.data(), 0, N, B.phiCoeffs().rowPtr(S0),
+                           NumVarsB, M, D, S1 - S0, PhiOut.rowPtr(S0), N * M,
+                           /*Accumulate=*/false, Pack.data());
+    K.DotPlanesTransposedB(A.phiCoeffs().rowPtr(S0), NumVarsA, N, CB.data(),
+                           0, M, D, S1 - S0, PhiOut.rowPtr(S0), N * M,
+                           /*Accumulate=*/true, Pack.data());
   });
 
   // Eps planes, block-wise: a symbol carried by one Diag entry on either
@@ -371,9 +390,30 @@ Zonotope deept::zono::dotRows(const Zonotope &AIn, const Zonotope &BIn,
   // Runs of non-trivial symbols pack into Dense blocks filled in parallel
   // (disjoint rows; B-side contribution first, exactly like the dense
   // Coef = CA.BS^T + AS.CB^T kernel).
-  size_t E = A.numEps();
+  size_t E = std::max(A.numEps(), B.numEps());
   auto RefsA = flattenEpsViews(A.epsBlockViews(), E);
   auto RefsB = flattenEpsViews(B.epsBlockViews(), E);
+  // FLOP estimate of the affine part, block-aware on the eps side: a
+  // Dense half is a full N x D x M GEMM, a Diag half scales one center
+  // row/column (N products, or M multiply-adds on the A side), and Zero
+  // halves cost nothing -- so sparse workloads no longer read as two full
+  // GEMMs per eps symbol in --stats-json.
+  {
+    double Dense = 2.0 * static_cast<double>(N * M * D);
+    double EpsFlops = 0.0;
+    for (size_t Sy = 0; Sy < E; ++Sy) {
+      if (RefsB[Sy].Kind == EpsBlockKind::Dense)
+        EpsFlops += Dense;
+      else if (RefsB[Sy].Kind == EpsBlockKind::Diag)
+        EpsFlops += static_cast<double>(N);
+      if (RefsA[Sy].Kind == EpsBlockKind::Dense)
+        EpsFlops += Dense;
+      else if (RefsA[Sy].Kind == EpsBlockKind::Diag)
+        EpsFlops += static_cast<double>(2 * M);
+    }
+    FlopsEst.add(Dense * (1.0 + 2.0 * static_cast<double>(A.numPhi())) +
+                 EpsFlops);
+  }
   auto BothZero = [&](size_t S) {
     return RefsA[S].Kind == EpsBlockKind::Zero &&
            RefsB[S].Kind == EpsBlockKind::Zero;
@@ -412,31 +452,66 @@ Zonotope deept::zono::dotRows(const Zonotope &AIn, const Zonotope &BIn,
         (DenseSyms * 4 * N * M * D + (Len - DenseSyms) * (N + M + 8)) / Len +
         1;
     parallelFor(0, Len, grainForWork(RunWork), [&](size_t R0, size_t R1) {
-      for (size_t R = R0; R < R1; ++R) {
-        const EpsSymRef &RA = RefsA[S + R];
+      const tensor::Kernels &K = tensor::kernels();
+      // Worker-local scratch, reused across chunks (see the phi loop).
+      static thread_local std::vector<double> Pack;
+      Pack.resize(tensor::dotPlanesPackDoubles(N, M, D));
+      // Two passes over the chunk, one per half of Coef = CA.BS^T +
+      // AS.CB^T. Per row the operation order is unchanged (B-side write,
+      // then A-side accumulate) and rows are disjoint, so the bits match
+      // the former single interleaved pass. Within each pass, stretches
+      // of consecutive Dense symbols whose coefficient rows are
+      // contiguous in one block batch into a single whole-plane fused
+      // call; Diag and Zero symbols keep the O(N + M) scatter paths.
+      size_t R = R0;
+      while (R < R1) {
         const EpsSymRef &RB = RefsB[S + R];
-        double *OutRow = Run.rowPtr(R);
-        if (RB.Kind == EpsBlockKind::Diag ||
-            (RB.Kind == EpsBlockKind::Zero &&
-             RA.Kind == EpsBlockKind::Diag))
-          std::fill(OutRow, OutRow + N * M, 0.0);
         if (RB.Kind == EpsBlockKind::Dense) {
-          tensor::dotKernelTransposedB(CA.data(), N, RB.Row, M, D, OutRow,
-                                       /*Accumulate=*/false);
-        } else if (RB.Kind == EpsBlockKind::Diag) {
+          size_t E1 = R + 1;
+          while (E1 < R1 && RefsB[S + E1].Kind == EpsBlockKind::Dense &&
+                 RefsB[S + E1].Row == RB.Row + (E1 - R) * NumVarsB)
+            ++E1;
+          K.DotPlanesTransposedB(CA.data(), 0, N, RB.Row, NumVarsB, M, D,
+                                 E1 - R, Run.rowPtr(R), N * M,
+                                 /*Accumulate=*/false, Pack.data());
+          R = E1;
+          continue;
+        }
+        double *OutRow = Run.rowPtr(R);
+        if (RB.Kind == EpsBlockKind::Diag) {
+          std::fill(OutRow, OutRow + N * M, 0.0);
           size_t RowB = RB.Entry.first / D, ColB = RB.Entry.first % D;
           for (size_t I = 0; I < N; ++I)
             OutRow[I * M + RowB] = CA.at(I, ColB) * RB.Entry.second;
+        } else if (RefsA[S + R].Kind == EpsBlockKind::Diag) {
+          std::fill(OutRow, OutRow + N * M, 0.0);
         }
+        ++R;
+      }
+      R = R0;
+      while (R < R1) {
+        const EpsSymRef &RA = RefsA[S + R];
         if (RA.Kind == EpsBlockKind::Dense) {
-          tensor::dotKernelTransposedB(RA.Row, N, CB.data(), M, D, OutRow,
-                                       RB.Kind != EpsBlockKind::Zero);
-        } else if (RA.Kind == EpsBlockKind::Diag) {
+          bool Acc = RefsB[S + R].Kind != EpsBlockKind::Zero;
+          size_t E1 = R + 1;
+          while (E1 < R1 && RefsA[S + E1].Kind == EpsBlockKind::Dense &&
+                 RefsA[S + E1].Row == RA.Row + (E1 - R) * NumVarsA &&
+                 (RefsB[S + E1].Kind != EpsBlockKind::Zero) == Acc)
+            ++E1;
+          K.DotPlanesTransposedB(RA.Row, NumVarsA, N, CB.data(), 0, M, D,
+                                 E1 - R, Run.rowPtr(R), N * M, Acc,
+                                 Pack.data());
+          R = E1;
+          continue;
+        }
+        if (RA.Kind == EpsBlockKind::Diag) {
+          double *OutRow = Run.rowPtr(R);
           size_t RowA = RA.Entry.first / D, ColA = RA.Entry.first % D;
           double *O = OutRow + RowA * M;
           for (size_t J = 0; J < M; ++J)
             O[J] += RA.Entry.second * CB.at(J, ColA);
         }
+        ++R;
       }
     });
     EpsBlock Blk;
@@ -482,14 +557,21 @@ Zonotope deept::zono::mulElementwise(const Zonotope &AIn, const Zonotope &BIn,
   Calls.add(1);
   assert(AIn.rows() == BIn.rows() && AIn.cols() == BIn.cols() &&
          "mulElementwise shape mismatch");
-  // Same one-sided copy-elision as dotRows: pad only the narrower side.
+  // Same one-sided copy-elision as dotRows: pad only the narrower side,
+  // and only align the eps spaces when the Precise remainder needs its
+  // index-paired Eq. 6 scan. The Fast remainder and the block-wise plane
+  // fill treat symbols past a side's own count as Zero blocks, so unequal
+  // eps counts cost nothing.
+  bool NeedEpsAlign = Opts.Method == DotMethod::Precise;
   std::optional<Zonotope> ACopy, BCopy;
-  if (AIn.numPhi() < BIn.numPhi() || AIn.numEps() < BIn.numEps() ||
+  if (AIn.numPhi() < BIn.numPhi() ||
+      (NeedEpsAlign && AIn.numEps() < BIn.numEps()) ||
       (AIn.numPhi() == 0 && AIn.phiP() != BIn.phiP())) {
     ACopy.emplace(AIn);
     ACopy->padToMatch(BIn);
   }
-  if (BIn.numPhi() < AIn.numPhi() || BIn.numEps() < AIn.numEps() ||
+  if (BIn.numPhi() < AIn.numPhi() ||
+      (NeedEpsAlign && BIn.numEps() < AIn.numEps()) ||
       (BIn.numPhi() == 0 && AIn.numPhi() > 0 && BIn.phiP() != AIn.phiP())) {
     BCopy.emplace(BIn);
     BCopy->padToMatch(AIn);
@@ -523,7 +605,7 @@ Zonotope deept::zono::mulElementwise(const Zonotope &AIn, const Zonotope &BIn,
   // (one product), two Diag entries on the same variable stay Diag (two
   // products), and everything else packs into Dense runs filled in
   // parallel with the per-variable kernel above.
-  size_t E = A.numEps();
+  size_t E = std::max(A.numEps(), B.numEps());
   auto RefsA = flattenEpsViews(A.epsBlockViews(), E);
   auto RefsB = flattenEpsViews(B.epsBlockViews(), E);
   enum Cls : unsigned char { ClsZero, ClsDiag, ClsDense };

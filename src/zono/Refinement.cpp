@@ -7,20 +7,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 
 using namespace deept;
 using namespace deept::zono;
+using zono::detail::Breakpoint;
+using zono::detail::ConstraintForm;
 using tensor::dualExponent;
 
 namespace {
-
-/// The affine form of the constraint residual D = 1 - sum_j y_{r,j}.
-struct ConstraintForm {
-  double C = 0.0;
-  std::vector<double> Alpha; // phi coefficients
-  std::vector<double> Beta;  // eps coefficients
-};
 
 /// Fills \p D in place (reusing its vectors' capacity -- this runs twice
 /// per refined row, so the allocations are worth hoisting).
@@ -56,13 +52,6 @@ void addConstraintMultiple(Zonotope &P, size_t Var, double T,
     P.epsCoeffs().at(S, Var) += T * D.Beta[S];
 }
 
-/// One breakpoint of the piecewise-linear objective sum_s w_s |t - p_s|.
-struct Breakpoint {
-  double Pos;
-  double Weight;
-  bool FromPhi;
-};
-
 double objectiveAt(const std::vector<Breakpoint> &Points, double T) {
   double Acc = 0.0;
   for (const Breakpoint &B : Points)
@@ -70,11 +59,124 @@ double objectiveAt(const std::vector<Breakpoint> &Points, double T) {
   return Acc;
 }
 
+/// Finds the smallest breakpoint position W such that the cumulative
+/// weight of positions <= W reaches \p Target, by deterministic
+/// quickselect (median-of-3 pivot, three-way partition by position).
+/// Expected O(n); permutes [Lo, Hi).
+double weightedMedianPos(std::vector<Breakpoint> &Points, size_t Lo,
+                         size_t Hi, double Target, double Below) {
+  while (Hi - Lo > 16) {
+    double A = Points[Lo].Pos;
+    double B = Points[Lo + (Hi - Lo) / 2].Pos;
+    double C = Points[Hi - 1].Pos;
+    double Pivot = std::max(std::min(A, B), std::min(std::max(A, B), C));
+    // Dutch-flag partition: [Lo, Lt) < Pivot, [Lt, I) == Pivot,
+    // (Gt, Hi) > Pivot.
+    size_t Lt = Lo, I = Lo, Gt = Hi;
+    double WLess = 0.0, WEq = 0.0;
+    while (I < Gt) {
+      double P = Points[I].Pos;
+      if (P < Pivot) {
+        WLess += Points[I].Weight;
+        std::swap(Points[Lt++], Points[I++]);
+      } else if (P > Pivot) {
+        std::swap(Points[I], Points[--Gt]);
+      } else {
+        WEq += Points[I++].Weight;
+      }
+    }
+    if (Below + WLess >= Target) {
+      Hi = Lt;
+    } else if (Below + WLess + WEq >= Target) {
+      return Pivot;
+    } else {
+      Below += WLess + WEq;
+      Lo = Gt;
+    }
+  }
+  std::sort(Points.begin() + Lo, Points.begin() + Hi,
+            [](const Breakpoint &A, const Breakpoint &B) {
+              return A.Pos < B.Pos;
+            });
+  double Cum = Below;
+  for (size_t I = Lo; I < Hi; ++I) {
+    Cum += Points[I].Weight;
+    if (Cum >= Target)
+      return Points[I].Pos;
+  }
+  return Points[Hi - 1].Pos;
+}
+
+} // namespace
+
+/// Selects the mass-minimising multiple for a breakpoint set: the
+/// weighted median of the positions (the smallest position where the
+/// ascending cumulative weight reaches half the total -- the same
+/// breakpoint the previous full-sort scan chose), found by selection
+/// instead of an O(n log n) sort. Candidates that would eliminate an lp
+/// (phi) noise symbol are skipped by moving to the best of the nearest
+/// non-phi neighbours on either side and t = 0.
+double deept::zono::detail::selectBreakpoint(std::vector<Breakpoint> &Points) {
+  if (Points.empty())
+    return 0.0;
+  double Total = 0.0;
+  for (const Breakpoint &B : Points)
+    Total += B.Weight;
+  double W = weightedMedianPos(Points, 0, Points.size(), 0.5 * Total, 0.0);
+  // The median position is a valid answer unless every breakpoint there
+  // came from a phi symbol (eliminating one would change the lp space).
+  bool PhiOnlyAtW = true;
+  bool HaveLower = false, HaveUpper = false;
+  double Lower = 0.0, Upper = 0.0;
+  for (const Breakpoint &B : Points) {
+    if (B.FromPhi) {
+      if (B.Pos == W)
+        continue;
+    } else if (B.Pos == W) {
+      PhiOnlyAtW = false;
+      break;
+    }
+    if (B.FromPhi)
+      continue;
+    if (B.Pos < W) {
+      if (!HaveLower || B.Pos > Lower)
+        Lower = B.Pos;
+      HaveLower = true;
+    } else {
+      if (!HaveUpper || B.Pos < Upper)
+        Upper = B.Pos;
+      HaveUpper = true;
+    }
+  }
+  if (!PhiOnlyAtW)
+    return W;
+  // Skip phi-eliminating candidates: inspect the nearest non-phi
+  // breakpoints in either direction and keep the better one.
+  double Best = 0.0;
+  double BestVal = objectiveAt(Points, 0.0);
+  if (HaveLower) {
+    double Val = objectiveAt(Points, Lower);
+    if (Val < BestVal) {
+      BestVal = Val;
+      Best = Lower;
+    }
+  }
+  if (HaveUpper) {
+    double Val = objectiveAt(Points, Upper);
+    if (Val < BestVal) {
+      BestVal = Val;
+      Best = Upper;
+    }
+  }
+  return Best;
+}
+
+namespace {
+
 /// Minimises sum_s |coef_s + t * d_s| over t (Appendix A.1). Terms with
 /// d_s = 0 are constant; the rest contribute weight |d_s| at breakpoint
 /// -coef_s / d_s, so the optimum is a weighted median attained at a
-/// breakpoint. Candidates that would eliminate an lp (phi) noise symbol
-/// are skipped by moving to the best non-phi neighbour.
+/// breakpoint, found by selection.
 double minimiseCoefficientMass(const Zonotope &P, size_t Var,
                                const ConstraintForm &D,
                                const RefinementOptions &Opts,
@@ -93,53 +195,7 @@ double minimiseCoefficientMass(const Zonotope &P, size_t Var,
     Points.push_back({-P.epsCoeffs().at(S, Var) / D.Beta[S],
                       std::fabs(D.Beta[S]), /*FromPhi=*/false});
   }
-  if (Points.empty())
-    return 0.0;
-  std::sort(Points.begin(), Points.end(),
-            [](const Breakpoint &A, const Breakpoint &B) {
-              return A.Pos < B.Pos;
-            });
-  double Total = 0.0;
-  for (const Breakpoint &B : Points)
-    Total += B.Weight;
-  double Cum = 0.0;
-  size_t Median = Points.size() - 1;
-  for (size_t I = 0; I < Points.size(); ++I) {
-    Cum += Points[I].Weight;
-    if (Cum >= 0.5 * Total) {
-      Median = I;
-      break;
-    }
-  }
-  if (!Points[Median].FromPhi)
-    return Points[Median].Pos;
-  // Skip phi-eliminating candidates: inspect the nearest non-phi
-  // breakpoints in either direction and keep the better one.
-  double Best = 0.0;
-  double BestVal = objectiveAt(Points, 0.0);
-  for (size_t I = Median;; --I) {
-    if (!Points[I].FromPhi) {
-      double Val = objectiveAt(Points, Points[I].Pos);
-      if (Val < BestVal) {
-        BestVal = Val;
-        Best = Points[I].Pos;
-      }
-      break;
-    }
-    if (I == 0)
-      break;
-  }
-  for (size_t I = Median + 1; I < Points.size(); ++I) {
-    if (!Points[I].FromPhi) {
-      double Val = objectiveAt(Points, Points[I].Pos);
-      if (Val < BestVal) {
-        BestVal = Val;
-        Best = Points[I].Pos;
-      }
-      break;
-    }
-  }
-  return Best;
+  return detail::selectBreakpoint(Points);
 }
 
 } // namespace
@@ -147,7 +203,8 @@ double minimiseCoefficientMass(const Zonotope &P, size_t Var,
 RefinementStats
 deept::zono::refineSoftmaxSum(Zonotope &P,
                               const std::vector<Zonotope *> &CoLive,
-                              const RefinementOptions &Opts) {
+                              const RefinementOptions &Opts,
+                              RefinementScratch *Scratch) {
   DEEPT_TRACE_SPAN("zono.softmax_refine");
   RefinementStats Stats;
   size_t C = P.cols();
@@ -163,11 +220,15 @@ deept::zono::refineSoftmaxSum(Zonotope &P,
                                                 {-1.0, 1.0});
   std::vector<bool> Tightened(P.numEps(), false);
 
-  // Scratch reused across every row and variable: the refinement loop is
+  // Scratch reused across every row and variable (and, when the caller
+  // passes one in, across refine calls): the refinement loop is
   // allocation-heavy enough that per-call vectors show up in profiles.
-  ConstraintForm D, DR;
-  std::vector<Breakpoint> Points;
-  Matrix AlphaScratch;
+  RefinementScratch Local;
+  RefinementScratch &S = Scratch ? *Scratch : Local;
+  ConstraintForm &D = S.D, &DR = S.DR;
+  std::vector<Breakpoint> &Points = S.Points;
+  Matrix &AlphaScratch = S.AlphaScratch;
+  double MedianSeconds = 0.0;
 
   for (size_t Row = 0; Row < P.rows(); ++Row) {
     buildConstraint(P, Row, D);
@@ -181,7 +242,11 @@ deept::zono::refineSoftmaxSum(Zonotope &P,
     // candidate the optimum dominates).
     for (size_t J = 0; J < C; ++J) {
       size_t Var = Row * C + J;
+      auto T0 = std::chrono::steady_clock::now();
       double TStar = minimiseCoefficientMass(P, Var, D, Opts, Points);
+      MedianSeconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+              .count();
       if (std::fabs(TStar) <= Opts.MaxFactor)
         addConstraintMultiple(P, Var, TStar, D);
     }
@@ -237,6 +302,9 @@ deept::zono::refineSoftmaxSum(Zonotope &P,
       support::Metrics::global().counter("zono.refine.symbols_tightened");
   static support::Histogram &Shrinkage =
       support::Metrics::global().histogram("zono.refine.shrinkage");
+  static support::Histogram &MedianMs =
+      support::Metrics::global().histogram("refine.median_ms");
+  MedianMs.observe(MedianSeconds * 1e3);
   RowsRefined.add(static_cast<double>(Stats.RowsRefined));
   for (size_t Sym = 0; Sym < Tightened.size(); ++Sym) {
     if (!Tightened[Sym])

@@ -12,9 +12,10 @@
 ///
 ///  1. the first variable of each softmax row is refined by adding the
 ///     optimal multiple of the constraint residual D = 1 - sum_j y_j
-///     (the multiple minimises the total coefficient mass, solved by the
-///     O(E log E) weighted-median method of Appendix A.1, skipping
-///     candidates that would eliminate an lp noise symbol),
+///     (the multiple minimises the total coefficient mass, the
+///     weighted-median problem of Appendix A.1 solved by deterministic
+///     selection in expected O(E), skipping candidates that would
+///     eliminate an lp noise symbol),
 ///  2. the remaining variables are refined by substituting the eps symbol
 ///     with the largest constraint coefficient,
 ///  3. the constraint is solved for each eps symbol to tighten its range
@@ -47,13 +48,52 @@ struct RefinementStats {
   size_t SymbolsTightened = 0;
 };
 
+namespace detail {
+
+/// One breakpoint of the piecewise-linear objective sum_s w_s |t - p_s|.
+struct Breakpoint {
+  double Pos;
+  double Weight;
+  bool FromPhi;
+};
+
+/// Picks the mass-minimising multiple t for the breakpoint set: the
+/// weighted median of the positions, skipping candidates that would
+/// eliminate an lp (phi) noise symbol by falling back to the best of the
+/// nearest non-phi neighbours and t = 0. Deterministic selection in
+/// expected O(n); permutes \p Points. Exposed for tests and micro-benches
+/// (the production caller is minimiseCoefficientMass in Refinement.cpp).
+double selectBreakpoint(std::vector<Breakpoint> &Points);
+
+/// Reusable buffers for one constraint form D = 1 - sum_j y_j.
+struct ConstraintForm {
+  double C = 0.0;
+  std::vector<double> Alpha; // phi coefficients
+  std::vector<double> Beta;  // eps coefficients
+};
+
+} // namespace detail
+
+/// Scratch reused across refineSoftmaxSum calls. The refinement loop is
+/// allocation-heavy (two constraint forms plus a breakpoint vector sized
+/// by the live symbol count, rebuilt per variable), so a driver issuing
+/// hundreds of refine calls should own one of these and pass it in; the
+/// vectors keep their high-water capacity between calls.
+struct RefinementScratch {
+  detail::ConstraintForm D, DR;
+  std::vector<detail::Breakpoint> Points;
+  tensor::Matrix AlphaScratch;
+};
+
 /// Refines every row of the softmax output \p P (R x C, each row summing
 /// to 1) in place. \p CoLive lists other zonotopes sharing P's eps space;
 /// symbol-range rewrites from step 3 are applied to them as well. P itself
-/// must not appear in CoLive.
+/// must not appear in CoLive. \p Scratch, when non-null, supplies the
+/// reusable buffers (a local set is used otherwise).
 RefinementStats
 refineSoftmaxSum(Zonotope &P, const std::vector<Zonotope *> &CoLive,
-                 const RefinementOptions &Opts = RefinementOptions());
+                 const RefinementOptions &Opts = RefinementOptions(),
+                 RefinementScratch *Scratch = nullptr);
 
 } // namespace zono
 } // namespace deept

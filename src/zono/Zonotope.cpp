@@ -1221,23 +1221,16 @@ void Zonotope::scalePerVarInPlace(const Matrix &Lambda) {
   assert(Lambda.rows() == NumRows && Lambda.cols() == NumCols &&
          "Lambda must have the view's shape");
   size_t N = numVars();
-  for (size_t V = 0; V < N; ++V)
-    Center.flat(V) *= Lambda.flat(V);
+  const tensor::Kernels &K = tensor::kernels();
+  K.RowScale(Lambda.data(), Center.data(), 1, N, N);
   size_t SymGrain = grainForWork(N);
   parallelFor(0, numPhi(), SymGrain, [&](size_t S0, size_t S1) {
-    for (size_t S = S0; S < S1; ++S) {
-      double *Row = PhiC.rowPtr(S);
-      for (size_t V = 0; V < N; ++V)
-        Row[V] *= Lambda.flat(V);
-    }
+    tensor::kernels().RowScale(Lambda.data(), PhiC.rowPtr(S0), S1 - S0, N, N);
   });
   auto ScaleDense = [&](Matrix &Blk) {
     parallelFor(0, Blk.rows(), SymGrain, [&](size_t S0, size_t S1) {
-      for (size_t S = S0; S < S1; ++S) {
-        double *Row = Blk.rowPtr(S);
-        for (size_t V = 0; V < N; ++V)
-          Row[V] *= Lambda.flat(V);
-      }
+      tensor::kernels().RowScale(Lambda.data(), Blk.rowPtr(S0), S1 - S0, N,
+                                 N);
     });
   };
   ScaleDense(EpsDense);

@@ -19,8 +19,12 @@
 #include "tensor/Kernels.h"
 #include "tensor/Matrix.h"
 #include "verify/DeepT.h"
+#include "zono/DotProduct.h"
 #include "zono/Elementwise.h"
 #include "zono/Zonotope.h"
+
+#include <bit>
+#include <cstdint>
 
 #include <gtest/gtest.h>
 
@@ -367,6 +371,195 @@ TEST(KernelEquivalence, FusedKernelsMatchUnfusedComposition) {
   }
 }
 
+/// The whole-plane fused kernel must reproduce the per-plane
+/// DotTransposedB calls bit-for-bit: same zero-row fill/skip contract,
+/// both accumulate modes, with and without the packing scratch, for the
+/// shared-A (phi A-half), shared-B (phi B-half) and fully strided operand
+/// layouts, on every ISA.
+TEST(KernelEquivalence, DotPlanesFusedMatchesPerPlaneCalls) {
+  support::Rng Rng(0xFA57);
+  struct Shape {
+    size_t N, M, D, S;
+  };
+  const Shape Shapes[] = {{1, 1, 1, 1},  {3, 5, 7, 4},  {4, 4, 8, 3},
+                          {5, 9, 16, 2}, {7, 3, 17, 5}, {2, 4, 33, 6}};
+  for (Isa I : availableIsas()) {
+    ScopedIsa Sc(I);
+    const Kernels &K = tensor::kernels();
+    for (const Shape &Sh : Shapes) {
+      // Enough zeros that whole rows (and whole planes) go zero sometimes.
+      std::vector<double> AShared = randomVec(Sh.N * Sh.D, Rng, 0.4);
+      if (Sh.N > 1) // force the zero-flag hoist to see a zero row
+        std::fill(AShared.begin(), AShared.begin() + Sh.D, 0.0);
+      std::vector<double> APlanes = randomVec(Sh.S * Sh.N * Sh.D, Rng, 0.4);
+      std::vector<double> BShared = randomVec(Sh.M * Sh.D, Rng);
+      std::vector<double> BPlanes = randomVec(Sh.S * Sh.M * Sh.D, Rng);
+      std::vector<double> Seed = randomVec(Sh.S * Sh.N * Sh.M, Rng);
+      std::vector<double> Pack(tensor::dotPlanesPackDoubles(Sh.N, Sh.M, Sh.D));
+      struct Layout {
+        const char *Name;
+        const double *A;
+        size_t StrideA;
+        const double *B;
+        size_t StrideB;
+      };
+      const Layout Layouts[] = {
+          {"sharedA", AShared.data(), 0, BPlanes.data(), Sh.M * Sh.D},
+          {"sharedB", APlanes.data(), Sh.N * Sh.D, BShared.data(), 0},
+          {"strided", APlanes.data(), Sh.N * Sh.D, BPlanes.data(),
+           Sh.M * Sh.D},
+      };
+      for (const Layout &L : Layouts) {
+        for (bool Accumulate : {false, true}) {
+          for (bool UsePack : {false, true}) {
+            std::vector<double> Got =
+                Accumulate ? Seed
+                           : std::vector<double>(Sh.S * Sh.N * Sh.M, -777.0);
+            K.DotPlanesTransposedB(L.A, L.StrideA, Sh.N, L.B, L.StrideB,
+                                   Sh.M, Sh.D, Sh.S, Got.data(), Sh.N * Sh.M,
+                                   Accumulate,
+                                   UsePack ? Pack.data() : nullptr);
+            std::vector<double> Want =
+                Accumulate ? Seed
+                           : std::vector<double>(Sh.S * Sh.N * Sh.M, -777.0);
+            for (size_t Sym = 0; Sym < Sh.S; ++Sym)
+              K.DotTransposedB(L.A + Sym * L.StrideA, Sh.N,
+                               L.B + Sym * L.StrideB, Sh.M, Sh.D,
+                               Want.data() + Sym * Sh.N * Sh.M, Accumulate);
+            EXPECT_EQ(std::memcmp(Got.data(), Want.data(),
+                                  Got.size() * sizeof(double)),
+                      0)
+                << "DotPlanesTransposedB isa=" << tensor::isaName(I)
+                << " layout=" << L.Name << " N=" << Sh.N << " M=" << Sh.M
+                << " D=" << Sh.D << " S=" << Sh.S << " acc=" << Accumulate
+                << " pack=" << UsePack;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// RowScale is elementwise (one multiply per entry, no reduction), so its
+/// bits must match the plain scalar products on every ISA, for strided
+/// row batches and every remainder shape.
+TEST(KernelEquivalence, RowScaleBitIdenticalAcrossIsas) {
+  support::Rng Rng(0x5CA1E);
+  for (size_t N : Sizes) {
+    size_t Stride = N + 3, R = 3;
+    std::vector<double> Lambda = randomVec(N, Rng);
+    std::vector<double> Base = randomVec(R * Stride, Rng);
+    std::vector<double> Want = Base;
+    for (size_t Q = 0; Q < R; ++Q)
+      for (size_t J = 0; J < N; ++J)
+        Want[Q * Stride + J] = Base[Q * Stride + J] * Lambda[J];
+    for (Isa I : availableIsas()) {
+      ScopedIsa S(I);
+      std::vector<double> Rows = Base;
+      tensor::kernels().RowScale(Lambda.data(), Rows.data(), R, Stride, N);
+      EXPECT_EQ(std::memcmp(Rows.data(), Want.data(),
+                            Rows.size() * sizeof(double)),
+                0)
+          << "RowScale isa=" << tensor::isaName(I) << " N=" << N;
+    }
+  }
+}
+
+/// Two zonotopes sharing one noise-symbol ancestry whose eps storage mixes
+/// Dense, Diag and Zero blocks on both sides -- the realistic dotRows
+/// operand shape (attention Q . K^T after elementwise + matmul layers).
+void makeDotOperands(double P, zono::Zonotope &A, zono::Zonotope &B) {
+  support::Rng Rng(0xD07F);
+  Matrix Center = Matrix::randn(4, 6, Rng, 0.5);
+  zono::Zonotope Z = zono::Zonotope::lpBall(Center, P, 0.05);
+  Z = zono::applyTanh(Z); // Diag block on the shared prefix
+  Matrix WA = Matrix::randn(6, 6, Rng, 0.4);
+  A = zono::applyTanh(Z.matmulRightConst(WA)); // Dense + fresh Diag
+  Matrix WB = Matrix::randn(6, 6, Rng, 0.4);
+  B = Z.matmulRightConst(WB); // Dense blocks, missing A's later symbols
+}
+
+/// Exact equality of two zonotopes, densified for comparison.
+::testing::AssertionResult zonoBitsEqual(const zono::Zonotope &A,
+                                         const zono::Zonotope &B) {
+  if (A.rows() != B.rows() || A.cols() != B.cols() ||
+      A.numPhi() != B.numPhi() || A.numEps() != B.numEps())
+    return ::testing::AssertionFailure() << "shape or symbol counts differ";
+  auto Cmp = [](const char *What, const Matrix &X,
+                const Matrix &Y) -> ::testing::AssertionResult {
+    if (X.size() != Y.size())
+      return ::testing::AssertionFailure() << What << " sizes differ";
+    if (std::memcmp(X.data(), Y.data(), X.size() * sizeof(double)) != 0)
+      return ::testing::AssertionFailure() << What << " bits differ";
+    return ::testing::AssertionSuccess();
+  };
+  if (auto R = Cmp("center", A.center(), B.center()); !R)
+    return R;
+  if (auto R = Cmp("phi", A.phiCoeffs(), B.phiCoeffs()); !R)
+    return R;
+  return Cmp("eps", A.epsCoeffs(), B.epsCoeffs());
+}
+
+/// dotRows through the whole-plane fused path must not depend on the eps
+/// block structure (blocks vs force-densified operands) or on the thread
+/// count, for either method, on any ISA. Covers the stretch-batched Dense
+/// runs, the Diag scatter rows and the Zero passthrough together.
+TEST(KernelEquivalence, DotRowsBitIdenticalAcrossBlockMixesAndThreads) {
+  for (Isa I : availableIsas()) {
+    ScopedIsa Sc(I);
+    for (auto Method : {zono::DotMethod::Fast, zono::DotMethod::Precise}) {
+      for (double P : {2.0, Matrix::InfNorm}) {
+        zono::DotOptions Opts;
+        Opts.Method = Method;
+        zono::Zonotope A, B;
+        makeDotOperands(P, A, B);
+        ASSERT_GT(A.epsBlockCount(), 1u);
+        zono::Zonotope Ref;
+        {
+          ScopedThreads T(1);
+          Ref = zono::dotRows(A, B, Opts);
+        }
+        // Densified twins: same abstract value, single Dense block.
+        zono::Zonotope AD = A, BD = B;
+        AD.epsCoeffs();
+        BD.epsCoeffs();
+        {
+          ScopedThreads T(1);
+          EXPECT_TRUE(zonoBitsEqual(Ref, zono::dotRows(AD, BD, Opts)))
+              << "blocks vs dense, isa=" << tensor::isaName(I);
+        }
+        for (size_t Threads : {2u, 8u}) {
+          ScopedThreads T(Threads);
+          EXPECT_TRUE(zonoBitsEqual(Ref, zono::dotRows(A, B, Opts)))
+              << "threads=" << Threads << " isa=" << tensor::isaName(I);
+        }
+      }
+    }
+  }
+}
+
+/// The FLOP estimate must be block-aware: a Diag/Zero-heavy eps tail does
+/// O(N + M) work per symbol, so it must charge far less than the same
+/// abstract value pushed through with one dense block.
+TEST(KernelEquivalence, DotRowsFlopsEstIsBlockAware) {
+  zono::Zonotope A, B;
+  makeDotOperands(2.0, A, B);
+  zono::Zonotope AD = A, BD = B;
+  AD.epsCoeffs();
+  BD.epsCoeffs();
+  support::Counter &Flops =
+      support::Metrics::global().counter("zono.dot.flops_est");
+  double Start = Flops.value();
+  zono::dotRows(A, B);
+  double BlockFlops = Flops.value() - Start;
+  Start = Flops.value();
+  zono::dotRows(AD, BD);
+  double DenseFlops = Flops.value() - Start;
+  EXPECT_GT(BlockFlops, 0.0);
+  EXPECT_LT(BlockFlops, DenseFlops)
+      << "block-aware estimate should be cheaper than the densified run";
+}
+
 /// A small zonotope with both phi and eps symbols pushed through linear +
 /// ReLU transformers -- the realistic radii workload.
 zono::Zonotope makeZonotope(double P, support::Rng &Rng) {
@@ -550,6 +743,87 @@ TEST(F32Soundness, CachedSstNeverCertifiesWhatF64Falsifies) {
         EXPECT_LE(M32, M64) << "p=" << P << " R=" << R;
       EXPECT_EQ(M32 > 0.0 && M64 <= 0.0, false)
           << "f32 certified a falsified region at p=" << P << " R=" << R;
+    }
+  }
+}
+
+/// End-to-end regression pins for the whole-plane fused rewrite: margins
+/// on the cached sst_m12 model must reproduce the pre-fusion release
+/// bit-for-bit at the scalar ISA (the one table whose reduction order is
+/// shared by every build). Values were captured from the prior release
+/// with the deept_cli recipe: seed 2, word 0, eps 0.02, noise budget 600,
+/// skipping misclassified sentences. Also asserts 1/2/8-thread identity
+/// on the same margins.
+TEST(KernelEquivalence, CachedSstMarginsBitIdenticalToPreFusionRelease) {
+  nn::TransformerModel Model;
+  const std::string Candidates[] = {
+      nn::defaultModelCacheDir() + "/sst_m12.dptm",
+      "../bench/deept-model-cache/sst_m12.dptm",
+      "../../bench/deept-model-cache/sst_m12.dptm",
+  };
+  bool Loaded = false;
+  for (const std::string &Path : Candidates)
+    if (nn::loadModel(Path, Model)) {
+      Loaded = true;
+      break;
+    }
+  if (!Loaded)
+    GTEST_SKIP() << "cached sst_m12.dptm not found";
+  if (!tensor::isaAvailable(Isa::Scalar))
+    GTEST_SKIP() << "scalar table unavailable";
+  ScopedIsa Sc(Isa::Scalar);
+
+  // The deept_cli sentence selection: sample with seed 2, keep the first
+  // two sentences the model classifies correctly with word 0 in range.
+  data::SyntheticCorpus Corpus(
+      data::CorpusConfig::sstLike(Model.Config.EmbedDim));
+  support::Rng Rng(2);
+  std::vector<data::Sentence> Sentences;
+  while (Sentences.size() < 2) {
+    data::Sentence S = Corpus.sampleSentence(Rng);
+    if (Model.classify(S.Tokens) != S.Label || S.Tokens.empty())
+      continue;
+    Sentences.push_back(S);
+  }
+
+  struct Pin {
+    double P;
+    zono::DotMethod Method;
+    size_t Sentence;       // index into Sentences
+    std::uint64_t Margin;  // expected margin bits at eps = 0.02
+  };
+  const Pin Pins[] = {
+      {1.0, zono::DotMethod::Fast, 0, 0x40206eeab69d022aULL},
+      {1.0, zono::DotMethod::Fast, 1, 0x40206eeaa9710f63ULL},
+      {2.0, zono::DotMethod::Fast, 0, 0x40206eeab69c71a3ULL},
+      {2.0, zono::DotMethod::Fast, 1, 0xc01ea8221cad9cf1ULL},
+      {Matrix::InfNorm, zono::DotMethod::Fast, 0, 0xc02191d8066a3bb9ULL},
+      {Matrix::InfNorm, zono::DotMethod::Fast, 1, 0xc02191d8066a3bb9ULL},
+      {1.0, zono::DotMethod::Precise, 0, 0x40206eeab69d0231ULL},
+  };
+  for (const Pin &Pn : Pins) {
+    const data::Sentence &S = Sentences[Pn.Sentence];
+    verify::VerifierConfig VC;
+    VC.NoiseReductionBudget = 600;
+    VC.Method = Pn.Method;
+    verify::DeepTVerifier V(Model, VC);
+    Matrix Emb = Model.embed(S.Tokens);
+    zono::Zonotope In = zono::Zonotope::lpBallOnRow(Emb, 0, Pn.P, 0.02);
+    double Want = std::bit_cast<double>(Pn.Margin);
+    double Margin1;
+    {
+      ScopedThreads T(1);
+      Margin1 = V.certifyMargin(In, S.Label);
+    }
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(Margin1), Pn.Margin)
+        << "margin drifted from the pre-fusion release: p=" << Pn.P
+        << " sentence=" << Pn.Sentence + 1 << " method="
+        << (Pn.Method == zono::DotMethod::Fast ? "fast" : "precise")
+        << " got=" << Margin1 << " want=" << Want;
+    for (size_t Threads : {2u, 8u}) {
+      ScopedThreads T(Threads);
+      EXPECT_EQ(Margin1, V.certifyMargin(In, S.Label))
+          << "margin differs at " << Threads << " threads, p=" << Pn.P;
     }
   }
 }

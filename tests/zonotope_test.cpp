@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -615,6 +616,98 @@ TEST_P(NormParamTest, SoftmaxRefinementSoundAndTighter) {
     }
   }
   EXPECT_LE(Refined, Plain + 1e-9);
+}
+
+/// The deterministic-selection breakpoint picker must reproduce the
+/// sort-based reference it replaced: sort by position, take the first
+/// prefix reaching half the total weight, and when the median breakpoint
+/// comes from a phi symbol fall back to the best of the nearest non-phi
+/// neighbours and t = 0. Weights are powers of two so every cumulative
+/// sum is exact in either summation order and the comparison is 0-ULP.
+TEST(Refinement, SelectBreakpointMatchesSortReference) {
+  using zono::detail::Breakpoint;
+  auto ObjectiveAt = [](const std::vector<Breakpoint> &Points, double T) {
+    double V = 0.0;
+    for (const Breakpoint &B : Points)
+      V += B.Weight * std::fabs(T - B.Pos);
+    return V;
+  };
+  auto SortRef = [&](std::vector<Breakpoint> Points) -> double {
+    if (Points.empty())
+      return 0.0;
+    std::sort(Points.begin(), Points.end(),
+              [](const Breakpoint &A, const Breakpoint &B) {
+                return A.Pos < B.Pos;
+              });
+    double Total = 0.0;
+    for (const Breakpoint &B : Points)
+      Total += B.Weight;
+    double Cum = 0.0;
+    size_t Median = Points.size() - 1;
+    for (size_t I = 0; I < Points.size(); ++I) {
+      Cum += Points[I].Weight;
+      if (Cum >= 0.5 * Total) {
+        Median = I;
+        break;
+      }
+    }
+    // Any breakpoint sharing the median position counts as a non-phi
+    // representative; the selection variant returns that position.
+    double W = Points[Median].Pos;
+    for (const Breakpoint &B : Points)
+      if (!B.FromPhi && B.Pos == W)
+        return W;
+    double Best = 0.0;
+    double BestVal = ObjectiveAt(Points, 0.0);
+    for (size_t I = Median;; --I) {
+      if (!Points[I].FromPhi) {
+        double Val = ObjectiveAt(Points, Points[I].Pos);
+        if (Val < BestVal) {
+          BestVal = Val;
+          Best = Points[I].Pos;
+        }
+        break;
+      }
+      if (I == 0)
+        break;
+    }
+    for (size_t I = Median + 1; I < Points.size(); ++I) {
+      if (!Points[I].FromPhi) {
+        double Val = ObjectiveAt(Points, Points[I].Pos);
+        if (Val < BestVal) {
+          BestVal = Val;
+          Best = Points[I].Pos;
+        }
+        break;
+      }
+    }
+    return Best;
+  };
+
+  support::Rng Rng(0x3E1EC7);
+  auto Pow2Weight = [&]() {
+    return std::ldexp(1.0, static_cast<int>(Rng.uniform() * 17.0) - 8);
+  };
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    // Sizes straddling the quickselect base case (16) in both directions.
+    size_t N = 1 + static_cast<size_t>(Rng.uniform() * 120);
+    int Mode = Trial % 3;
+    std::vector<Breakpoint> Points(N);
+    for (Breakpoint &B : Points) {
+      double Pos = Rng.gaussian();
+      if (Mode == 1) // duplicate positions exercise the tie handling
+        Pos = std::round(Pos * 4.0) / 4.0;
+      bool FromPhi = Mode == 2 || (Mode == 0 && Rng.uniform() < 0.5);
+      if (Mode == 1)
+        FromPhi = false;
+      B = {Pos, Pow2Weight(), FromPhi};
+    }
+    double Want = SortRef(Points);
+    std::vector<Breakpoint> Work = Points; // selectBreakpoint permutes
+    double Got = zono::detail::selectBreakpoint(Work);
+    EXPECT_EQ(Got, Want) << "trial " << Trial << " n=" << N
+                         << " mode=" << Mode;
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -43,7 +43,7 @@ ASAN_FILTER+=':RadiusSearch*:FeedForwardVerifier.*:Scheduler.*'
 ROBUSTNESS_FILTER='Fault.*:Serialize.*:Io.*:Error.*:Json.*'
 ROBUSTNESS_FILTER+=':Scheduler.Recover*:Scheduler.Resume*:Scheduler.Fsync*'
 SIMD_FILTER='KernelDispatch.*:KernelEquivalence.*:F32Soundness.*'
-SIMD_FILTER+=':TiledGemm.*:Determinism.*'
+SIMD_FILTER+=':TiledGemm.*:Determinism.*:Refinement.*'
 
 configure() { # dir, extra cmake args...
   local Dir="$1"; shift
@@ -198,6 +198,16 @@ stage_simd() {
   configure "$ROOT/build-ci/asan" -DDEEPT_SANITIZE=address
   cmake --build "$ROOT/build-ci/asan" -j "$JOBS" --target deept_tests
   "$ROOT/build-ci/asan/tests/deept_tests" --gtest_filter='F32Soundness.*'
+  # The whole-plane fused coefficient oracle under ASan, dispatched from
+  # the scalar and from the widest table the host supports: the packed
+  # shared-panel scratch, the hoisted zero flags and the paired-row loops
+  # must be memory-clean and 0-ULP equal to the per-plane composition.
+  local FusedFilter='KernelEquivalence.DotPlanesFused*'
+  FusedFilter+=':KernelEquivalence.DotRows*:KernelEquivalence.RowScale*'
+  DEEPT_ISA=scalar "$ROOT/build-ci/asan/tests/deept_tests" \
+      --gtest_filter="$FusedFilter"
+  DEEPT_ISA=native "$ROOT/build-ci/asan/tests/deept_tests" \
+      --gtest_filter="$FusedFilter"
   # Bench artifacts must record the ISA they ran under, so cross-ISA
   # comparisons fail loudly in bench_compare instead of lying quietly.
   local Out="$ROOT/build-ci/simd"
